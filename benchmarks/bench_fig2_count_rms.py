@@ -1,0 +1,28 @@
+"""Figure 2: Count RMS error vs loss rate (the paper's teaser plot)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_count_rms import run_figure2
+
+
+def test_fig2_count_rms(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure2, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_result("fig2_count_rms", result.render())
+
+    tag = result.rms["TAG"]
+    sd = result.rms["SD"]
+    td = result.rms["TD"]
+    rates = list(result.loss_rates)
+    # TAG exact at p=0, then degrades steeply: well over 2x SD at the top
+    # rate, having crossed SD's flat curve by p=0.1.
+    assert tag[0] == 0.0
+    assert tag[-1] > 2 * sd[-1]
+    assert tag[rates.index(0.1)] > sd[rates.index(0.1)]
+    # SD stays near its ~12% approximation error across the sweep.
+    assert max(sd) < 0.35
+    # TD exact at p=0 and comparable-to-better than SD at the top rate.
+    assert td[0] == 0.0
+    assert td[-1] < tag[-1]
+    assert td[-1] < 1.6 * sd[-1]

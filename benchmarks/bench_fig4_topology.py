@@ -1,0 +1,35 @@
+"""Figure 4: evolution of the TD delta region under regional failures."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_topology import run_figure4
+
+
+def run_both(quick):
+    mild = run_figure4(inside_rate=0.3, quick=quick)
+    severe = run_figure4(inside_rate=0.8, quick=quick)
+    return mild, severe
+
+
+def test_fig4_delta_evolution(benchmark, record_result, quick):
+    mild, severe = benchmark.pedantic(
+        run_both, args=(quick,), rounds=1, iterations=1
+    )
+    text_parts = []
+    for label, result in (("Regional(0.3,0.05)", mild), ("Regional(0.8,0.05)", severe)):
+        text_parts.append(
+            f"{label}: delta={len(result.delta)} "
+            f"inside={result.delta_inside}/{result.nodes_inside} "
+            f"concentration={result.concentration:.2f}\n"
+            + result.render_map()
+        )
+    record_result("fig4_topology", "\n\n".join(text_parts))
+
+    # The delta leans into the failure quadrant (the paper's key claim for
+    # the TD strategy: "the delta region expands only in the direction of
+    # the failure region").
+    assert mild.delta
+    assert mild.concentration > 1.0
+    assert severe.delta
+    # The severe failure pulls in at least as much of the quadrant.
+    assert severe.delta_inside >= mild.delta_inside * 0.8

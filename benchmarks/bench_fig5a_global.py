@@ -1,0 +1,28 @@
+"""Figure 5(a): Sum RMS error under Global(p), all four schemes."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_count_rms import run_figure5a
+
+
+def test_fig5a_global_loss(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure5a, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_result("fig5a_global", result.render())
+
+    tag = result.rms["TAG"]
+    sd = result.rms["SD"]
+    td = result.rms["TD"]
+    tdc = result.rms["TD-Coarse"]
+    rates = list(result.loss_rates)
+    # TAG monotone-degrading, far worse than SD by p=0.25.
+    index_25 = rates.index(0.25)
+    assert tag[index_25] > 2 * sd[index_25]
+    # The adaptive schemes are exact at p=0 (all-tree) like TAG.
+    assert td[0] == 0.0
+    assert tdc[0] == 0.0
+    # At every rate TD is no worse than ~the best baseline (modulo noise).
+    for index in range(len(rates)):
+        best = min(tag[index], sd[index])
+        assert td[index] <= best + 0.12

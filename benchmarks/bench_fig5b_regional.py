@@ -1,0 +1,25 @@
+"""Figure 5(b): Sum RMS error under Regional(p, 0.05)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_regional import run_figure5b
+
+
+def test_fig5b_regional_loss(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure5b, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_result("fig5b_regional", result.render())
+
+    tag = result.rms["TAG"]
+    sd = result.rms["SD"]
+    td = result.rms["TD"]
+    rates = list(result.loss_rates)
+    # Regional failures hurt the tree badly once the region is lossy.
+    high = rates.index(0.75)
+    assert tag[high] > sd[high]
+    # TD keeps exact tree aggregation outside the failure region, so it
+    # tracks (or beats) the best baseline across the sweep.
+    for index in range(len(rates)):
+        best = min(tag[index], sd[index])
+        assert td[index] <= best + 0.12

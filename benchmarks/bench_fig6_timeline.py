@@ -1,0 +1,34 @@
+"""Figure 6: relative-error timelines across failure transitions."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_timeline import run_figure6
+
+
+def test_fig6_timeline(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure6, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_result("fig6_timeline", result.render())
+
+    phases = result.phase_means(
+        boundaries=(
+            0,
+            len(result.epochs) // 4,
+            len(result.epochs) // 2,
+            3 * len(result.epochs) // 4,
+            len(result.epochs),
+        )
+    )
+    tag = phases["TAG"]
+    sd = phases["SD"]
+    # TAG accurate in the quiet phases, bad in the global-loss phase.
+    assert tag[0] < 0.05
+    assert tag[2] > sd[2]
+    # SD pays its approximation error even when quiet.
+    assert sd[0] > 0.02
+    # The adaptive schemes end the final quiet phase at (or below) TAG-quiet
+    # levels once converged — compare their last-quarter tail.
+    td_tail = result.relative_errors["TD"][-len(result.epochs) // 8 :]
+    sd_tail = result.relative_errors["SD"][-len(result.epochs) // 8 :]
+    assert sum(td_tail) / len(td_tail) <= sum(sd_tail) / len(sd_tail) + 0.05

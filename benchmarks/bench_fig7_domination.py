@@ -1,0 +1,50 @@
+"""Figure 7 and Table 2: domination factors of constructed trees."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_domination import (
+    run_figure7a,
+    run_figure7b,
+    run_table2,
+)
+
+
+def test_fig7a_density_sweep(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure7a, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_result("fig7a_density", result.render())
+
+    # Our construction dominates TAG's at (almost) every density.
+    wins = sum(
+        1 for ours, tag in zip(result.our_tree, result.tag_tree) if ours >= tag
+    )
+    assert wins >= len(result.parameters) - 1
+    # Density helps: the densest point beats the sparsest for our tree.
+    assert result.our_tree[-1] >= result.our_tree[0]
+
+
+def test_fig7b_width_sweep(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure7b, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_result("fig7b_width", result.render())
+    wins = sum(
+        1 for ours, tag in zip(result.our_tree, result.tag_tree) if ours >= tag
+    )
+    assert wins >= len(result.parameters) - 1
+
+
+def test_table2_domination_example(benchmark, record_result):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    record_result("table2_domination", result.render())
+
+    # Exact reproduction of the paper's H(i) rows.
+    assert result.te_profile == [37, 10, 6, 1]
+    assert abs(result.te_fractions[0] - 37 / 54) < 1e-12
+    assert abs(result.te_fractions[1] - 47 / 54) < 1e-12
+    assert abs(result.te_fractions[2] - 53 / 54) < 1e-12
+    assert result.t2_profile == [8, 4, 2, 1]
+    # Both trees are 2-dominating (the property the table demonstrates).
+    assert result.te_domination >= 2.0
+    assert result.t2_domination >= 2.0

@@ -1,0 +1,31 @@
+"""Figure 8: per-node loads of the frequent-items algorithms."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_fi_load import run_figure8
+
+
+def test_fig8_fi_loads(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure8, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_result("fig8_fi_load", result.render())
+
+    # LabData (bushy tree): Quantiles-based pays far more than the
+    # epsilon-deficient summaries; Min Total-load is competitive with Min
+    # Max-load even on max load.
+    lab_q_avg, lab_q_max = result.loads("LabData", "Quantiles-based")
+    lab_t_avg, lab_t_max = result.loads("LabData", "Min Total-load")
+    lab_m_avg, lab_m_max = result.loads("LabData", "Min Max-load")
+    lab_h_avg, lab_h_max = result.loads("LabData", "Hybrid")
+    assert lab_q_avg > 3 * max(lab_t_avg, lab_m_avg, lab_h_avg)
+    assert lab_t_max <= 1.5 * lab_m_max
+    # Hybrid: within a factor 2 of the best on both metrics.
+    assert lab_h_avg <= 2 * min(lab_t_avg, lab_m_avg) + 2
+    assert lab_h_max <= 2 * min(lab_t_max, lab_m_max) + 2
+
+    # Synthetic disjoint-uniform stream: Min Total-load's average (= total)
+    # load is roughly half of Min Max-load's.
+    syn_t_avg, _ = result.loads("Synthetic", "Min Total-load")
+    syn_m_avg, _ = result.loads("Synthetic", "Min Max-load")
+    assert syn_t_avg < 0.75 * syn_m_avg

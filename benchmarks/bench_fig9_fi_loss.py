@@ -1,0 +1,43 @@
+"""Figure 9: frequent-items false negatives under message loss."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_fi_loss import run_figure9
+
+
+def test_fig9a_no_retransmission(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs={"retransmissions": 0, "quick": quick},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig9a_fi_loss", result.render())
+
+    tag = result.false_negatives["TAG"]
+    sd = result.false_negatives["SD"]
+    td = result.false_negatives["TD"]
+    # Near-zero false negatives all around without loss.
+    assert tag[0] <= 10
+    assert sd[0] <= 10
+    assert td[0] <= 10
+    # TAG degrades much faster than SD; TD tracks the better of the two.
+    assert tag[-1] > sd[-1]
+    assert td[-1] <= tag[-1]
+
+
+def test_fig9b_with_retransmissions(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs={"retransmissions": 2, "quick": quick},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig9b_fi_loss_retx", result.render())
+
+    tag = result.false_negatives["TAG"]
+    sd = result.false_negatives["SD"]
+    # Retransmission rescues the tree at moderate loss, but multi-path
+    # still wins at the top of the sweep (paper: "at loss rates greater
+    # than 0.5, the multi-path algorithm still outperforms").
+    assert tag[-1] >= sd[-1] - 5

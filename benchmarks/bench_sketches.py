@@ -1,0 +1,60 @@
+"""Micro-benchmarks: sketch operation throughput.
+
+Not a paper figure, but the cost model behind every multi-path experiment:
+SG/SF must be cheap enough that a 600-node, 100-epoch sweep stays
+laptop-scale.
+"""
+
+from __future__ import annotations
+
+from repro.multipath.fm import FMSketch
+from repro.multipath.kmv import KMVSketch
+
+
+def test_fm_insert_count_small(benchmark):
+    def run():
+        sketch = FMSketch(40)
+        sketch.insert_count(100, "bench", 1)
+        return sketch
+
+    benchmark(run)
+
+
+def test_fm_insert_count_bulk(benchmark):
+    def run():
+        sketch = FMSketch(40)
+        sketch.insert_count(100_000, "bench", 2)
+        return sketch
+
+    benchmark(run)
+
+
+def test_fm_fuse(benchmark):
+    a = FMSketch(40)
+    a.insert_count(1000, "a")
+    b = FMSketch(40)
+    b.insert_count(1000, "b")
+    benchmark(lambda: a.fuse(b))
+
+
+def test_fm_estimate(benchmark):
+    sketch = FMSketch(40)
+    sketch.insert_count(5000, "e")
+    benchmark(sketch.estimate)
+
+
+def test_kmv_insert_count(benchmark):
+    def run():
+        sketch = KMVSketch(k=32)
+        sketch.insert_count(500, "bench")
+        return sketch
+
+    benchmark(run)
+
+
+def test_kmv_fuse(benchmark):
+    a = KMVSketch(k=32)
+    a.insert_count(500, "a")
+    b = KMVSketch(k=32)
+    b.insert_count(500, "b")
+    benchmark(lambda: a.fuse(b))

@@ -1,0 +1,31 @@
+"""Table 1: measured energy / error / latency comparison."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_comparison(benchmark, record_result, quick):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    text = result.render()
+    record_result("table1", text)
+
+    count_rows = {r.scheme: r for r in result.rows if r.aggregate == "Count"}
+    # Every scheme transmits ~once per node ("minimal" messages).
+    for row in count_rows.values():
+        assert row.messages_per_node <= 1.5
+    # Tree suffers the largest communication error; its approximation error
+    # is zero; multi-path is the reverse.
+    assert count_rows["TAG"].communication_error > count_rows["SD"].communication_error
+    assert count_rows["TAG"].approximation_error <= 0.01
+    assert count_rows["SD"].approximation_error > 0.01
+    # Tributary-Delta: multi-path-like communication error.
+    assert (
+        count_rows["TD"].communication_error
+        < count_rows["TAG"].communication_error
+    )
+    # Frequent items: multi-path messages are larger than tree messages.
+    fi_rows = {r.scheme: r for r in result.rows if r.aggregate == "Freq. Items"}
+    assert fi_rows["SD"].mean_message_words > fi_rows["TAG"].mean_message_words

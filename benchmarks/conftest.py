@@ -1,0 +1,42 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and writes the
+rendered rows to ``benchmarks/results/<name>.txt`` (the numbers recorded in
+EXPERIMENTS.md). Benchmarks default to the *quick* configurations so the
+whole suite runs in minutes; set ``REPRO_FULL=1`` for the paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Full paper-scale runs when REPRO_FULL=1; quick otherwise.
+QUICK = os.environ.get("REPRO_FULL", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write one experiment's rendered output to the results directory."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        mode = "full" if not QUICK else "quick"
+        path.write_text(f"[{mode} configuration]\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return QUICK

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Declarative queries: SELECT / WHERE / WINDOW over a lossy network.
+
+The paper's query model (Section 2): continuous aggregate queries with
+local predicate evaluation and per-sensor windows. This example issues
+three one-line queries against a 150-mote temperature deployment and runs
+each through Tributary-Delta, with online link maintenance keeping the
+tree healthy in the background:
+
+    SELECT count WHERE value > 28        -- how many motes read hot?
+    SELECT avg WINDOW 6 MEAN             -- smoothed network average
+    SELECT max                           -- current hottest reading
+
+Run:  python examples/declarative_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GlobalLoss,
+    TDGraph,
+    TributaryDeltaScheme,
+    build_bushy_tree,
+    initial_modes_by_level,
+    make_synthetic_scenario,
+    parse_query,
+)
+from repro.core.adaptation import TDFinePolicy
+from repro.network.links import Channel
+
+LOSS_RATE = 0.15
+EPOCHS = 10
+
+QUERIES = (
+    "SELECT count WHERE value > 28",
+    "SELECT avg WINDOW 6 MEAN",
+    "SELECT max",
+)
+
+
+def temperature(node: int, epoch: int) -> float:
+    """A slowly warming field with per-mote offsets; hot motes exist."""
+    base = 22.0 + 0.3 * epoch
+    offset = (node * 13 % 17) - 8  # -8 .. +8 degrees of mote-to-mote spread
+    return base + offset * 0.8
+
+
+def main() -> None:
+    scenario = make_synthetic_scenario(num_sensors=150, seed=9)
+    tree = build_bushy_tree(scenario.rings, seed=9)
+    deployment = scenario.deployment
+    print(
+        f"{deployment.num_sensors} motes, Global({LOSS_RATE}) loss; "
+        f"{EPOCHS} epochs per query\n"
+    )
+
+    for text in QUERIES:
+        query = parse_query(text)
+        aggregate, readings = query.build(temperature)
+        graph = TDGraph(
+            scenario.rings, tree, initial_modes_by_level(scenario.rings, 2)
+        )
+        scheme = TributaryDeltaScheme(
+            deployment, graph, aggregate, policy=TDFinePolicy()
+        )
+        estimates = []
+        truths = []
+        for epoch in range(EPOCHS):
+            channel = Channel(deployment, GlobalLoss(LOSS_RATE), seed=4)
+            outcome = scheme.run_epoch(epoch, channel, readings)
+            estimates.append(outcome.estimate)
+            truths.append(
+                aggregate.exact(
+                    [readings(node, epoch) for node in deployment.sensor_ids]
+                )
+            )
+        mean_estimate = sum(estimates) / len(estimates)
+        mean_truth = sum(truths) / len(truths)
+        print(f"  {query.render()}")
+        print(
+            f"    mean estimate {mean_estimate:9.1f}   "
+            f"mean truth {mean_truth:9.1f}\n"
+        )
+
+    print(
+        "Predicates are evaluated at each mote (non-matching motes still\n"
+        "relay and still feed the adaptation loop); windows smooth each\n"
+        "mote's own stream before aggregation — both per Section 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

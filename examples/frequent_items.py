@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Consensus readings in a noisy lab: the frequent-items pipeline (§6).
+
+The paper motivates frequent items with biological/chemical sensing, where
+single readings are unreliable and operators want a *consensus measure*.
+This script runs all three of the paper's frequent-items algorithms over
+the LabData scenario — the Min Total-load tree algorithm, the class-based
+multi-path algorithm, and their Tributary-Delta combination — under
+moderate message loss, and compares what each one reports against ground
+truth.
+
+Run:  python examples/frequent_items.py
+"""
+
+from __future__ import annotations
+
+from repro import GlobalLoss, LabDataScenario, build_bushy_tree
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.datasets.streams import exact_item_counts
+from repro.frequent.mp_fi import FMOperator, MultipathFrequentItems
+from repro.frequent.reporting import (
+    false_negative_rate,
+    false_positive_rate,
+    report_frequent,
+    true_frequent,
+)
+from repro.frequent.td_fi import (
+    MultipathFrequentItemsScheme,
+    TributaryDeltaFrequentItems,
+)
+from repro.frequent.tree_fi import TreeFrequentItems
+from repro.network.links import Channel
+
+SUPPORT = 0.01  # report items covering >= 1% of all readings
+EPSILON = 0.001  # eps-deficient counting tolerance
+LOSS = 0.4
+
+
+def main() -> None:
+    lab = LabDataScenario.build()
+    tree = build_bushy_tree(lab.rings, seed=1)
+    items_fn = lambda node, epoch: lab.item_stream.items(node, epoch)
+
+    counts = exact_item_counts(lab.item_stream, lab.deployment.sensor_ids, 0)
+    total = sum(counts.values())
+    truth = true_frequent(counts, SUPPORT)
+    print(
+        f"LabData: {lab.num_sensors} motes, {total} readings this epoch, "
+        f"{len(counts)} distinct levels, {len(truth)} truly frequent\n"
+    )
+    failure = GlobalLoss(LOSS)
+
+    results = {}
+
+    # 1. Tree: Min Total-load (optimal total communication, fragile).
+    engine = TreeFrequentItems.min_total_load(tree, EPSILON)
+    channel = Channel(lab.deployment, failure, seed=5)
+    root, load = engine.aggregate(items_fn, 0, channel=channel)
+    reported = report_frequent(root, SUPPORT, EPSILON) if root else []
+    results["Min Total-load (tree)"] = (reported, channel.log.words_sent)
+
+    # 2. Multi-path: the class-based algorithm over rings with the
+    #    best-effort FM operator of [7].
+    algorithm = MultipathFrequentItems(
+        epsilon=EPSILON, total_items_hint=total, operator=FMOperator(8)
+    )
+    scheme = MultipathFrequentItemsScheme(lab.rings, algorithm, support=SUPPORT)
+    channel = Channel(lab.deployment, failure, seed=5)
+    outcome = scheme.run_epoch(0, channel, items_fn)
+    results["Multi-path (rings)"] = (outcome.reported, channel.log.words_sent)
+
+    # 3. Tributary-Delta: tree tributaries feeding a 2-ring delta.
+    graph = TDGraph(lab.rings, tree, initial_modes_by_level(lab.rings, 2))
+    td = TributaryDeltaFrequentItems(
+        graph,
+        epsilon=EPSILON,
+        support=SUPPORT,
+        total_items_hint=total,
+        operator=FMOperator(8),
+    )
+    channel = Channel(lab.deployment, failure, seed=5)
+    outcome = td.run_epoch(0, channel, items_fn)
+    results["Tributary-Delta"] = (outcome.reported, channel.log.words_sent)
+
+    print(
+        f"under Global({LOSS}) loss:\n"
+        f"{'algorithm':24s} {'reported':>8s} {'FN%':>6s} {'FP%':>6s} {'words':>8s}"
+    )
+    for name, (reported, words) in results.items():
+        fn = 100 * false_negative_rate(truth, reported)
+        fp = 100 * false_positive_rate(truth, reported)
+        print(f"{name:24s} {len(reported):>8d} {fn:>5.0f} {fp:>5.0f} {words:>8d}")
+
+    print(
+        "\nThe tree algorithm is cheapest but loses whole subtrees; the\n"
+        "multi-path algorithm pays larger messages for robustness;\n"
+        "Tributary-Delta combines exact tributaries with a robust delta."
+    )
+
+
+if __name__ == "__main__":
+    main()

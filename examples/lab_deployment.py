@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Operating a real-ish deployment: LabData end to end (§7.3 + §7.4.1).
+
+Walks through what a practitioner would do with this library on a concrete
+deployment: inspect the topology, check the aggregation tree's domination
+factor (which controls the frequent-items bounds), run a day of Sum
+queries over the lossy links, and read quantiles off a uniform sample —
+all on the 54-mote LabData reconstruction.
+
+Run:  python examples/lab_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EpochSimulator,
+    LabDataScenario,
+    SumAggregate,
+    SynopsisDiffusionScheme,
+    TagScheme,
+    UniformSampleAggregate,
+    build_bushy_tree,
+    build_tag_tree,
+    domination_factor,
+    quantile_from_sample,
+)
+from repro.network.links import Channel
+from repro.network.failures import NoLoss
+from repro.tree.domination import height_profile
+
+
+def main() -> None:
+    lab = LabDataScenario.build()
+    print(f"LabData: {lab.num_sensors} motes, rings depth {lab.rings.depth}")
+    losses = sorted(lab.base_loss.values())
+    print(
+        f"link loss: min {losses[0]:.2f}, median {losses[len(losses)//2]:.2f}, "
+        f"max {losses[-1]:.2f}\n"
+    )
+
+    # -- topology quality (Section 7.4.1) --------------------------------
+    bushy = build_bushy_tree(lab.rings, seed=1)
+    tag_tree = build_tag_tree(lab.rings, seed=1)
+    print("aggregation trees:")
+    for name, tree in (("bushy (paper §6.1.3)", bushy), ("standard TAG", tag_tree)):
+        print(
+            f"  {name:22s} height={tree.height} "
+            f"h(i)={height_profile(tree)} d={domination_factor(tree):.2f}"
+        )
+
+    # -- a day of Sum queries (Section 7.3) -------------------------------
+    failure = lab.failure_model()  # the lab's own lossy links
+    readings = lab.readings
+    print("\nSum query, 100 epochs over the lab's lossy links:")
+    for name, scheme in (
+        ("TAG", TagScheme(lab.deployment, bushy, SumAggregate())),
+        (
+            "SD",
+            SynopsisDiffusionScheme(lab.deployment, lab.rings, SumAggregate()),
+        ),
+    ):
+        simulator = EpochSimulator(
+            lab.deployment, failure, scheme, seed=9, adapt_interval=0
+        )
+        run = simulator.run(100, readings)
+        print(
+            f"  {name:4s} RMS={run.rms_error():.3f} "
+            f"contributing={run.mean_contributing_fraction(lab.num_sensors):.1%}"
+        )
+
+    # -- quantiles from a uniform sample (Section 5) ----------------------
+    sample_aggregate = UniformSampleAggregate(k=32)
+    scheme = SynopsisDiffusionScheme(lab.deployment, lab.rings, sample_aggregate)
+    channel = Channel(lab.deployment, failure, seed=9)
+    outcome = scheme.run_epoch(0, channel, readings)
+    # Re-run SG/fusion chain to fetch the sample itself for quantiles.
+    sample = None
+    for node in lab.deployment.sensor_ids:
+        local = sample_aggregate.synopsis_local(node, 0, readings(node, 0))
+        sample = local if sample is None else sample.merge(local)
+    print("\nlight-level quantiles from a 32-element uniform sample:")
+    for phi in (0.25, 0.5, 0.75):
+        print(f"  phi={phi:.2f}: {quantile_from_sample(sample, phi):.0f} lux")
+
+
+if __name__ == "__main__":
+    main()

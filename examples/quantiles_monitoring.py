@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Quantile monitoring: medians and tails over a lossy sensor field.
+
+Scenario: 180 motes sample a noisy temperature field with a hot region
+(think: machine room with a failing chiller). The operator wants the
+median and the 90th percentile — aggregates the paper computes via its
+quantile algorithms (Sections 5 and 6.1.4).
+
+The script compares, under 25% message loss:
+
+* the pure-tree precision-gradient GK algorithm (exact-ish when messages
+  survive, loses whole subtrees when they don't);
+* Tributary-Delta quantiles (GK tributaries feeding a weighted-sample
+  delta, the library's §5+§6.3 combination).
+
+Run:  python examples/quantiles_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GlobalLoss,
+    TDGraph,
+    build_bushy_tree,
+    initial_modes_by_level,
+    make_synthetic_scenario,
+)
+from repro.frequent.td_quantiles import TributaryDeltaQuantiles
+from repro.network.links import Channel
+
+LOSS_RATE = 0.25
+EPOCHS = 12
+READINGS_PER_MOTE = 24
+
+
+def temperature(node: int, epoch: int, position) -> list[float]:
+    """A diurnal base plus a hot corner around (3, 3)."""
+    x, y = position
+    base = 20.0 + 3.0 * ((epoch % 24) / 24.0)
+    hot = 18.0 * max(0.0, 1.0 - ((x - 3.0) ** 2 + (y - 3.0) ** 2) / 40.0)
+    return [
+        base + hot + ((node * 31 + i * 17) % 20) / 10.0
+        for i in range(READINGS_PER_MOTE)
+    ]
+
+
+def main() -> None:
+    scenario = make_synthetic_scenario(num_sensors=180, seed=5)
+    tree = build_bushy_tree(scenario.rings, seed=5)
+    deployment = scenario.deployment
+
+    def items_fn(node, epoch):
+        return temperature(node, epoch, deployment.position(node))
+
+    def truth(epoch, phi):
+        values = sorted(
+            v for node in deployment.sensor_ids for v in items_fn(node, epoch)
+        )
+        return values[min(len(values) - 1, int(phi * len(values)))]
+
+    # Two topologies: all-tree (the §6.1.4 algorithm alone) and a converged
+    # delta covering the three innermost rings.
+    all_tree = TDGraph(
+        scenario.rings, tree, initial_modes_by_level(scenario.rings, -1)
+    )
+    mixed = TDGraph(
+        scenario.rings, tree, initial_modes_by_level(scenario.rings, 3)
+    )
+    schemes = {
+        "tree GK (§6.1.4)": TributaryDeltaQuantiles(all_tree, epsilon=0.05),
+        "Tributary-Delta": TributaryDeltaQuantiles(
+            mixed, epsilon=0.05, sample_size=192, representatives=24
+        ),
+    }
+
+    print(
+        f"{deployment.num_sensors} motes, Global({LOSS_RATE}) loss, "
+        f"{EPOCHS} epochs, {READINGS_PER_MOTE} readings/mote\n"
+    )
+    print(f"{'scheme':18s} {'median err':>11s} {'p90 err':>9s} {'missed':>7s}")
+    for name, scheme in schemes.items():
+        median_errors = []
+        p90_errors = []
+        missed = 0
+        for epoch in range(EPOCHS):
+            channel = Channel(deployment, GlobalLoss(LOSS_RATE), seed=11)
+            outcome = scheme.run_epoch(epoch, channel, items_fn)
+            try:
+                median = outcome.quantile(0.5)
+                p90 = outcome.quantile(0.9)
+            except Exception:
+                missed += 1
+                continue
+            median_errors.append(abs(median - truth(epoch, 0.5)))
+            p90_errors.append(abs(p90 - truth(epoch, 0.9)))
+
+        def mean(values):
+            return sum(values) / len(values) if values else float("nan")
+
+        print(
+            f"{name:18s} {mean(median_errors):>10.2f}C {mean(p90_errors):>8.2f}C "
+            f"{missed:>5d}/{EPOCHS}"
+        )
+
+    print(
+        "\nThe tree alone answers precisely when its spine survives but"
+        "\ndrops whole subtrees under loss; the delta keeps every epoch's"
+        "\nanswer close by accounting for readings along many paths."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (offline environments without wheel).
+
+All metadata lives in pyproject.toml; run
+``pip install -e . --no-build-isolation --no-use-pep517`` when the ``wheel``
+package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

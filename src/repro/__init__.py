@@ -1,0 +1,150 @@
+"""Tributary-Delta: efficient and robust aggregation in sensor network streams.
+
+A full reproduction of Manjhi, Nath & Gibbons (SIGMOD 2005). The package
+combines tree-based aggregation (TAG) and multi-path synopsis diffusion (SD)
+into the adaptive Tributary-Delta scheme, plus the paper's frequent-items
+algorithms (Min Total-load, Min Max-load, Hybrid, the multi-path class-based
+algorithm, and their Tributary-Delta combination).
+
+Quickstart::
+
+    from repro import (
+        make_synthetic_scenario, GlobalLoss, CountAggregate,
+        TagScheme, SynopsisDiffusionScheme, TributaryDeltaScheme,
+        TDGraph, TDFinePolicy, initial_modes_by_level,
+        build_bushy_tree, EpochSimulator, ConstantReadings,
+    )
+
+    scenario = make_synthetic_scenario(num_sensors=200)
+    tree = build_bushy_tree(scenario.rings)
+    graph = TDGraph(scenario.rings, tree, initial_modes_by_level(scenario.rings, 0))
+    scheme = TributaryDeltaScheme(
+        scenario.deployment, graph, CountAggregate(), policy=TDFinePolicy()
+    )
+    simulator = EpochSimulator(scenario.deployment, GlobalLoss(0.2), scheme)
+    result = simulator.run(50, ConstantReadings(), warmup=30)
+    print(result.rms_error())
+"""
+
+from repro.aggregates import (
+    Aggregate,
+    AverageAggregate,
+    CompositeAggregate,
+    CountAggregate,
+    DistinctCountAggregate,
+    MomentsAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+    UniformSampleAggregate,
+    quantile_from_sample,
+)
+from repro.core import (
+    DampedPolicy,
+    Mode,
+    PipelinedTagScheme,
+    SynopsisDiffusionScheme,
+    TagScheme,
+    TDCoarsePolicy,
+    TDFinePolicy,
+    TDGraph,
+    TributaryDeltaScheme,
+    initial_modes_by_level,
+)
+from repro.datasets import (
+    ConstantReadings,
+    DiurnalLightReadings,
+    DisjointUniformItemStream,
+    LabDataScenario,
+    LightItemStream,
+    UniformReadings,
+    ZipfItemStream,
+    make_synthetic_scenario,
+)
+from repro.frequent import TributaryDeltaQuantiles
+from repro.query import ContinuousQuery, parse_query
+from repro.multipath import FMSketch, KMVSketch
+from repro.network import (
+    Channel,
+    CrashWindow,
+    Deployment,
+    DiscRadio,
+    EpochSimulator,
+    FailureSchedule,
+    GilbertElliottLoss,
+    GlobalLoss,
+    LatencyModel,
+    LinkQualityMonitor,
+    NodeCrashLoss,
+    NoLoss,
+    RegionalLoss,
+    RingsTopology,
+    TreeMaintainer,
+)
+from repro.tree import (
+    Tree,
+    build_bushy_tree,
+    build_tag_tree,
+    domination_factor,
+    tree_from_height_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "AverageAggregate",
+    "CompositeAggregate",
+    "CountAggregate",
+    "DistinctCountAggregate",
+    "MomentsAggregate",
+    "MaxAggregate",
+    "MinAggregate",
+    "SumAggregate",
+    "UniformSampleAggregate",
+    "quantile_from_sample",
+    "TributaryDeltaQuantiles",
+    "ContinuousQuery",
+    "parse_query",
+    "DampedPolicy",
+    "Mode",
+    "PipelinedTagScheme",
+    "SynopsisDiffusionScheme",
+    "TagScheme",
+    "TDCoarsePolicy",
+    "TDFinePolicy",
+    "TDGraph",
+    "TributaryDeltaScheme",
+    "initial_modes_by_level",
+    "ConstantReadings",
+    "DiurnalLightReadings",
+    "DisjointUniformItemStream",
+    "LabDataScenario",
+    "LightItemStream",
+    "UniformReadings",
+    "ZipfItemStream",
+    "make_synthetic_scenario",
+    "FMSketch",
+    "KMVSketch",
+    "Channel",
+    "CrashWindow",
+    "Deployment",
+    "DiscRadio",
+    "EpochSimulator",
+    "FailureSchedule",
+    "GilbertElliottLoss",
+    "GlobalLoss",
+    "LatencyModel",
+    "LinkQualityMonitor",
+    "NodeCrashLoss",
+    "NoLoss",
+    "RegionalLoss",
+    "RingsTopology",
+    "TreeMaintainer",
+    "Tree",
+    "build_bushy_tree",
+    "build_tag_tree",
+    "domination_factor",
+    "tree_from_height_profile",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Aggregates computable in the Tributary-Delta framework (Section 5).
+
+Each aggregate supplies a tree algorithm, a multi-path (synopsis) algorithm,
+and the conversion function that turns a tree partial result into a synopsis
+— the three ingredients the paper requires. Provided aggregates: Count, Sum,
+Min, Max, Average, and Uniform sample (which in turn powers quantiles and
+statistical moments, as the paper notes). CompositeAggregate bundles
+several of them into one shared message sweep (multi-query support).
+"""
+
+from repro.aggregates.base import Aggregate
+from repro.aggregates.composite import CompositeAggregate
+from repro.aggregates.distinct import DistinctCountAggregate
+from repro.aggregates.moments import MomentsAggregate
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.aggregates.minmax import MaxAggregate, MinAggregate
+from repro.aggregates.average import AverageAggregate
+from repro.aggregates.sample import UniformSampleAggregate, quantile_from_sample
+
+__all__ = [
+    "Aggregate",
+    "CompositeAggregate",
+    "DistinctCountAggregate",
+    "MomentsAggregate",
+    "CountAggregate",
+    "SumAggregate",
+    "MinAggregate",
+    "MaxAggregate",
+    "AverageAggregate",
+    "UniformSampleAggregate",
+    "quantile_from_sample",
+]

@@ -1,0 +1,163 @@
+"""The aggregate protocol shared by every scheme.
+
+An :class:`Aggregate` bundles the three algorithm pieces Section 5 requires
+for Tributary-Delta computation:
+
+1. a **tree algorithm** — local partial, exact merge, evaluation;
+2. a **multi-path algorithm** — SG / SF / SE over ODI synopses;
+3. a **conversion function** — tree partial result -> synopsis, "valid over
+   the inputs contributing to the tree result", so an M node can fuse inputs
+   without caring whether they came from T or M vertices.
+
+The type parameters: ``P`` is the tree partial-result type, ``S`` the
+synopsis type. Implementations must keep SG and the conversion deterministic
+in their ``(node, epoch)`` keys — that is what makes re-broadcast duplicates
+harmless.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, List, Optional, Sequence, TypeVar
+
+P = TypeVar("P")
+S = TypeVar("S")
+
+
+class Aggregate(ABC, Generic[P, S]):
+    """Tree + multi-path + conversion implementations of one aggregate."""
+
+    #: Human-readable aggregate name ("count", "sum", ...).
+    name: str = "aggregate"
+
+    # -- tree algorithm ------------------------------------------------------
+
+    @abstractmethod
+    def tree_local(self, node: int, epoch: int, reading: float) -> P:
+        """The partial result for a single node's local reading."""
+
+    @abstractmethod
+    def tree_merge(self, a: P, b: P) -> P:
+        """Exactly merge two disjoint partial results."""
+
+    @abstractmethod
+    def tree_eval(self, partial: P) -> float:
+        """Translate a tree partial result into an answer."""
+
+    @abstractmethod
+    def tree_words(self, partial: P) -> int:
+        """Transmission size of a tree partial, in words."""
+
+    # -- multi-path algorithm ------------------------------------------------
+
+    @abstractmethod
+    def synopsis_local(self, node: int, epoch: int, reading: float) -> S:
+        """SG: the synopsis of a single node's local reading."""
+
+    @abstractmethod
+    def synopsis_fuse(self, a: S, b: S) -> S:
+        """SF: fuse two synopses (must be ODI)."""
+
+    @abstractmethod
+    def synopsis_eval(self, synopsis: S) -> float:
+        """SE: translate a synopsis into an answer."""
+
+    @abstractmethod
+    def synopsis_words(self, synopsis: S) -> int:
+        """Transmission size of a synopsis, in words."""
+
+    # -- conversion ------------------------------------------------------------
+
+    @abstractmethod
+    def convert(self, partial: P, sender: int, epoch: int) -> S:
+        """Turn a tree partial into an equivalent synopsis.
+
+        ``sender`` is the T vertex whose partial is being converted; keying
+        the synopsis by (sender, epoch) keeps the conversion deterministic —
+        a tree partial travels one edge, so it is converted at most once per
+        epoch, but determinism costs nothing and simplifies reasoning.
+        """
+
+    # -- mixed base-station evaluation ----------------------------------------
+
+    def mixed_eval(self, partials: Sequence[P], fused: Optional[S]) -> float:
+        """Evaluate tree partials received directly at the base station
+        together with the fused delta synopsis.
+
+        Tree partials that reach the base station are exact and disjoint
+        from everything the delta accounted for, so they should NOT be
+        degraded through the conversion function — this is what gives
+        Tributary-Delta its advantage at low loss rates ("some tree nodes
+        can directly provide exact aggregates to the base station",
+        Section 7.3). The default implementation falls back to converting,
+        which subclasses override with an exact combination.
+        """
+        if fused is None:
+            if not partials:
+                return 0.0
+            merged = partials[0]
+            for partial in partials[1:]:
+                merged = self.tree_merge(merged, partial)
+            return self.tree_eval(merged)
+        synopsis = fused
+        for index, partial in enumerate(partials):
+            converted = self.convert(partial, -(index + 1), 0)
+            synopsis = self.synopsis_fuse(synopsis, converted)
+        return self.synopsis_eval(synopsis)
+
+    # -- ground truth ------------------------------------------------------------
+
+    @abstractmethod
+    def exact(self, readings: Sequence[float]) -> float:
+        """The loss-free answer over all sensor readings (for metrics)."""
+
+    # -- neutral elements --------------------------------------------------------
+
+    def tree_empty(self) -> P:
+        """A partial result contributing nothing (the merge identity).
+
+        Used by predicate-filtered queries: a node whose reading fails the
+        WHERE clause still relays traffic but contributes the neutral
+        element. Aggregates without a natural identity may leave this
+        unimplemented; :class:`~repro.query.FilteredAggregate` requires it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no neutral tree partial"
+        )
+
+    def synopsis_empty(self) -> S:
+        """A synopsis contributing nothing (the fusion identity)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no neutral synopsis"
+        )
+
+    # -- capabilities ------------------------------------------------------------
+
+    def synopsis_counts_contributors(self) -> bool:
+        """Whether SE of the main synopsis already estimates the number of
+        contributing sensors (true for Count), letting schemes skip the
+        piggybacked contributing-count sketch."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def merge_all(aggregate: Aggregate[P, S], partials: Sequence[P]) -> P:
+    """Left-fold ``tree_merge`` over a non-empty list of partials."""
+    if not partials:
+        raise ValueError("merge_all requires at least one partial")
+    result = partials[0]
+    for partial in partials[1:]:
+        result = aggregate.tree_merge(result, partial)
+    return result
+
+
+def fuse_all(aggregate: Aggregate[P, S], synopses: Sequence[S]) -> S:
+    """Left-fold ``synopsis_fuse`` over a non-empty list of synopses."""
+    if not synopses:
+        raise ValueError("fuse_all requires at least one synopsis")
+    result = synopses[0]
+    for synopsis in synopses[1:]:
+        result = aggregate.synopsis_fuse(result, synopsis)
+    return result

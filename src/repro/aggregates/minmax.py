@@ -1,0 +1,109 @@
+"""Min and Max: aggregates that are natively duplicate-insensitive.
+
+min/max of a multiset does not change if elements are repeated, so the tree
+partial and the synopsis are the same scalar and the conversion is the
+identity. These aggregates incur zero approximation error in either scheme —
+only communication error.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aggregates.base import Aggregate
+
+
+class MinAggregate(Aggregate[float, float]):
+    """Minimum reading across contributing sensors."""
+
+    name = "min"
+
+    def tree_local(self, node: int, epoch: int, reading: float) -> float:
+        return float(reading)
+
+    def tree_merge(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def tree_eval(self, partial: float) -> float:
+        return partial
+
+    def tree_words(self, partial: float) -> int:
+        return 1
+
+    def synopsis_local(self, node: int, epoch: int, reading: float) -> float:
+        return float(reading)
+
+    def synopsis_fuse(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def synopsis_eval(self, synopsis: float) -> float:
+        return synopsis
+
+    def synopsis_words(self, synopsis: float) -> int:
+        return 1
+
+    def tree_empty(self) -> float:
+        return float("inf")
+
+    def synopsis_empty(self) -> float:
+        return float("inf")
+
+    def convert(self, partial: float, sender: int, epoch: int) -> float:
+        return partial
+
+    def mixed_eval(self, partials: Sequence[float], fused: float | None) -> float:
+        values = list(partials)
+        if fused is not None:
+            values.append(fused)
+        return min(values) if values else 0.0
+
+    def exact(self, readings: Sequence[float]) -> float:
+        return float(min(readings))
+
+
+class MaxAggregate(Aggregate[float, float]):
+    """Maximum reading across contributing sensors."""
+
+    name = "max"
+
+    def tree_local(self, node: int, epoch: int, reading: float) -> float:
+        return float(reading)
+
+    def tree_merge(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def tree_eval(self, partial: float) -> float:
+        return partial
+
+    def tree_words(self, partial: float) -> int:
+        return 1
+
+    def synopsis_local(self, node: int, epoch: int, reading: float) -> float:
+        return float(reading)
+
+    def synopsis_fuse(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def synopsis_eval(self, synopsis: float) -> float:
+        return synopsis
+
+    def synopsis_words(self, synopsis: float) -> int:
+        return 1
+
+    def tree_empty(self) -> float:
+        return float("-inf")
+
+    def synopsis_empty(self) -> float:
+        return float("-inf")
+
+    def convert(self, partial: float, sender: int, epoch: int) -> float:
+        return partial
+
+    def mixed_eval(self, partials: Sequence[float], fused: float | None) -> float:
+        values = list(partials)
+        if fused is not None:
+            values.append(fused)
+        return max(values) if values else 0.0
+
+    def exact(self, readings: Sequence[float]) -> float:
+        return float(max(readings))

@@ -1,0 +1,95 @@
+"""Sum: the aggregate of the paper's Section 7.3 experiments.
+
+Tree side: integer subtree sums (readings are rounded to integers — sensor
+readings in TinyDB are integral ADC values). Multi-path side: the
+Considine et al. [5] construction — a node with value v inserts v distinct
+virtual items into an FM sketch, so the sketch's distinct count estimates the
+network-wide sum. Conversion inserts the subtree's summed value the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aggregates.base import Aggregate
+from repro.errors import ConfigurationError
+from repro.multipath.fm import FMSketch
+
+
+class SumAggregate(Aggregate[int, FMSketch]):
+    """Sum of non-negative integer sensor readings."""
+
+    name = "sum"
+
+    def __init__(self, num_bitmaps: int = 40, bits: int = 32) -> None:
+        self._num_bitmaps = num_bitmaps
+        self._bits = bits
+
+    def _empty_sketch(self) -> FMSketch:
+        return FMSketch(self._num_bitmaps, self._bits)
+
+    @staticmethod
+    def _as_int(reading: float) -> int:
+        value = int(round(reading))
+        if value < 0:
+            raise ConfigurationError(
+                "Sum synopses require non-negative readings (got %r)" % reading
+            )
+        return value
+
+    # -- tree ------------------------------------------------------------
+
+    def tree_local(self, node: int, epoch: int, reading: float) -> int:
+        return self._as_int(reading)
+
+    def tree_merge(self, a: int, b: int) -> int:
+        return a + b
+
+    def tree_eval(self, partial: int) -> float:
+        return float(partial)
+
+    def tree_words(self, partial: int) -> int:
+        return 1
+
+    # -- multi-path ----------------------------------------------------------
+
+    def synopsis_local(self, node: int, epoch: int, reading: float) -> FMSketch:
+        sketch = self._empty_sketch()
+        sketch.insert_count(self._as_int(reading), "sum", node, epoch)
+        return sketch
+
+    def synopsis_fuse(self, a: FMSketch, b: FMSketch) -> FMSketch:
+        return a.fuse(b)
+
+    def synopsis_eval(self, synopsis: FMSketch) -> float:
+        return synopsis.estimate()
+
+    def synopsis_words(self, synopsis: FMSketch) -> int:
+        return synopsis.words()
+
+    # -- neutral elements ----------------------------------------------------
+
+    def tree_empty(self) -> int:
+        return 0
+
+    def synopsis_empty(self) -> FMSketch:
+        return self._empty_sketch()
+
+    # -- conversion --------------------------------------------------------------
+
+    def convert(self, partial: int, sender: int, epoch: int) -> FMSketch:
+        sketch = self._empty_sketch()
+        sketch.insert_count(partial, "sum-conv", sender, epoch)
+        return sketch
+
+    # -- mixed evaluation --------------------------------------------------------
+
+    def mixed_eval(self, partials: Sequence[int], fused: FMSketch | None) -> float:
+        exact_part = float(sum(partials))
+        sketch_part = fused.estimate() if fused is not None else 0.0
+        return exact_part + sketch_part
+
+    # -- truth ---------------------------------------------------------------------
+
+    def exact(self, readings: Sequence[float]) -> float:
+        return float(sum(self._as_int(reading) for reading in readings))

@@ -1,0 +1,200 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig2 [--full] [--seed N]
+    python -m repro.cli run all --out results/
+
+Each experiment prints (and optionally writes) the same rows/series the
+paper reports; ``--full`` switches from the quick configurations to the
+paper-scale ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments.fig_count_rms import run_figure2, run_figure5a
+from repro.experiments.fig_domination import run_figure7a, run_figure7b, run_table2
+from repro.experiments.fig_fi_load import run_figure8
+from repro.experiments.fig_fi_loss import run_figure9
+from repro.experiments.fig_latency import run_latency
+from repro.experiments.fig_lifetime import run_lifetime
+from repro.experiments.fig_regional import run_figure5b
+from repro.experiments.fig_timeline import run_figure6
+from repro.experiments.fig_topology import run_figure4
+from repro.experiments.labdata_rms import run_labdata_rms
+from repro.experiments.sweeps import (
+    sweep_adapt_interval,
+    sweep_epsilon_split,
+    sweep_expansion_heuristic,
+    sweep_threshold,
+)
+from repro.experiments.table1 import run_table1
+
+#: name -> (description, runner returning a renderable result)
+EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
+    "table1": (
+        "measured energy/error/latency comparison (Table 1)",
+        lambda quick, seed: run_table1(quick=quick, seed=seed),
+    ),
+    "fig2": (
+        "Count RMS vs Global(p) loss (Figure 2)",
+        lambda quick, seed: run_figure2(quick=quick, seed=seed),
+    ),
+    "table2": (
+        "2-dominating tree example (Table 2)",
+        lambda quick, seed: run_table2(),
+    ),
+    "fig4": (
+        "TD delta region under Regional(0.3/0.8, 0.05) (Figure 4)",
+        lambda quick, seed: _run_fig4(quick, seed),
+    ),
+    "fig5a": (
+        "Sum RMS vs Global(p), all four schemes (Figure 5a)",
+        lambda quick, seed: run_figure5a(quick=quick, seed=seed),
+    ),
+    "fig5b": (
+        "Sum RMS vs Regional(p, 0.05) (Figure 5b)",
+        lambda quick, seed: run_figure5b(quick=quick, seed=seed),
+    ),
+    "fig6": (
+        "relative-error timeline across failure transitions (Figure 6)",
+        lambda quick, seed: run_figure6(quick=quick, seed=seed),
+    ),
+    "labdata": (
+        "Sum RMS on the LabData scenario (Section 7.3)",
+        lambda quick, seed: run_labdata_rms(quick=quick, seed=seed),
+    ),
+    "fig7a": (
+        "domination factor vs density (Figure 7a)",
+        lambda quick, seed: run_figure7a(quick=quick, seed=seed),
+    ),
+    "fig7b": (
+        "domination factor vs deployment width (Figure 7b)",
+        lambda quick, seed: run_figure7b(quick=quick, seed=seed),
+    ),
+    "fig8": (
+        "frequent-items per-node loads (Figure 8)",
+        lambda quick, seed: run_figure8(quick=quick, seed=seed),
+    ),
+    "fig9a": (
+        "frequent-items false negatives vs loss (Figure 9a)",
+        lambda quick, seed: run_figure9(retransmissions=0, quick=quick, seed=seed),
+    ),
+    "fig9b": (
+        "Figure 9a with two tree retransmissions (Figure 9b)",
+        lambda quick, seed: run_figure9(retransmissions=2, quick=quick, seed=seed),
+    ),
+    "latency": (
+        "Table 1 latency column + footnote 6, quantified",
+        lambda quick, seed: run_latency(quick=quick, seed=seed),
+    ),
+    "lifetime": (
+        "battery lifetimes per scheme (the paper's energy premise)",
+        lambda quick, seed: run_lifetime(quick=quick, seed=seed),
+    ),
+    "sweep-threshold": (
+        "contributing-threshold sweep (Section 4.1 dial)",
+        lambda quick, seed: sweep_threshold(quick=quick, seed=seed),
+    ),
+    "sweep-interval": (
+        "adaptation-cadence sweep (Figure 6 convergence knob)",
+        lambda quick, seed: sweep_adapt_interval(quick=quick, seed=seed),
+    ),
+    "sweep-heuristic": (
+        "expansion heuristics: top-1 / max-2 / top-k (Section 4.2)",
+        lambda quick, seed: sweep_expansion_heuristic(quick=quick, seed=seed),
+    ),
+    "sweep-split": (
+        "frequent-items error split eps_a vs eps_b (Section 6.3)",
+        lambda quick, seed: sweep_epsilon_split(quick=quick, seed=seed),
+    ),
+}
+
+
+class _Fig4Wrapper:
+    """Adapter giving the two Figure 4 panels a single render()."""
+
+    def __init__(self, mild, severe) -> None:
+        self.mild = mild
+        self.severe = severe
+
+    def render(self) -> str:
+        parts = []
+        for label, result in (
+            ("Regional(0.3,0.05)", self.mild),
+            ("Regional(0.8,0.05)", self.severe),
+        ):
+            parts.append(
+                f"{label}: delta={len(result.delta)} "
+                f"inside={result.delta_inside}/{result.nodes_inside} "
+                f"concentration={result.concentration:.2f}\n"
+                + result.render_map()
+            )
+        return "\n\n".join(parts)
+
+
+def _run_fig4(quick: bool, seed: int) -> _Fig4Wrapper:
+    mild = run_figure4(inside_rate=0.3, quick=quick, seed=seed)
+    severe = run_figure4(inside_rate=0.8, quick=quick, seed=seed)
+    return _Fig4Wrapper(mild, severe)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tributary-Delta experiment runner"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment name or 'all'")
+    run_parser.add_argument(
+        "--full", action="store_true", help="paper-scale configuration"
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="directory for .txt outputs"
+    )
+    return parser
+
+
+def _run_one(name: str, quick: bool, seed: int, out: pathlib.Path | None) -> None:
+    description, runner = EXPERIMENTS[name]
+    started = time.time()
+    result = runner(quick, seed)
+    text = result.render()
+    elapsed = time.time() - started
+    print(f"== {name}: {description} [{elapsed:.1f}s]")
+    print(text)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(text + "\n")
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+    quick = not args.full
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            _run_one(name, quick, args.seed, args.out)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    _run_one(args.experiment, quick, args.seed, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

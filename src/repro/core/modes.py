@@ -1,0 +1,27 @@
+"""Vertex labels for the Tributary-Delta aggregation graph."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.Enum):
+    """Whether a vertex runs the tree or the multi-path algorithm.
+
+    The paper labels each vertex T (tree) or M (multi-path); an edge carries
+    the label of its source vertex.
+    """
+
+    TREE = "T"
+    MULTIPATH = "M"
+
+    @property
+    def is_tree(self) -> bool:
+        return self is Mode.TREE
+
+    @property
+    def is_multipath(self) -> bool:
+        return self is Mode.MULTIPATH
+
+    def __str__(self) -> str:
+        return self.value

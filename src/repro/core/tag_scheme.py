@@ -1,0 +1,132 @@
+"""TAG: tree-based in-network aggregation (the paper's tree baseline).
+
+Each epoch proceeds level-by-level from the deepest tree level toward the
+root: a node merges its children's partial results into its own local
+partial and unicasts the merged partial to its parent. A lost message drops
+the entire subtree from the answer — the communication-error behaviour that
+motivates the whole paper.
+
+``attempts`` models TinyDB-style retransmissions (Figure 9b lets tree nodes
+retransmit twice, i.e. ``attempts=3``); the default, like the original
+TinyDB implementation the paper follows, is no retransmission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.aggregates.base import Aggregate
+from repro.core.payloads import TreePayload
+from repro.errors import ConfigurationError
+from repro.network.links import Channel
+from repro.network.messages import MessageAccountant
+from repro.network.placement import BASE_STATION, Deployment, NodeId
+from repro.network.simulator import EpochOutcome, ReadingFn
+from repro.tree.structure import Tree
+
+
+class TagScheme:
+    """Tree aggregation over a spanning tree."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        tree: Tree,
+        aggregate: Aggregate,
+        attempts: int = 1,
+        accountant: Optional[MessageAccountant] = None,
+        name: str = "TAG",
+    ) -> None:
+        if attempts < 1:
+            raise ConfigurationError("attempts must be at least 1")
+        self._deployment = deployment
+        self._tree = tree
+        self._aggregate = aggregate
+        self._attempts = attempts
+        self._accountant = accountant or MessageAccountant()
+        self.name = name
+        levels = tree.levels()
+        # Deepest-first transmission order; ties broken by node id for
+        # determinism. The base station (level 0) only listens.
+        self._order: List[NodeId] = sorted(
+            (node for node in levels if node != BASE_STATION),
+            key=lambda node: (-levels[node], node),
+        )
+        self._depth = max(levels.values(), default=0)
+
+    @property
+    def tree(self) -> Tree:
+        return self._tree
+
+    def replace_tree(self, tree: Tree) -> None:
+        """Adopt a maintained tree (Section 2's parent switching [24]).
+
+        TAG aggregation is stateless between epochs, so swapping the
+        routing tree between waves is safe; the next epoch simply follows
+        the new parents. The transmission order and depth are recomputed.
+        """
+        levels = tree.levels()
+        self._tree = tree
+        self._order = sorted(
+            (node for node in levels if node != BASE_STATION),
+            key=lambda node: (-levels[node], node),
+        )
+        self._depth = max(levels.values(), default=0)
+
+    @property
+    def latency_epochs(self) -> int:
+        """Latency proxy: number of level-by-level forwarding steps."""
+        return self._depth
+
+    def run_epoch(
+        self, epoch: int, channel: Channel, readings: ReadingFn
+    ) -> EpochOutcome:
+        aggregate = self._aggregate
+        inbox: Dict[NodeId, List[TreePayload]] = {}
+        for node in self._order:
+            partial = aggregate.tree_local(node, epoch, readings(node, epoch))
+            count = 1
+            contributors = 1 << node
+            for received in inbox.pop(node, ()):
+                partial = aggregate.tree_merge(partial, received.partial)
+                count += received.count
+                contributors |= received.contributors
+            payload = TreePayload(partial, count, contributors, sender=node)
+            words = aggregate.tree_words(partial) + payload.extra_words()
+            spec = self._accountant.spec_for_words(words)
+            parent = self._tree.parent(node)
+            heard = channel.transmit(
+                node, [parent], epoch, words, spec.messages, self._attempts
+            )
+            if heard:
+                inbox.setdefault(parent, []).append(payload)
+
+        received = inbox.pop(BASE_STATION, [])
+        if not received:
+            return EpochOutcome(
+                estimate=0.0,
+                contributing=0,
+                contributing_estimate=0.0,
+                extra={"latency_epochs": self._depth},
+            )
+        partial = received[0].partial
+        count = received[0].count
+        contributors = received[0].contributors
+        for extra_payload in received[1:]:
+            partial = aggregate.tree_merge(partial, extra_payload.partial)
+            count += extra_payload.count
+            contributors |= extra_payload.contributors
+        return EpochOutcome(
+            estimate=aggregate.tree_eval(partial),
+            contributing=contributors.bit_count(),
+            contributing_estimate=float(count),
+            extra={"latency_epochs": self._depth},
+        )
+
+    def exact_answer(self, epoch: int, readings: ReadingFn) -> float:
+        values = [readings(node, epoch) for node in self._deployment.sensor_ids]
+        return self._aggregate.exact(values)
+
+    def adapt(self, epoch: int, outcome: EpochOutcome) -> None:
+        """TAG does not adapt its aggregation mode (parent re-selection for
+        link quality is a topology-maintenance concern handled offline)."""

@@ -1,0 +1,315 @@
+"""Tributary-Delta: tree tributaries feeding a multi-path delta (Section 3).
+
+One epoch runs both algorithms simultaneously in one ring-level sweep (tree
+links are a subset of ring links, so every sender's receiver is exactly one
+ring closer to the base station and the shared epoch schedule works
+unmodified — the synchronisation design of Section 4.1):
+
+* a **T node** merges its T children's partials and unicasts to its tree
+  parent;
+* an **M node** fuses its own SG synopsis with received synopses, *converts*
+  any tree partials received from T children (Section 5's conversion
+  function) and fuses those too, then broadcasts once to all upstream ring
+  neighbours — of which the M ones incorporate it (T neighbours ignore M
+  broadcasts, preserving edge correctness).
+
+Messages carry the contributing-count piggyback of Section 4.2, and
+switchable M nodes attach their subtree's "nodes not contributing" count;
+the running max/min of these reach the base station and drive the TD
+adaptation strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.aggregates.base import Aggregate
+from repro.core.adaptation import AdaptationAction, AdaptationPolicy
+from repro.core.graph import TDGraph
+from repro.core.payloads import MultipathPayload, TreePayload, combine_stats
+from repro.errors import ConfigurationError
+from repro.multipath.fm import FMSketch
+from repro.network.links import Channel
+from repro.network.messages import MessageAccountant
+from repro.network.placement import BASE_STATION, Deployment, NodeId
+from repro.network.simulator import EpochOutcome, ReadingFn
+
+
+class TributaryDeltaScheme:
+    """The combined scheme with runtime delta adaptation."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        graph: TDGraph,
+        aggregate: Aggregate,
+        policy: Optional[AdaptationPolicy] = None,
+        tree_attempts: int = 1,
+        multipath_attempts: int = 1,
+        count_bitmaps: int = 40,
+        accountant: Optional[MessageAccountant] = None,
+        name: str = "TD",
+    ) -> None:
+        if tree_attempts < 1 or multipath_attempts < 1:
+            raise ConfigurationError("attempts must be at least 1")
+        self._deployment = deployment
+        self._graph = graph
+        self._aggregate = aggregate
+        self._policy = policy
+        self._tree_attempts = tree_attempts
+        self._multipath_attempts = multipath_attempts
+        self._count_bitmaps = count_bitmaps
+        self._accountant = accountant or MessageAccountant()
+        self.name = name
+        #: (epoch, action kind, number of nodes switched) per adaptation call.
+        self.adaptation_log: List[Tuple[int, str, int]] = []
+        #: Cumulative base-station control messages spent on adaptation.
+        self.control_messages = 0
+
+    @property
+    def graph(self) -> TDGraph:
+        return self._graph
+
+    @property
+    def latency_epochs(self) -> int:
+        """Latency proxy: the shared ring depth (tree links follow rings)."""
+        return self._graph.rings.depth
+
+    # -- helpers ---------------------------------------------------------
+
+    def _count_convert(self, count: int, sender: NodeId, epoch: int) -> FMSketch:
+        """Convert an exact tree contributing-count into an FM sketch."""
+        sketch = FMSketch(self._count_bitmaps)
+        sketch.insert_count(count, "contrib-conv", sender, epoch)
+        return sketch
+
+    def _contrib_sketch(self, node: NodeId, epoch: int) -> Optional[FMSketch]:
+        if self._aggregate.synopsis_counts_contributors():
+            return None
+        sketch = FMSketch(self._count_bitmaps)
+        sketch.insert("contrib", node, epoch)
+        return sketch
+
+    def _tributary_missing(
+        self, node: NodeId, tributary_contributing: int
+    ) -> Optional[int]:
+        """Nodes missing from ``node``'s tributaries this epoch, or None.
+
+        An M node at the tributary/delta boundary reports how many of its
+        tree descendants did not contribute: the static total of its T
+        children's subtree sizes minus the counts actually received. Each T
+        child is the root of a unique subtree (path correctness), so there
+        is no double-counting — the paper's footnote 3 argument.
+        Switchable M nodes always report (their subtree missing equals their
+        tributary missing), so the shrink rule can find the quiet tips;
+        interior delta nodes without tributaries report nothing.
+        """
+        graph = self._graph
+        expected = sum(
+            graph.subtree_size(child)
+            for child in graph.tree_children(node)
+            if graph.is_tree(child)
+        )
+        if expected == 0:
+            if graph.is_switchable_m(node):
+                return 0
+            return None
+        return max(0, expected - tributary_contributing)
+
+    # -- one epoch ---------------------------------------------------------
+
+    def run_epoch(
+        self, epoch: int, channel: Channel, readings: ReadingFn
+    ) -> EpochOutcome:
+        graph = self._graph
+        rings = graph.rings
+        inbox_tree: Dict[NodeId, List[TreePayload]] = {}
+        inbox_syn: Dict[NodeId, List[MultipathPayload]] = {}
+
+        for level in rings.levels_descending():
+            for node in rings.nodes_at_level(level):
+                if graph.is_tree(node):
+                    self._run_tree_node(
+                        node, epoch, channel, readings, inbox_tree
+                    )
+                else:
+                    self._run_multipath_node(
+                        node, epoch, channel, readings, inbox_tree, inbox_syn
+                    )
+        return self._evaluate_base_station(epoch, inbox_tree, inbox_syn)
+
+    def _run_tree_node(
+        self,
+        node: NodeId,
+        epoch: int,
+        channel: Channel,
+        readings: ReadingFn,
+        inbox_tree: Dict[NodeId, List[TreePayload]],
+    ) -> None:
+        aggregate = self._aggregate
+        partial = aggregate.tree_local(node, epoch, readings(node, epoch))
+        count = 1
+        contributors = 1 << node
+        for received in inbox_tree.pop(node, ()):
+            partial = aggregate.tree_merge(partial, received.partial)
+            count += received.count
+            contributors |= received.contributors
+        payload = TreePayload(partial, count, contributors, sender=node)
+        words = aggregate.tree_words(partial) + payload.extra_words()
+        spec = self._accountant.spec_for_words(words)
+        parent = self._graph.tree.parent(node)
+        heard = channel.transmit(
+            node, [parent], epoch, words, spec.messages, self._tree_attempts
+        )
+        if heard:
+            inbox_tree.setdefault(parent, []).append(payload)
+
+    def _run_multipath_node(
+        self,
+        node: NodeId,
+        epoch: int,
+        channel: Channel,
+        readings: ReadingFn,
+        inbox_tree: Dict[NodeId, List[TreePayload]],
+        inbox_syn: Dict[NodeId, List[MultipathPayload]],
+    ) -> None:
+        aggregate = self._aggregate
+        graph = self._graph
+        synopsis = aggregate.synopsis_local(node, epoch, readings(node, epoch))
+        count_sketch = self._contrib_sketch(node, epoch)
+        contributors = 1 << node
+        subtree_contributing = 1  # the node's own reading
+        missing_stats: Optional[Dict[NodeId, int]] = None
+
+        for received in inbox_tree.pop(node, ()):
+            converted = aggregate.convert(received.partial, received.sender, epoch)
+            synopsis = aggregate.synopsis_fuse(synopsis, converted)
+            if count_sketch is not None:
+                count_sketch = count_sketch.fuse(
+                    self._count_convert(received.count, received.sender, epoch)
+                )
+            contributors |= received.contributors
+            subtree_contributing += received.count
+
+        for received in inbox_syn.pop(node, ()):
+            synopsis = aggregate.synopsis_fuse(synopsis, received.synopsis)
+            if count_sketch is not None and received.count_sketch is not None:
+                count_sketch = count_sketch.fuse(received.count_sketch)
+            contributors |= received.contributors
+            missing_stats = combine_stats(missing_stats, received.missing_stats)
+
+        missing = self._tributary_missing(node, subtree_contributing - 1)
+        if missing is not None:
+            missing_stats = combine_stats(missing_stats, {node: missing})
+
+        payload = MultipathPayload(
+            synopsis, count_sketch, contributors, missing_stats
+        )
+        words = aggregate.synopsis_words(synopsis) + payload.extra_words()
+        spec = self._accountant.spec_for_words(words)
+        receivers = graph.rings.upstream_neighbors(node)
+        heard = channel.transmit(
+            node, receivers, epoch, words, spec.messages, self._multipath_attempts
+        )
+        for receiver in heard:
+            # T receivers ignore M broadcasts (edge correctness, Property 1).
+            if graph.is_multipath(receiver):
+                inbox_syn.setdefault(receiver, []).append(payload)
+
+    def _evaluate_base_station(
+        self,
+        epoch: int,
+        inbox_tree: Dict[NodeId, List[TreePayload]],
+        inbox_syn: Dict[NodeId, List[MultipathPayload]],
+    ) -> EpochOutcome:
+        aggregate = self._aggregate
+        graph = self._graph
+        extra: Dict[str, object] = dict(graph.delta_summary())
+        extra["latency_epochs"] = self.latency_epochs
+
+        tree_payloads = inbox_tree.pop(BASE_STATION, [])
+        if graph.is_tree(BASE_STATION):
+            # All-tree configuration: behave exactly like TAG's root.
+            if not tree_payloads:
+                return EpochOutcome(0.0, 0, 0.0, extra)
+            partial = tree_payloads[0].partial
+            count = tree_payloads[0].count
+            contributors = tree_payloads[0].contributors
+            for payload in tree_payloads[1:]:
+                partial = aggregate.tree_merge(partial, payload.partial)
+                count += payload.count
+                contributors |= payload.contributors
+            return EpochOutcome(
+                estimate=aggregate.tree_eval(partial),
+                contributing=contributors.bit_count(),
+                contributing_estimate=float(count),
+                extra=extra,
+            )
+
+        # M-mode base station: keep direct tree partials exact (they are
+        # disjoint from everything the delta saw) and fuse only the delta's
+        # synopses; the aggregate's mixed evaluation combines both.
+        synopsis = None
+        count_sketch: Optional[FMSketch] = None
+        contributors = 0
+        exact_count = 0
+        subtree_contributing = 0  # the base station has no reading of its own
+        missing_stats: Optional[Dict[NodeId, int]] = None
+        for payload in tree_payloads:
+            contributors |= payload.contributors
+            exact_count += payload.count
+            subtree_contributing += payload.count
+        for payload in inbox_syn.pop(BASE_STATION, []):
+            synopsis = (
+                payload.synopsis
+                if synopsis is None
+                else aggregate.synopsis_fuse(synopsis, payload.synopsis)
+            )
+            if payload.count_sketch is not None:
+                count_sketch = (
+                    payload.count_sketch
+                    if count_sketch is None
+                    else count_sketch.fuse(payload.count_sketch)
+                )
+            contributors |= payload.contributors
+            missing_stats = combine_stats(missing_stats, payload.missing_stats)
+
+        missing = self._tributary_missing(BASE_STATION, subtree_contributing)
+        if missing is not None:
+            missing_stats = combine_stats(missing_stats, {BASE_STATION: missing})
+        extra["missing_stats"] = missing_stats
+
+        partials = [payload.partial for payload in tree_payloads]
+        if synopsis is None and not partials:
+            return EpochOutcome(0.0, 0, 0.0, extra)
+        estimate = aggregate.mixed_eval(partials, synopsis)
+        if aggregate.synopsis_counts_contributors():
+            sketch_count = synopsis and aggregate.synopsis_eval(synopsis) or 0.0
+            contributing_estimate = exact_count + sketch_count
+        elif count_sketch is not None:
+            contributing_estimate = exact_count + count_sketch.estimate()
+        else:
+            contributing_estimate = float(exact_count)
+        return EpochOutcome(
+            estimate=estimate,
+            contributing=contributors.bit_count(),
+            contributing_estimate=contributing_estimate,
+            extra=extra,
+        )
+
+    # -- simulator interface -----------------------------------------------
+
+    def exact_answer(self, epoch: int, readings: ReadingFn) -> float:
+        values = [readings(node, epoch) for node in self._deployment.sensor_ids]
+        return self._aggregate.exact(values)
+
+    def adapt(self, epoch: int, outcome: EpochOutcome) -> None:
+        """Apply the adaptation policy (called every adapt interval)."""
+        if self._policy is None:
+            return
+        action = self._policy.adjust(
+            self._graph, outcome, self._deployment.num_sensors
+        )
+        self._graph.validate()
+        self.adaptation_log.append((epoch, action.kind, len(action.switched)))
+        self.control_messages += action.control_messages

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the Tributary-Delta reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class TopologyError(ReproError):
+    """A topology construction or invariant failed.
+
+    Raised, e.g., when a node is unreachable from the base station, when a
+    tree link is not a subset of the rings links, or when an edge-correctness
+    violation (an M edge incident on a T vertex) would be created.
+    """
+
+
+class CorrectnessError(ReproError):
+    """A Tributary-Delta correctness property (Property 1/2) was violated."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter combination was supplied."""
+
+
+class SketchError(ReproError):
+    """A synopsis/sketch operation was used incorrectly.
+
+    Raised, e.g., when fusing sketches with mismatched shapes or when a
+    class-indexed frequent-items synopsis is fused across classes.
+    """

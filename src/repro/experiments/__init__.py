@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run_*(quick=False, ...)`` function returning a
+result object with the same rows/series the paper reports, plus a
+``render_*`` helper that formats it as text. The ``benchmarks/`` tree wires
+each one into pytest-benchmark; EXPERIMENTS.md records paper-vs-measured.
+
+``quick=True`` shrinks network sizes and epoch counts so the full suite runs
+in minutes; the default parameters match the paper's setup (600-node
+Synthetic, 100-epoch collection, adaptation every 10 epochs, 90% threshold).
+"""
+
+from repro.experiments.metrics import (
+    mean,
+    relative_error,
+    rms_error_series,
+)
+from repro.experiments.runner import (
+    SchemeComparison,
+    build_schemes,
+    converge_td,
+    run_scheme,
+)
+
+__all__ = [
+    "mean",
+    "relative_error",
+    "rms_error_series",
+    "SchemeComparison",
+    "build_schemes",
+    "converge_td",
+    "run_scheme",
+]

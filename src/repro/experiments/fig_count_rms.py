@@ -1,0 +1,119 @@
+"""Figures 2 and 5(a): RMS error vs Global(p) loss rate.
+
+Figure 2 is the Count teaser over loss rates 0-0.4 (Tree vs Multi-path vs
+Tributary-Delta); Figure 5(a) is the full study with Sum over 0-1 and all
+four schemes. Both reduce to the same sweep; the aggregate and the loss
+grid are parameters.
+
+Expected shape (the reproduction target): TAG starts at zero error and
+degrades steeply; SD starts at the ~12% synopsis approximation error and
+stays nearly flat; TD-Coarse and TD stay at (or below) the minimum of the
+two at every rate, with exact answers at p=0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.aggregates.base import Aggregate
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.datasets.streams import ConstantReadings, UniformReadings
+from repro.experiments.metrics import format_table
+from repro.experiments.runner import SchemeComparison, build_schemes, converge_td, run_scheme
+from repro.network.failures import GlobalLoss
+
+#: Figure 2's x axis (Count teaser).
+FIG2_LOSS_RATES = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4)
+
+#: Figure 5(a)'s x axis.
+FIG5A_LOSS_RATES = (0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+SCHEMES = ("TAG", "SD", "TD-Coarse", "TD")
+
+
+@dataclass
+class LossSweepResult:
+    """RMS-error series per scheme over a loss-rate grid."""
+
+    loss_rates: Sequence[float]
+    rms: Dict[str, List[float]] = field(default_factory=dict)
+    delta_sizes: Dict[str, List[int]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["loss rate"] + list(self.rms)
+        rows = []
+        for index, rate in enumerate(self.loss_rates):
+            row = [f"{rate:.2f}"] + [
+                f"{self.rms[name][index]:.3f}" for name in self.rms
+            ]
+            rows.append(row)
+        return format_table(headers, rows)
+
+
+def run_global_loss_sweep(
+    aggregate_factory: Callable[[], Aggregate],
+    loss_rates: Sequence[float],
+    readings_factory: Callable[[], Callable[[int, int], float]],
+    num_sensors: int = 600,
+    epochs: int = 100,
+    converge_epochs: int = 150,
+    seed: int = 0,
+    schemes: Sequence[str] = SCHEMES,
+) -> LossSweepResult:
+    """The shared sweep behind Figures 2 and 5(a)."""
+    result = LossSweepResult(loss_rates=list(loss_rates))
+    for name in schemes:
+        result.rms[name] = []
+        result.delta_sizes[name] = []
+    for rate in loss_rates:
+        failure = GlobalLoss(rate)
+        readings = readings_factory()
+        comparison = build_schemes(
+            aggregate_factory, num_sensors=num_sensors, seed=seed
+        )
+        converge_td(comparison, failure, readings, epochs=converge_epochs, seed=seed)
+        for name in schemes:
+            run = run_scheme(
+                comparison, name, failure, readings, epochs=epochs, seed=seed + 1
+            )
+            result.rms[name].append(run.rms_error())
+            graph = comparison.graphs.get(name)
+            result.delta_sizes[name].append(
+                len(graph.delta_region()) if graph else 0
+            )
+    return result
+
+
+def run_figure2(quick: bool = False, seed: int = 0) -> LossSweepResult:
+    """Figure 2: Count under Global(p), p in 0-0.4."""
+    num_sensors = 150 if quick else 600
+    epochs = 30 if quick else 100
+    converge = 60 if quick else 150
+    return run_global_loss_sweep(
+        aggregate_factory=CountAggregate,
+        loss_rates=FIG2_LOSS_RATES,
+        readings_factory=lambda: ConstantReadings(1.0),
+        num_sensors=num_sensors,
+        epochs=epochs,
+        converge_epochs=converge,
+        seed=seed,
+        schemes=("TAG", "SD", "TD"),
+    )
+
+
+def run_figure5a(quick: bool = False, seed: int = 0) -> LossSweepResult:
+    """Figure 5(a): Sum under Global(p), p in 0-1, all four schemes."""
+    num_sensors = 150 if quick else 600
+    epochs = 30 if quick else 100
+    converge = 60 if quick else 150
+    return run_global_loss_sweep(
+        aggregate_factory=SumAggregate,
+        loss_rates=FIG5A_LOSS_RATES,
+        readings_factory=lambda: UniformReadings(10, 100, seed=seed),
+        num_sensors=num_sensors,
+        epochs=epochs,
+        converge_epochs=converge,
+        seed=seed,
+    )

@@ -1,0 +1,140 @@
+"""Figure 4: how TD's delta region tracks a regional failure.
+
+Runs the TD (fine) strategy under Regional(p1, 0.05) with the failure
+rectangle {(0,0),(10,10)} and reports where the converged delta region sits.
+The paper's observation: "the delta region mostly consists of nodes actually
+experiencing high loss rate" — quantified here as the in-region fraction of
+delta nodes versus the in-region fraction of all nodes, plus an ASCII map
+like the paper's scatter plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.aggregates.sum_ import SumAggregate
+from repro.core.adaptation import DampedPolicy, TDCoarsePolicy, TDFinePolicy
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.td_scheme import TributaryDeltaScheme
+from repro.datasets.streams import UniformReadings
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.network.failures import RegionalLoss
+from repro.network.placement import Deployment, NodeId
+from repro.network.simulator import EpochSimulator
+from repro.tree.construction import build_bushy_tree
+
+
+@dataclass
+class TopologyResult:
+    """The converged delta region under one regional failure setting."""
+
+    inside_rate: float
+    deployment: Deployment
+    delta: Set[NodeId]
+    failure: RegionalLoss
+
+    @property
+    def delta_inside(self) -> int:
+        return sum(
+            1
+            for node in self.delta
+            if self.failure.contains(self.deployment, node)
+        )
+
+    @property
+    def nodes_inside(self) -> int:
+        return sum(
+            1
+            for node in self.deployment.sensor_ids
+            if self.failure.contains(self.deployment, node)
+        )
+
+    @property
+    def concentration(self) -> float:
+        """In-region share of the delta over the in-region share of nodes.
+
+        > 1 means the delta leans into the failure region (the paper's
+        qualitative claim for the TD strategy).
+        """
+        if not self.delta:
+            return 0.0
+        delta_share = self.delta_inside / len(self.delta)
+        node_share = self.nodes_inside / max(1, self.deployment.num_sensors)
+        if node_share == 0:
+            return 0.0
+        return delta_share / node_share
+
+    def render_map(self, columns: int = 40, rows: int = 20) -> str:
+        """ASCII scatter of the deployment: '#' delta, '.' tree, 'B' base."""
+        grid = [[" " for _ in range(columns)] for _ in range(rows)]
+        for node in self.deployment.node_ids:
+            x, y = self.deployment.position(node)
+            column = min(columns - 1, int(x / self.deployment.width * columns))
+            row = min(rows - 1, int(y / self.deployment.height * rows))
+            row = rows - 1 - row  # y grows upward in the paper's plots
+            if node == self.deployment.base_station:
+                grid[row][column] = "B"
+            elif node in self.delta:
+                grid[row][column] = "#"
+            elif grid[row][column] == " ":
+                grid[row][column] = "."
+        return "\n".join("".join(line) for line in grid)
+
+
+def run_figure4(
+    inside_rate: float,
+    outside_rate: float = 0.05,
+    quick: bool = False,
+    seed: int = 0,
+    threshold: float = 0.85,
+    converge_epochs: int = 200,
+    strategy: str = "td",
+) -> TopologyResult:
+    """Converge a Tributary-Delta scheme under Regional(inside_rate, ...).
+
+    ``strategy`` selects the paper's two adaptation designs: ``"td"`` (the
+    fine-grained strategy whose delta grows toward the failure) or
+    ``"td-coarse"`` (whole switchable levels at a time — Section 7.2 notes
+    that it switches "all nodes near the base station ... even those
+    experiencing small message loss", which this experiment quantifies via
+    the concentration metric).
+
+    ``threshold`` defaults to 85% here (vs the paper's 90%): with our deeper
+    rings, tree tributaries outside the failure region deliver ~85% of their
+    readings at 5% link loss, so a 90% target can only be met by switching
+    most of the network to multi-path — which hides the directional growth
+    this figure is about (see EXPERIMENTS.md).
+    """
+    num_sensors = 150 if quick else 600
+    if quick:
+        converge_epochs = min(converge_epochs, 80)
+    scenario = make_synthetic_scenario(num_sensors=num_sensors, seed=seed)
+    tree = build_bushy_tree(scenario.rings, seed=seed)
+    graph = TDGraph(
+        scenario.rings, tree, initial_modes_by_level(scenario.rings, 0)
+    )
+    failure = RegionalLoss(inside_rate, outside_rate)
+    if strategy == "td":
+        policy = TDFinePolicy(threshold=threshold)
+    elif strategy == "td-coarse":
+        policy = DampedPolicy(TDCoarsePolicy(threshold=threshold))
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    scheme = TributaryDeltaScheme(
+        scenario.deployment,
+        graph,
+        SumAggregate(),
+        policy=policy,
+    )
+    readings = UniformReadings(10, 100, seed=seed)
+    simulator = EpochSimulator(
+        scenario.deployment, failure, scheme, seed=seed, adapt_interval=1
+    )
+    simulator.run(0, readings, warmup=converge_epochs)
+    return TopologyResult(
+        inside_rate=inside_rate,
+        deployment=scenario.deployment,
+        delta=graph.delta_region(),
+        failure=failure,
+    )

@@ -1,0 +1,181 @@
+"""Table 1, measured: energy / error / latency for the three approaches.
+
+The paper's Table 1 is qualitative ("minimal", "small", "very large", ...).
+We regenerate it as measurements on the Synthetic scenario under a
+representative Global(0.2) loss: message counts per epoch, mean message
+size (words), communication error (1 - fraction contributing),
+approximation error (error remaining with no loss), and latency in epochs
+— for Count and for Frequent Items, per scheme.
+
+Reproduction targets, mirroring the table's cells: all approaches send one
+transmission per node ("minimal messages"); tree messages are the
+smallest; tree communication error is by far the largest; multi-path
+approximation error is nonzero for Count (sketches) and its frequent-items
+messages are several times larger than the tree's; Tributary-Delta matches
+multi-path's small communication error at tree-like message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.aggregates.count import CountAggregate
+from repro.datasets.streams import ConstantReadings, exact_item_counts
+from repro.experiments.metrics import format_table, mean
+from repro.experiments.runner import build_schemes, converge_td, run_scheme
+from repro.frequent.mp_fi import FMOperator, MultipathFrequentItems
+from repro.frequent.td_fi import (
+    MultipathFrequentItemsScheme,
+    TributaryDeltaFrequentItems,
+)
+from repro.frequent.tree_fi import TreeFrequentItems
+from repro.network.failures import GlobalLoss, NoLoss
+from repro.network.links import Channel
+
+
+@dataclass
+class Table1Row:
+    scheme: str
+    aggregate: str
+    messages_per_node: float
+    mean_message_words: float
+    communication_error: float
+    approximation_error: float
+    latency_epochs: int
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = [
+            "scheme",
+            "aggregate",
+            "msgs/node",
+            "words/msg",
+            "comm err",
+            "approx err",
+            "latency",
+        ]
+        formatted = [
+            [
+                row.scheme,
+                row.aggregate,
+                f"{row.messages_per_node:.2f}",
+                f"{row.mean_message_words:.1f}",
+                f"{row.communication_error:.3f}",
+                f"{row.approximation_error:.3f}",
+                str(row.latency_epochs),
+            ]
+            for row in self.rows
+        ]
+        return format_table(headers, formatted)
+
+
+def run_table1(quick: bool = False, seed: int = 0) -> Table1Result:
+    """Measure Table 1's cells for Count and Frequent Items."""
+    num_sensors = 100 if quick else 300
+    epochs = 10 if quick else 30
+    result = Table1Result()
+    loss = GlobalLoss(0.2)
+    readings = ConstantReadings(1.0)
+
+    # --- Count ----------------------------------------------------------
+    comparison = build_schemes(
+        CountAggregate, num_sensors=num_sensors, seed=seed
+    )
+    converge_td(comparison, loss, readings, epochs=40 if quick else 100, seed=seed)
+    sensors = comparison.scenario.deployment.num_sensors
+    for name in ("TAG", "SD", "TD"):
+        lossless = run_scheme(
+            comparison, name, NoLoss(), readings, epochs=5, seed=seed
+        )
+        approx = mean(lossless.relative_errors)
+        run = run_scheme(
+            comparison, name, loss, readings, epochs=epochs, seed=seed + 1
+        )
+        comm_error = 1.0 - run.mean_contributing_fraction(sensors)
+        messages = mean(
+            [epoch.log.messages_sent / sensors for epoch in run.epochs]
+        )
+        words_per_message = mean(
+            [
+                epoch.log.words_sent / max(1, epoch.log.messages_sent)
+                for epoch in run.epochs
+            ]
+        )
+        latency = int(run.epochs[0].extra.get("latency_epochs", 0))
+        result.rows.append(
+            Table1Row(
+                scheme=name,
+                aggregate="Count",
+                messages_per_node=messages,
+                mean_message_words=words_per_message,
+                communication_error=comm_error,
+                approximation_error=approx,
+                latency_epochs=latency,
+            )
+        )
+
+    # --- Frequent items -------------------------------------------------
+    lab_like = comparison.scenario
+    tree = comparison.tree
+    graph = comparison.graphs["TD"]
+    from repro.datasets.streams import ZipfItemStream
+
+    stream = ZipfItemStream(
+        items_per_node=60, universe=400, alpha=1.2, seed=seed
+    )
+    items_fn = lambda node, epoch: stream.items(node, epoch)
+    truth_counts = exact_item_counts(
+        stream, lab_like.deployment.sensor_ids, 0
+    )
+    total_items = sum(truth_counts.values())
+    support, epsilon = 0.01, 0.001
+    operator = FMOperator(num_bitmaps=8)
+
+    fi_schemes = {
+        "TAG": None,
+        "SD": None,
+        "TD": None,
+    }
+    for name in fi_schemes:
+        channel = Channel(lab_like.deployment, loss, seed=seed + 3)
+        if name == "TAG":
+            engine = TreeFrequentItems.min_total_load(tree, epsilon)
+            root, report = engine.aggregate(items_fn, 0, channel=channel)
+            latency = tree.height
+        elif name == "SD":
+            algorithm = MultipathFrequentItems(
+                epsilon=epsilon, total_items_hint=total_items, operator=operator
+            )
+            scheme = MultipathFrequentItemsScheme(
+                lab_like.rings, algorithm, support=support
+            )
+            scheme.run_epoch(0, channel, items_fn)
+            latency = lab_like.rings.depth
+        else:
+            scheme = TributaryDeltaFrequentItems(
+                graph,
+                epsilon=epsilon,
+                support=support,
+                total_items_hint=total_items,
+                operator=operator,
+            )
+            scheme.run_epoch(0, channel, items_fn)
+            latency = lab_like.rings.depth
+        log = channel.log
+        result.rows.append(
+            Table1Row(
+                scheme=name,
+                aggregate="Freq. Items",
+                messages_per_node=log.messages_sent / sensors,
+                mean_message_words=log.words_sent / max(1, log.messages_sent),
+                communication_error=float("nan"),
+                approximation_error=float("nan"),
+                latency_epochs=latency,
+            )
+        )
+    return result

@@ -1,0 +1,142 @@
+"""Precision gradients: how the error budget spreads over tree heights.
+
+A precision gradient is a non-decreasing sequence eps(1) <= ... <= eps(h)
+with eps(h) <= eps; a node of height k prunes its summary to tolerance
+eps(k), and Step 3 of Algorithm 1 implies it sends at most
+1/(eps(k) - eps(k-1)) counters.
+
+* :class:`MinTotalLoadGradient` — the paper's contribution (§6.1.2):
+  eps(i) = eps * (1 - t)(1 + t + ... + t^(i-1)) = eps * (1 - t^i) with
+  t = 1/sqrt(d) for a d-dominating tree. Lemma 3: total communication is at
+  most (1 + 2/(sqrt(d) - 1)) * m/eps words — O(m/eps), optimal.
+* :class:`MinMaxLoadGradient` — the prior art [13]: the linear gradient
+  eps(i) = eps * i/h, which equalises (and thus minimises) the worst-case
+  per-link load at h/eps counters.
+* :class:`HybridGradient` — §6.1.4: split the budget half-and-half between
+  the two optimal gradients; both the max-load and the total-load are then
+  within a factor 2 of their individual optima.
+* :class:`FlatGradient` — an ablation baseline: the full tolerance is
+  granted at the leaves (eps(i) = eps), so upper levels get no fresh slack.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+
+class PrecisionGradient(ABC):
+    """Maps a node height (1-based) to its error tolerance eps(height)."""
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+
+    @abstractmethod
+    def epsilon_at(self, height: int) -> float:
+        """The tolerance eps(height); must be non-decreasing, <= epsilon."""
+
+    def validate(self, max_height: int) -> None:
+        """Check monotonicity and the eps(h) <= eps guarantee up to a height."""
+        previous = 0.0
+        for height in range(1, max_height + 1):
+            current = self.epsilon_at(height)
+            if current + 1e-12 < previous:
+                raise ConfigurationError(
+                    f"gradient decreases at height {height}: {current} < {previous}"
+                )
+            previous = current
+        if previous > self.epsilon + 1e-12:
+            raise ConfigurationError("gradient exceeds the user tolerance")
+
+    def max_counters(self, height: int) -> float:
+        """Upper bound on counters a height-``height`` node transmits:
+        1/(eps(k) - eps(k-1)) (infinite when the difference is zero)."""
+        if height <= 0:
+            raise ConfigurationError("height must be positive")
+        lower = self.epsilon_at(height - 1) if height > 1 else 0.0
+        difference = self.epsilon_at(height) - lower
+        if difference <= 0:
+            return math.inf
+        return 1.0 / difference
+
+
+class MinTotalLoadGradient(PrecisionGradient):
+    """The paper's total-communication-optimal gradient (§6.1.2).
+
+    eps(i) = eps * (1 - t^i), t = 1/sqrt(d). The closed form follows from
+    the geometric series in Lemma 3. Requires d > 1; trees at the degenerate
+    d = 1 boundary get a fallback d slightly above 1 (the bound is then
+    weak, exactly as the theory says it must be).
+    """
+
+    def __init__(self, epsilon: float, d: float) -> None:
+        super().__init__(epsilon)
+        if d <= 0:
+            raise ConfigurationError("domination factor must be positive")
+        self.d = max(d, 1.1)
+        self._t = 1.0 / math.sqrt(self.d)
+
+    def epsilon_at(self, height: int) -> float:
+        if height <= 0:
+            return 0.0
+        return self.epsilon * (1.0 - self._t**height)
+
+    def total_load_bound(self, num_nodes: int) -> float:
+        """Lemma 3's bound: (1 + 2/(sqrt(d)-1)) * m/eps words."""
+        return (1.0 + 2.0 / (math.sqrt(self.d) - 1.0)) * num_nodes / self.epsilon
+
+
+class MinMaxLoadGradient(PrecisionGradient):
+    """The linear gradient of [13]: minimises the maximum link load.
+
+    eps(i) = eps * i / h gives every node the same budget increment, hence
+    the same counter cap h/eps — the balanced allocation that is optimal for
+    the max-load objective on the trees [13] considers.
+    """
+
+    def __init__(self, epsilon: float, tree_height: int) -> None:
+        super().__init__(epsilon)
+        if tree_height < 1:
+            raise ConfigurationError("tree height must be at least 1")
+        self.tree_height = tree_height
+
+    def epsilon_at(self, height: int) -> float:
+        if height <= 0:
+            return 0.0
+        return self.epsilon * min(height, self.tree_height) / self.tree_height
+
+
+class HybridGradient(PrecisionGradient):
+    """§6.1.4: half the budget per objective; both metrics within 2x optimal.
+
+    eps_H(i) = eps_T(i; eps/2) + eps_M(i; eps/2). Every height's increment
+    is at least half of each constituent gradient's increment, so per-link
+    loads at most double the max-load optimum and total communication at
+    most doubles the total-load optimum.
+    """
+
+    def __init__(self, epsilon: float, d: float, tree_height: int) -> None:
+        super().__init__(epsilon)
+        self._total = MinTotalLoadGradient(epsilon / 2.0, d)
+        self._maxload = MinMaxLoadGradient(epsilon / 2.0, tree_height)
+
+    def epsilon_at(self, height: int) -> float:
+        return self._total.epsilon_at(height) + self._maxload.epsilon_at(height)
+
+
+class FlatGradient(PrecisionGradient):
+    """Ablation baseline: spend the whole budget at the leaves.
+
+    eps(i) = eps for every height. Leaves prune aggressively but internal
+    nodes receive no fresh slack beyond the growth of n, so merged summaries
+    shrink only as their children's tolerances dilute.
+    """
+
+    def epsilon_at(self, height: int) -> float:
+        if height <= 0:
+            return 0.0
+        return self.epsilon

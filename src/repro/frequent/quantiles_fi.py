@@ -1,0 +1,112 @@
+"""The Quantiles-based frequent-items baseline (the paper's [8]).
+
+Frequent items can be read off an epsilon-approximate quantile summary: an
+item with frequency f occupies an f/N-wide band of the rank space, so its
+frequency estimate ``rank(u) - rank(u-)`` is within 2*eps*N. This is the
+"Quantiles-based" competitor of Figure 8.
+
+The baseline follows the Greenwald-Khanna sensor-network construction: every
+node merges its children's summaries with its own exact summary and prunes
+to a uniform budget B = ceil(h / eps) (h = tree height), which grants each of
+the <= h prune steps along any root path an eps/(2h) rank-error share and
+keeps the end-to-end error within eps/2 <= eps. The budget — and therefore
+the per-node load — scales with the tree height and 1/eps but is oblivious
+to the tree's shape, which is exactly why it loses badly on bushy trees
+(the paper: "not optimized for the bushy tree we encounter in LabData").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.frequent.gk import GKSummary
+from repro.frequent.tree_fi import ItemsFn, TreeLoadReport
+from repro.network.links import Channel
+from repro.network.messages import MessageAccountant
+from repro.network.placement import BASE_STATION, NodeId
+from repro.tree.structure import Tree
+
+
+class QuantilesBasedFrequentItems:
+    """Frequent items via uniform-budget quantile summaries [8]."""
+
+    name = "Quantiles-based"
+
+    def __init__(
+        self,
+        tree: Tree,
+        epsilon: float,
+        attempts: int = 1,
+        accountant: Optional[MessageAccountant] = None,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be in (0, 1)")
+        if attempts < 1:
+            raise ConfigurationError("attempts must be at least 1")
+        self._tree = tree
+        self.epsilon = epsilon
+        self._attempts = attempts
+        self._accountant = accountant or MessageAccountant()
+        height = tree.height
+        #: Uniform prune budget: each prune adds <= eps/(2h) rank error.
+        self.budget = max(2, math.ceil(height / epsilon))
+        levels = tree.levels()
+        self._order: List[NodeId] = sorted(
+            (node for node in levels if node != BASE_STATION),
+            key=lambda node: (-levels[node], node),
+        )
+
+    def aggregate(
+        self,
+        items_fn: ItemsFn,
+        epoch: int = 0,
+        channel: Optional[Channel] = None,
+    ) -> tuple[Optional[GKSummary], TreeLoadReport]:
+        """One aggregation wave; returns the root quantile summary + loads."""
+        report = TreeLoadReport()
+        inbox: Dict[NodeId, List[GKSummary]] = {}
+        for node in self._order:
+            summary = GKSummary.from_values(
+                float(item) for item in items_fn(node, epoch)
+            )
+            for received in inbox.pop(node, []):
+                summary = summary.merge(received)
+            summary = summary.prune(self.budget)
+            words = summary.words()
+            report.per_node_words[node] = (
+                report.per_node_words.get(node, 0) + words * self._attempts
+            )
+            parent = self._tree.parent(node)
+            if channel is None:
+                delivered = True
+            else:
+                spec = self._accountant.spec_for_words(words)
+                delivered = bool(
+                    channel.transmit(
+                        node, [parent], epoch, words, spec.messages, self._attempts
+                    )
+                )
+            if delivered:
+                inbox.setdefault(parent, []).append(summary)
+
+        received = inbox.pop(BASE_STATION, [])
+        if not received:
+            return None, report
+        root = received[0]
+        for summary in received[1:]:
+            root = root.merge(summary)
+        return root, report
+
+    def frequent_items(
+        self, root: GKSummary, support: float
+    ) -> List[int]:
+        """Items whose estimated frequency exceeds (support - eps) * N."""
+        threshold = (support - self.epsilon) * root.n
+        reported = []
+        for value in root.candidate_values():
+            if root.frequency_estimate(value) > threshold:
+                reported.append(int(value))
+        return sorted(reported)

@@ -1,0 +1,303 @@
+"""Frequent items over multi-path and Tributary-Delta topologies (§6.2-6.3).
+
+Two network runners live here:
+
+* :class:`MultipathFrequentItemsScheme` — drives the Section 6.2 algorithm
+  over the rings topology (the paper's "SD" series in Figure 9);
+* :class:`TributaryDeltaFrequentItems` — the Section 6.3 combination: T
+  nodes run Algorithm 1 with the Min Total-load gradient at tolerance
+  eps_a, M nodes run the class-based multi-path algorithm at tolerance
+  eps_b, and the *conversion function* is the multi-path SG applied to a
+  tree summary's estimated frequencies (with the summary's n as SG's n'),
+  so the end-to-end error is at most eps_a + eps_b = eps.
+
+Both runners expose ``run_epoch(epoch, channel, items_fn)`` returning an
+:class:`FIOutcome`; the experiment harness compares reports against ground
+truth for the false negative/positive rates of Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.graph import TDGraph
+from repro.errors import ConfigurationError
+from repro.frequent.gradients import MinTotalLoadGradient, PrecisionGradient
+from repro.frequent.mp_fi import (
+    FrequentItemsSynopsis,
+    MultipathFrequentItems,
+)
+from repro.frequent.reporting import report_from_estimates
+from repro.frequent.summary import Item, Summary, generate_summary
+from repro.frequent.tree_fi import ItemsFn
+from repro.network.links import Channel
+from repro.network.messages import MessageAccountant
+from repro.network.placement import BASE_STATION, NodeId
+from repro.network.rings import RingsTopology
+from repro.tree.domination import domination_factor
+
+
+@dataclass
+class FIOutcome:
+    """One epoch's frequent-items result at the base station."""
+
+    reported: List[Item]
+    total_estimate: float
+    estimates: Dict[Item, float] = field(default_factory=dict)
+
+
+class MultipathFrequentItemsScheme:
+    """The Section 6.2 algorithm over rings (Figure 9's SD series)."""
+
+    def __init__(
+        self,
+        rings: RingsTopology,
+        algorithm: MultipathFrequentItems,
+        support: float,
+        attempts: int = 1,
+        accountant: Optional[MessageAccountant] = None,
+        name: str = "SD",
+    ) -> None:
+        if attempts < 1:
+            raise ConfigurationError("attempts must be at least 1")
+        self._rings = rings
+        self._algorithm = algorithm
+        self._support = support
+        self._attempts = attempts
+        self._accountant = accountant or MessageAccountant()
+        self.name = name
+
+    def run_epoch(
+        self, epoch: int, channel: Channel, items_fn: ItemsFn
+    ) -> FIOutcome:
+        algo = self._algorithm
+        inbox: Dict[NodeId, List[FrequentItemsSynopsis]] = {}
+        for level in self._rings.levels_descending():
+            for node in self._rings.nodes_at_level(level):
+                batch: List[FrequentItemsSynopsis] = []
+                local = algo.generate(node, epoch, items_fn(node, epoch))
+                if local is not None:
+                    batch.append(local)
+                batch.extend(inbox.pop(node, ()))
+                fused = algo.fuse_into_classes(batch)
+                outgoing = list(fused.values())
+                words = algo.collection_words(fused)
+                spec = self._accountant.spec_for_words(words)
+                receivers = self._rings.upstream_neighbors(node)
+                heard = channel.transmit(
+                    node, receivers, epoch, words, spec.messages, self._attempts
+                )
+                for receiver in heard:
+                    inbox.setdefault(receiver, []).extend(outgoing)
+
+        received = inbox.pop(BASE_STATION, [])
+        fused = algo.fuse_into_classes(received)
+        total, estimates = algo.evaluate(fused)
+        reported = report_from_estimates(
+            estimates, total, self._support, algo.epsilon
+        )
+        return FIOutcome(reported=reported, total_estimate=total, estimates=estimates)
+
+
+class TributaryDeltaFrequentItems:
+    """The Section 6.3 combined algorithm over a Tributary-Delta graph."""
+
+    def __init__(
+        self,
+        graph: TDGraph,
+        epsilon: float,
+        support: float,
+        total_items_hint: int,
+        tree_epsilon: Optional[float] = None,
+        operator=None,
+        eta: float = 1.5,
+        tree_attempts: int = 1,
+        multipath_attempts: int = 1,
+        accountant: Optional[MessageAccountant] = None,
+        name: str = "TD",
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be in (0, 1)")
+        if tree_attempts < 1 or multipath_attempts < 1:
+            raise ConfigurationError("attempts must be at least 1")
+        self._graph = graph
+        self.epsilon = epsilon
+        #: Error split eps = eps_a (tree) + eps_b (multi-path), Section 6.3.
+        self.epsilon_tree = tree_epsilon if tree_epsilon is not None else epsilon / 2.0
+        self.epsilon_mp = epsilon - self.epsilon_tree
+        if self.epsilon_mp <= 0:
+            raise ConfigurationError("tree epsilon must leave budget for multi-path")
+        self._support = support
+        d = domination_factor(graph.tree)
+        self._gradient: PrecisionGradient = MinTotalLoadGradient(
+            self.epsilon_tree, d
+        )
+        self._heights = graph.tree.heights()
+        self._gradient.validate(max(self._heights.values()))
+        self._algorithm = MultipathFrequentItems(
+            epsilon=self.epsilon_mp,
+            total_items_hint=total_items_hint,
+            eta=eta,
+            operator=operator,
+        )
+        self._tree_attempts = tree_attempts
+        self._multipath_attempts = multipath_attempts
+        self._accountant = accountant or MessageAccountant()
+        self.name = name
+
+    @property
+    def algorithm(self) -> MultipathFrequentItems:
+        return self._algorithm
+
+    # -- the conversion function (Section 6.3) ------------------------------
+
+    def convert(
+        self, summary: Summary, sender: NodeId, epoch: int
+    ) -> Optional[FrequentItemsSynopsis]:
+        """Multi-path SG applied to the tree summary's estimates.
+
+        The summary's estimates c~(u) play the role of actual frequencies
+        and its n the role of SG's n'. Keys include the sending T vertex so
+        the conversion is deterministic.
+        """
+        algo = self._algorithm
+        if summary.n == 0:
+            return None
+        n_prime = summary.n
+        klass = int(math.floor(math.log2(n_prime))) if n_prime > 1 else 0
+        cutoff = klass * n_prime * algo.epsilon / algo.log_n
+        sketches: Dict[Item, object] = {}
+        for item, estimate in summary.counts.items():
+            count = int(round(estimate))
+            if count <= cutoff or count <= 0:
+                continue
+            sketches[item] = algo.operator.make(
+                count, "fi-conv", sender, epoch, item
+            )
+        n_sketch = algo.n_operator.make(n_prime, "fi-conv-n", sender, epoch)
+        return FrequentItemsSynopsis(
+            klass=klass, n_sketch=n_sketch, counts=sketches
+        )
+
+    # -- one epoch -----------------------------------------------------------
+
+    def run_epoch(
+        self, epoch: int, channel: Channel, items_fn: ItemsFn
+    ) -> FIOutcome:
+        graph = self._graph
+        rings = graph.rings
+        algo = self._algorithm
+        inbox_tree: Dict[NodeId, List[Tuple[NodeId, Summary]]] = {}
+        inbox_syn: Dict[NodeId, List[FrequentItemsSynopsis]] = {}
+
+        for level in rings.levels_descending():
+            for node in rings.nodes_at_level(level):
+                if graph.is_tree(node):
+                    self._run_tree_node(node, epoch, channel, items_fn, inbox_tree)
+                else:
+                    self._run_multipath_node(
+                        node, epoch, channel, items_fn, inbox_tree, inbox_syn
+                    )
+
+        return self._evaluate(epoch, inbox_tree, inbox_syn)
+
+    def _run_tree_node(
+        self,
+        node: NodeId,
+        epoch: int,
+        channel: Channel,
+        items_fn: ItemsFn,
+        inbox_tree: Dict[NodeId, List[Tuple[NodeId, Summary]]],
+    ) -> None:
+        own = Summary.from_items(items_fn(node, epoch))
+        children = [summary for _, summary in inbox_tree.pop(node, ())]
+        epsilon_k = self._gradient.epsilon_at(self._heights[node])
+        summary = generate_summary(children, own, epsilon_k)
+        words = summary.words()
+        spec = self._accountant.spec_for_words(words)
+        parent = self._graph.tree.parent(node)
+        heard = channel.transmit(
+            node, [parent], epoch, words, spec.messages, self._tree_attempts
+        )
+        if heard:
+            inbox_tree.setdefault(parent, []).append((node, summary))
+
+    def _run_multipath_node(
+        self,
+        node: NodeId,
+        epoch: int,
+        channel: Channel,
+        items_fn: ItemsFn,
+        inbox_tree: Dict[NodeId, List[Tuple[NodeId, Summary]]],
+        inbox_syn: Dict[NodeId, List[FrequentItemsSynopsis]],
+    ) -> None:
+        algo = self._algorithm
+        batch: List[FrequentItemsSynopsis] = []
+        local = algo.generate(node, epoch, items_fn(node, epoch))
+        if local is not None:
+            batch.append(local)
+        for sender, summary in inbox_tree.pop(node, ()):
+            converted = self.convert(summary, sender, epoch)
+            if converted is not None:
+                batch.append(converted)
+        batch.extend(inbox_syn.pop(node, ()))
+        fused = algo.fuse_into_classes(batch)
+        outgoing = list(fused.values())
+        words = algo.collection_words(fused)
+        spec = self._accountant.spec_for_words(words)
+        receivers = self._graph.rings.upstream_neighbors(node)
+        heard = channel.transmit(
+            node, receivers, epoch, words, spec.messages, self._multipath_attempts
+        )
+        for receiver in heard:
+            if self._graph.is_multipath(receiver):
+                inbox_syn.setdefault(receiver, []).extend(outgoing)
+
+    def _evaluate(
+        self,
+        epoch: int,
+        inbox_tree: Dict[NodeId, List[Tuple[NodeId, Summary]]],
+        inbox_syn: Dict[NodeId, List[FrequentItemsSynopsis]],
+    ) -> FIOutcome:
+        algo = self._algorithm
+        graph = self._graph
+        tree_payloads = inbox_tree.pop(BASE_STATION, [])
+
+        if graph.is_tree(BASE_STATION):
+            # All-tree configuration: Algorithm 1 at the root.
+            summaries = [summary for _, summary in tree_payloads]
+            own = Summary.from_items(())
+            epsilon_root = self._gradient.epsilon_at(
+                self._heights[BASE_STATION]
+            )
+            root = generate_summary(summaries, own, epsilon_root)
+            estimates = {item: float(c) for item, c in root.counts.items()}
+            reported = report_from_estimates(
+                estimates, float(root.n), self._support, self.epsilon
+            )
+            return FIOutcome(
+                reported=reported,
+                total_estimate=float(root.n),
+                estimates=estimates,
+            )
+
+        # Mixed evaluation: summaries that reached the base station directly
+        # stay exact; delta synopses are evaluated with SE; estimates add
+        # (the tree subtrees and the delta account for disjoint items).
+        fused = algo.fuse_into_classes(inbox_syn.pop(BASE_STATION, []))
+        total, estimates = algo.evaluate(fused)
+        for _, summary in tree_payloads:
+            total += summary.n
+            for item, count in summary.counts.items():
+                estimates[item] = estimates.get(item, 0.0) + count
+        reported = report_from_estimates(
+            estimates,
+            total * algo.report_slack,
+            self._support,
+            self.epsilon,
+        )
+        return FIOutcome(
+            reported=reported, total_estimate=total, estimates=estimates
+        )

@@ -1,0 +1,201 @@
+"""Flajolet-Martin / PCSA sketches: duplicate-insensitive approximate counts.
+
+This is the synopsis behind the paper's Count and Sum experiments: "we use a
+variant of [7] (as in [5]) for achieving duplicate-insensitive addition",
+with 40 32-bit bitmaps packed into one 48-byte TinyDB message via run-length
+encoding and the answer taken from the ensemble of bitmaps.
+
+Key properties this module guarantees:
+
+* **Determinism / duplicate-insensitivity.** An item's bits depend only on
+  its key (via :mod:`repro._hashing`), so re-inserting or re-fusing the same
+  logical item is idempotent — exactly what multi-path routing requires.
+* **ODI fusion.** ``fuse`` is bitwise OR: commutative, associative,
+  idempotent (the order-and-duplicate-insensitivity condition of [16]).
+* **Weighted insertion.** ``insert_count(count, key)`` simulates inserting
+  ``count`` distinct virtual items in O(bitmaps * log count) time, the trick
+  of Considine et al. [5] that makes Sum sketches affordable.
+
+The estimator is standard PCSA: with B bitmaps and R_j the position of the
+lowest unset bit of bitmap j, the count is (B / phi) * 2**mean(R_j), with
+phi = 0.77351. Relative standard error is about 0.78/sqrt(B) — 12.3% for the
+paper's 40 bitmaps, matching the ~12% approximation error it reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro._hashing import geometric_level, hash_key, stream_rng
+from repro.errors import ConfigurationError, SketchError
+from repro.network.messages import rle_words_for_bitmaps
+
+#: Flajolet-Martin's bias-correction constant.
+PHI = 0.77351
+
+#: Scheuermann-Mauve small-range correction exponent.
+_KAPPA = 1.75
+
+#: Above this count, ``insert_count`` switches to the sampled fast path.
+_EXACT_INSERT_LIMIT = 512
+
+
+class FMSketch:
+    """A PCSA (multi-bitmap Flajolet-Martin) distinct-count sketch."""
+
+    __slots__ = ("num_bitmaps", "bits", "bitmaps")
+
+    def __init__(
+        self,
+        num_bitmaps: int = 40,
+        bits: int = 32,
+        bitmaps: Optional[Sequence[int]] = None,
+    ) -> None:
+        if num_bitmaps <= 0:
+            raise ConfigurationError("need at least one bitmap")
+        if bits <= 0:
+            raise ConfigurationError("bitmaps need at least one bit")
+        self.num_bitmaps = num_bitmaps
+        self.bits = bits
+        if bitmaps is None:
+            self.bitmaps = [0] * num_bitmaps
+        else:
+            if len(bitmaps) != num_bitmaps:
+                raise SketchError("bitmap vector has the wrong length")
+            self.bitmaps = list(bitmaps)
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, *key: object) -> None:
+        """Insert one logical item identified by ``key``.
+
+        The bitmap index and bit level are pure functions of the key, so the
+        same item always sets the same bit (duplicate-insensitivity).
+        """
+        bucket = hash_key("fm-bucket", *key) % self.num_bitmaps
+        level = min(geometric_level("fm-level", *key), self.bits - 1)
+        self.bitmaps[bucket] |= 1 << level
+
+    def insert_count(self, count: int, *key: object) -> None:
+        """Insert ``count`` distinct virtual items derived from ``key``.
+
+        Virtual item ``j`` is the key extended with ``j``. Small counts are
+        inserted exactly; large counts are simulated per bitmap with the
+        binomial-halving recursion of [5] — level l receives a
+        Binomial(remaining, 1/2) share of the bitmap's items — driven by an
+        RNG seeded from the key alone, so the simulation is deterministic and
+        therefore still duplicate-insensitive.
+        """
+        if count < 0:
+            raise SketchError("cannot insert a negative count")
+        if count == 0:
+            return
+        if count <= _EXACT_INSERT_LIMIT:
+            for j in range(count):
+                self.insert(*key, j)
+            return
+        rng = stream_rng("fm-bulk", self.num_bitmaps, *key)
+        remaining_total = count
+        for bucket in range(self.num_bitmaps):
+            buckets_left = self.num_bitmaps - bucket
+            if buckets_left == 1:
+                share = remaining_total
+            else:
+                share = _binomial(rng, remaining_total, 1.0 / buckets_left)
+            remaining_total -= share
+            level = 0
+            remaining = share
+            while remaining > 0 and level < self.bits:
+                taken = _binomial(rng, remaining, 0.5)
+                if level == self.bits - 1:
+                    taken = remaining
+                if taken > 0:
+                    self.bitmaps[bucket] |= 1 << level
+                remaining -= taken
+                level += 1
+
+    # -- fusion --------------------------------------------------------------
+
+    def fuse(self, other: "FMSketch") -> "FMSketch":
+        """Return the union sketch (bitwise OR). ODI: order/dup insensitive."""
+        if (self.num_bitmaps, self.bits) != (other.num_bitmaps, other.bits):
+            raise SketchError("cannot fuse sketches with different shapes")
+        fused = [a | b for a, b in zip(self.bitmaps, other.bitmaps)]
+        return FMSketch(self.num_bitmaps, self.bits, fused)
+
+    def __or__(self, other: "FMSketch") -> "FMSketch":
+        return self.fuse(other)
+
+    def copy(self) -> "FMSketch":
+        """An independent copy of this sketch."""
+        return FMSketch(self.num_bitmaps, self.bits, list(self.bitmaps))
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _lowest_zero(self, bitmap: int) -> int:
+        level = 0
+        while bitmap & 1 and level < self.bits:
+            bitmap >>= 1
+            level += 1
+        return level
+
+    def estimate(self) -> float:
+        """The PCSA count estimate with small-range correction.
+
+        Plain PCSA overestimates when bitmaps are nearly empty; the
+        Scheuermann-Mauve correction term 2**(-kappa * mean R) repairs the
+        small-count regime without affecting large counts.
+        """
+        if self.is_empty():
+            return 0.0
+        mean_r = sum(self._lowest_zero(b) for b in self.bitmaps) / self.num_bitmaps
+        corrected = 2.0**mean_r - 2.0 ** (-_KAPPA * mean_r)
+        return max(0.0, self.num_bitmaps / PHI * corrected)
+
+    def is_empty(self) -> bool:
+        """True when no item was ever inserted."""
+        return all(bitmap == 0 for bitmap in self.bitmaps)
+
+    # -- sizing ----------------------------------------------------------------
+
+    def words(self) -> int:
+        """Transmission size in 32-bit words, using the RLE model of [17]."""
+        return max(1, rle_words_for_bitmaps(self.bitmaps, self.bits))
+
+    def raw_words(self) -> int:
+        """Un-encoded size: one word per bitmap."""
+        return self.num_bitmaps
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FMSketch):
+            return NotImplemented
+        return (
+            self.num_bitmaps == other.num_bitmaps
+            and self.bits == other.bits
+            and self.bitmaps == other.bitmaps
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FMSketch(B={self.num_bitmaps}, bits={self.bits}, "
+            f"estimate={self.estimate():.1f})"
+        )
+
+
+def _binomial(rng, n: int, p: float) -> int:
+    """Sample Binomial(n, p) from ``rng``.
+
+    Exact Bernoulli summation for small n; a clamped normal approximation for
+    large n (fine here: the samples only shape which high bits get set).
+    """
+    if n <= 0 or p <= 0.0:
+        return 0
+    if p >= 1.0:
+        return n
+    if n <= 64:
+        return sum(1 for _ in range(n) if rng.random() < p)
+    mean = n * p
+    std = (n * p * (1.0 - p)) ** 0.5
+    sample = int(round(rng.gauss(mean, std)))
+    return min(n, max(0, sample))

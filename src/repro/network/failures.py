@@ -1,0 +1,184 @@
+"""Failure models: how lossy each link is at each epoch.
+
+The paper's Section 7.1 studies two failure models over the Synthetic
+deployment:
+
+* ``Global(p)`` — every node experiences message loss rate ``p``.
+* ``Regional(p1, p2)`` — nodes inside the rectangle {(0,0),(10,10)} of the
+  20x20 area lose messages at rate ``p1``; everybody else at rate ``p2``.
+
+Loss in the paper is attributed to the *sending* node ("all nodes within the
+region experience a message loss rate of p1"), so our models resolve the loss
+probability from the sender's position. :class:`FailureSchedule` composes
+models over time for the Figure 6 timeline experiment, and
+:class:`LinkLossTable` supports per-link rates for LabData-style deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Protocol, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.placement import Deployment, NodeId, Point
+
+
+class FailureModel(Protocol):
+    """Resolves the loss probability of a transmission at a given epoch."""
+
+    def loss_rate(
+        self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
+    ) -> float:
+        """Probability that a message from ``sender`` to ``receiver`` is lost."""
+        ...
+
+
+def _check_rate(rate: float, label: str) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"{label} must be in [0, 1], got {rate}")
+    return rate
+
+
+@dataclass(frozen=True)
+class NoLoss:
+    """A perfectly reliable network (used for load measurements, Figure 8)."""
+
+    def loss_rate(
+        self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
+    ) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class GlobalLoss:
+    """``Global(p)``: a uniform loss rate for every transmission."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "rate")
+
+    def loss_rate(
+        self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
+    ) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class RegionalLoss:
+    """``Regional(p1, p2)``: loss ``p1`` inside a rectangle, ``p2`` outside.
+
+    The default rectangle is the paper's {(0,0),(10,10)} quadrant of the
+    20x20 Synthetic deployment. The *sender's* position decides the rate.
+    """
+
+    inside_rate: float
+    outside_rate: float
+    lower: Point = (0.0, 0.0)
+    upper: Point = (10.0, 10.0)
+
+    def __post_init__(self) -> None:
+        _check_rate(self.inside_rate, "inside_rate")
+        _check_rate(self.outside_rate, "outside_rate")
+        if self.lower[0] > self.upper[0] or self.lower[1] > self.upper[1]:
+            raise ConfigurationError("regional rectangle has negative extent")
+
+    def contains(self, deployment: Deployment, node: NodeId) -> bool:
+        """Whether ``node`` sits inside the failure rectangle."""
+        x, y = deployment.position(node)
+        return (
+            self.lower[0] <= x <= self.upper[0]
+            and self.lower[1] <= y <= self.upper[1]
+        )
+
+    def loss_rate(
+        self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
+    ) -> float:
+        if self.contains(deployment, sender):
+            return self.inside_rate
+        return self.outside_rate
+
+
+@dataclass(frozen=True)
+class LinkLossTable:
+    """Explicit per-link loss rates with a default fallback.
+
+    Used by the LabData reconstruction, where each (sender, receiver) link has
+    its own measured-style loss rate.
+    """
+
+    rates: Dict[Tuple[NodeId, NodeId], float]
+    default: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate(self.default, "default")
+        for pair, rate in self.rates.items():
+            _check_rate(rate, f"rate for link {pair}")
+
+    def loss_rate(
+        self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
+    ) -> float:
+        return self.rates.get((sender, receiver), self.default)
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """A piecewise-constant timeline of failure models.
+
+    ``phases`` is a list of (start_epoch, model); the model whose start epoch
+    is the largest one not exceeding the current epoch applies. The paper's
+    Figure 6 timeline is::
+
+        FailureSchedule([
+            (0,   GlobalLoss(0.0)),
+            (100, RegionalLoss(0.3, 0.0)),
+            (200, GlobalLoss(0.3)),
+            (300, GlobalLoss(0.0)),
+        ])
+    """
+
+    phases: Sequence[Tuple[int, FailureModel]]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("schedule needs at least one phase")
+        starts = [start for start, _ in self.phases]
+        if starts != sorted(starts):
+            raise ConfigurationError("schedule phases must be sorted by start epoch")
+        if starts[0] != 0:
+            raise ConfigurationError("first phase must start at epoch 0")
+
+    def model_at(self, epoch: int) -> FailureModel:
+        """Return the failure model in force at ``epoch``."""
+        current = self.phases[0][1]
+        for start, model in self.phases:
+            if start <= epoch:
+                current = model
+            else:
+                break
+        return current
+
+    def loss_rate(
+        self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
+    ) -> float:
+        return self.model_at(epoch).loss_rate(deployment, sender, receiver, epoch)
+
+
+@dataclass(frozen=True)
+class ComposedLoss:
+    """Combine a baseline (radio-quality) loss with a failure model.
+
+    A message survives only if it survives both the radio's distance-based
+    loss and the scenario's failure-model loss; the combined loss rate is
+    ``1 - (1 - base)(1 - failure)``.
+    """
+
+    base_rates: Dict[Tuple[NodeId, NodeId], float]
+    failure: FailureModel
+
+    def loss_rate(
+        self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
+    ) -> float:
+        base = self.base_rates.get((sender, receiver), 0.0)
+        extra = self.failure.loss_rate(deployment, sender, receiver, epoch)
+        return 1.0 - (1.0 - base) * (1.0 - extra)

@@ -1,0 +1,168 @@
+"""The lossy channel: per-transmission, per-receiver Bernoulli delivery.
+
+Both aggregation families transmit once per node per epoch; the difference is
+who listens. A tree node unicasts to its parent; a multi-path node's single
+broadcast is heard (independently) by each lower-level ring neighbour. We
+model each (sender, receiver, epoch, attempt) delivery as an independent
+Bernoulli draw with the failure model's loss rate — the standard model in the
+synopsis-diffusion analyses the paper builds on.
+
+All draws are deterministic in (seed, sender, receiver, epoch, attempt), so
+two schemes run over the same channel seed see *identical* loss patterns;
+this is what makes scheme comparisons (TAG vs SD vs TD) paired rather than
+noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro._hashing import hash_unit
+from repro.network.failures import FailureModel
+from repro.network.placement import Deployment, NodeId
+
+
+@dataclass
+class TransmissionLog:
+    """Counters for one epoch of channel activity.
+
+    Attributes:
+        transmissions: physical sends (a broadcast counts once).
+        deliveries: successful (sender, receiver) receptions.
+        drops: failed (sender, receiver) receptions.
+        words_sent: total payload words across transmissions.
+        messages_sent: total TinyDB messages across transmissions (one
+            transmission may need several messages if its payload is large).
+    """
+
+    transmissions: int = 0
+    deliveries: int = 0
+    drops: int = 0
+    words_sent: int = 0
+    messages_sent: int = 0
+
+    def merge(self, other: "TransmissionLog") -> None:
+        """Accumulate another log into this one."""
+        self.transmissions += other.transmissions
+        self.deliveries += other.deliveries
+        self.drops += other.drops
+        self.words_sent += other.words_sent
+        self.messages_sent += other.messages_sent
+
+
+class Channel:
+    """Draws delivery outcomes for transmissions under a failure model."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        failure_model: FailureModel,
+        seed: int = 0,
+    ) -> None:
+        self._deployment = deployment
+        self._failure_model = failure_model
+        self._seed = seed
+        self.log = TransmissionLog()
+        self._per_node_words: Dict[NodeId, int] = {}
+        self._per_node_messages: Dict[NodeId, int] = {}
+
+    @property
+    def deployment(self) -> Deployment:
+        """The deployment this channel serves."""
+        return self._deployment
+
+    @property
+    def failure_model(self) -> FailureModel:
+        """The failure model currently in force."""
+        return self._failure_model
+
+    def set_failure_model(self, model: FailureModel) -> None:
+        """Swap the failure model (used by scheduled/timeline experiments)."""
+        self._failure_model = model
+
+    def loss_rate(self, sender: NodeId, receiver: NodeId, epoch: int) -> float:
+        """The loss probability for one (sender -> receiver) attempt."""
+        return self._failure_model.loss_rate(
+            self._deployment, sender, receiver, epoch
+        )
+
+    def delivered(
+        self, sender: NodeId, receiver: NodeId, epoch: int, attempt: int = 0
+    ) -> bool:
+        """Draw whether one transmission attempt is received.
+
+        Deterministic in (seed, sender, receiver, epoch, attempt).
+        """
+        loss = self.loss_rate(sender, receiver, epoch)
+        if loss <= 0.0:
+            return True
+        if loss >= 1.0:
+            return False
+        draw = hash_unit("channel", self._seed, sender, receiver, epoch, attempt)
+        return draw >= loss
+
+    def transmit(
+        self,
+        sender: NodeId,
+        receivers: Iterable[NodeId],
+        epoch: int,
+        words: int,
+        messages: int = 1,
+        attempts: int = 1,
+    ) -> List[NodeId]:
+        """Perform one logical transmission and return who received it.
+
+        A broadcast to k receivers is ONE physical transmission (the radio
+        medium is shared); each receiver draws delivery independently. With
+        ``attempts > 1`` (retransmissions, Figure 9b) every attempt is a fresh
+        physical transmission and a receiver hears the payload if *any*
+        attempt reaches it.
+
+        Args:
+            sender: transmitting node.
+            receivers: nodes listening for this transmission.
+            epoch: current epoch (keys the loss draw).
+            words: payload size in 32-bit words (for energy accounting).
+            messages: number of TinyDB messages this payload occupies.
+            attempts: total send attempts (1 = no retransmission).
+
+        Returns:
+            The sorted list of receivers that got the payload.
+        """
+        receiver_list = list(receivers)
+        self.log.transmissions += attempts
+        self.log.words_sent += words * attempts
+        self.log.messages_sent += messages * attempts
+        self._per_node_words[sender] = (
+            self._per_node_words.get(sender, 0) + words * attempts
+        )
+        self._per_node_messages[sender] = (
+            self._per_node_messages.get(sender, 0) + messages * attempts
+        )
+        heard: List[NodeId] = []
+        for receiver in receiver_list:
+            success = any(
+                self.delivered(sender, receiver, epoch, attempt)
+                for attempt in range(attempts)
+            )
+            if success:
+                heard.append(receiver)
+                self.log.deliveries += 1
+            else:
+                self.log.drops += 1
+        return sorted(heard)
+
+    def per_node_words(self) -> Dict[NodeId, int]:
+        """Cumulative words transmitted per node (load accounting)."""
+        return dict(self._per_node_words)
+
+    def per_node_messages(self) -> Dict[NodeId, int]:
+        """Cumulative messages transmitted per node."""
+        return dict(self._per_node_messages)
+
+    def reset_log(self) -> TransmissionLog:
+        """Return the current log and start a fresh one."""
+        finished = self.log
+        self.log = TransmissionLog()
+        return finished

@@ -1,0 +1,161 @@
+"""Sensor deployments: where the motes and the base station sit.
+
+A :class:`Deployment` is a pure description of sensor positions; radio
+connectivity and loss are layered on top by :mod:`repro.network.radio` and
+:mod:`repro.network.failures`. The paper's ``Synthetic`` scenario (Section
+7.1) is 600 sensors placed uniformly at random in a 20 ft x 20 ft area with
+the base station at (10, 10); :func:`grid_random_placement` builds exactly
+that family of deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro._hashing import stream_rng
+from repro.errors import ConfigurationError
+
+#: Node identifier type. The base station is always node 0.
+NodeId = int
+
+#: The base station's reserved node id.
+BASE_STATION: NodeId = 0
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """An immutable set of sensor positions plus a base station.
+
+    Attributes:
+        positions: mapping from node id to (x, y) coordinates. Node 0 is the
+            base station and must be present.
+        width: width of the deployment area (used by regional failure models
+            and by plotting/rendering helpers).
+        height: height of the deployment area.
+        name: human-readable label used in experiment reports.
+    """
+
+    positions: Dict[NodeId, Point]
+    width: float
+    height: float
+    name: str = "deployment"
+
+    def __post_init__(self) -> None:
+        if BASE_STATION not in self.positions:
+            raise ConfigurationError("deployment must include base station node 0")
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("deployment area must have positive size")
+
+    @property
+    def base_station(self) -> NodeId:
+        """The base station node id (always 0)."""
+        return BASE_STATION
+
+    @property
+    def sensor_ids(self) -> List[NodeId]:
+        """All node ids except the base station, in sorted order."""
+        return sorted(node for node in self.positions if node != BASE_STATION)
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        """All node ids including the base station, in sorted order."""
+        return sorted(self.positions)
+
+    @property
+    def num_sensors(self) -> int:
+        """Number of sensor motes (excluding the base station)."""
+        return len(self.positions) - 1
+
+    def position(self, node: NodeId) -> Point:
+        """Return the (x, y) position of ``node``."""
+        return self.positions[node]
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        """Euclidean distance between two nodes."""
+        ax, ay = self.positions[a]
+        bx, by = self.positions[b]
+        return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
+
+    def nodes_in_rect(
+        self, lower: Point, upper: Point, include_base: bool = False
+    ) -> List[NodeId]:
+        """Return nodes whose positions fall inside an axis-aligned rectangle.
+
+        Args:
+            lower: (x, y) of the rectangle's lower-left corner.
+            upper: (x, y) of the rectangle's upper-right corner.
+            include_base: whether the base station may be included.
+        """
+        (lx, ly), (ux, uy) = lower, upper
+        selected = []
+        for node, (x, y) in self.positions.items():
+            if node == BASE_STATION and not include_base:
+                continue
+            if lx <= x <= ux and ly <= y <= uy:
+                selected.append(node)
+        return sorted(selected)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.node_ids)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+def grid_random_placement(
+    num_sensors: int,
+    width: float = 20.0,
+    height: float = 20.0,
+    base_position: Point | None = None,
+    seed: int = 0,
+    name: str | None = None,
+) -> Deployment:
+    """Place ``num_sensors`` motes uniformly at random in a rectangle.
+
+    This reproduces the paper's ``Synthetic`` scenario generator: 600 sensors
+    in a 20 x 20 area with the base station at (10, 10). The placement is
+    deterministic in ``seed``.
+
+    Args:
+        num_sensors: number of sensor motes (the base station is extra).
+        width: area width.
+        height: area height.
+        base_position: base-station position; defaults to the area centre.
+        seed: RNG seed; the same seed always yields the same deployment.
+        name: label for reports; defaults to ``synthetic-<n>``.
+    """
+    if num_sensors <= 0:
+        raise ConfigurationError("num_sensors must be positive")
+    rng = stream_rng("placement", seed, num_sensors, width, height)
+    if base_position is None:
+        base_position = (width / 2.0, height / 2.0)
+    positions: Dict[NodeId, Point] = {BASE_STATION: base_position}
+    for node in range(1, num_sensors + 1):
+        positions[node] = (rng.uniform(0.0, width), rng.uniform(0.0, height))
+    return Deployment(
+        positions=positions,
+        width=width,
+        height=height,
+        name=name or f"synthetic-{num_sensors}",
+    )
+
+
+def placement_from_points(
+    points: Sequence[Point],
+    base_position: Point,
+    width: float,
+    height: float,
+    name: str = "custom",
+) -> Deployment:
+    """Build a deployment from explicit sensor coordinates.
+
+    ``points`` become nodes 1..n in order; the base station is node 0 at
+    ``base_position``. Used by the LabData reconstruction and by tests.
+    """
+    positions: Dict[NodeId, Point] = {BASE_STATION: base_position}
+    for index, point in enumerate(points, start=1):
+        positions[index] = (float(point[0]), float(point[1]))
+    return Deployment(positions=positions, width=width, height=height, name=name)

@@ -1,0 +1,327 @@
+"""Declarative continuous queries: predicates, windows, and aggregates.
+
+The paper's aggregation set-up (Section 2): "Aggregate queries, which may
+be one-time or continuous, are sent from the base station to all the
+nodes. Queries may aggregate over a single value at each sensor (e.g., the
+most recent reading) or over a window of values from each sensor's stream
+of readings. Each sensor node evaluates the query locally (including any
+predicates), and produces a local result."
+
+This module supplies that query layer over the aggregation schemes:
+
+* :class:`WindowedReadings` — per-sensor sliding windows (MEAN / SUM /
+  MIN / MAX / LAST over the most recent ``size`` readings);
+* :class:`FilteredAggregate` — WHERE-clause evaluation at the sensor: a
+  node whose windowed value fails the predicate contributes the
+  aggregate's neutral element but keeps relaying (and keeps counting
+  toward the %-contributing adaptation feedback — the paper's threshold
+  is about nodes *accounted for*, not nodes matching);
+* :class:`ContinuousQuery` — the bundle, with :func:`parse_query` parsing
+  a TinyDB-flavoured one-liner::
+
+      SELECT avg WHERE value > 20 WINDOW 5 MEAN
+
+Compile a query against a readings source with :meth:`ContinuousQuery.build`
+and hand the results to any scheme (TAG / SD / Tributary-Delta).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregates.average import AverageAggregate
+from repro.aggregates.base import Aggregate
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.minmax import MaxAggregate, MinAggregate
+from repro.aggregates.sample import UniformSampleAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.errors import ConfigurationError
+from repro.network.simulator import ReadingFn
+
+#: value predicate applied at each sensor.
+Predicate = Callable[[float], bool]
+
+#: window reduction names -> implementations over a non-empty list.
+_WINDOW_OPS: Dict[str, Callable[[List[float]], float]] = {
+    "MEAN": lambda values: sum(values) / len(values),
+    "SUM": lambda values: float(sum(values)),
+    "MIN": lambda values: float(min(values)),
+    "MAX": lambda values: float(max(values)),
+    "LAST": lambda values: float(values[-1]),
+}
+
+#: SELECT targets -> aggregate factories.
+AGGREGATE_FACTORIES: Dict[str, Callable[[], Aggregate]] = {
+    "count": CountAggregate,
+    "sum": SumAggregate,
+    "avg": AverageAggregate,
+    "min": MinAggregate,
+    "max": MaxAggregate,
+    "sample": UniformSampleAggregate,
+}
+
+_COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class WindowedReadings:
+    """A sliding window over each sensor's stream of readings.
+
+    The windowed value at epoch e reduces the source readings at epochs
+    ``max(0, e - size + 1) .. e`` — early epochs use the available prefix,
+    so the window "fills up" like a real deployment's would.
+    """
+
+    def __init__(
+        self, source: ReadingFn, size: int, op: str = "MEAN"
+    ) -> None:
+        if size < 1:
+            raise ConfigurationError("window size must be at least 1")
+        op = op.upper()
+        if op not in _WINDOW_OPS:
+            raise ConfigurationError(
+                f"unknown window op {op!r}; choose from {sorted(_WINDOW_OPS)}"
+            )
+        self._source = source
+        self.size = size
+        self.op = op
+        self._reduce = _WINDOW_OPS[op]
+
+    def __call__(self, node: int, epoch: int) -> float:
+        start = max(0, epoch - self.size + 1)
+        values = [self._source(node, e) for e in range(start, epoch + 1)]
+        return self._reduce(values)
+
+
+class FilteredAggregate(Aggregate):
+    """WHERE-clause wrapper: non-matching sensors contribute nothing.
+
+    The wrapped aggregate must implement ``tree_empty``/``synopsis_empty``
+    (all built-in aggregates do). Filtered nodes still relay traffic and
+    still register in the contributing-count piggyback, so adaptation
+    feedback remains about network health, not query selectivity.
+    """
+
+    def __init__(self, inner: Aggregate, predicate: Predicate) -> None:
+        # Fail fast if the inner aggregate has no neutral elements.
+        inner.tree_empty()
+        inner.synopsis_empty()
+        self._inner = inner
+        self._predicate = predicate
+        self.name = f"{inner.name}[filtered]"
+
+    @property
+    def inner(self) -> Aggregate:
+        return self._inner
+
+    # -- tree ------------------------------------------------------------
+
+    def tree_local(self, node: int, epoch: int, reading: float):
+        if self._predicate(reading):
+            return self._inner.tree_local(node, epoch, reading)
+        return self._inner.tree_empty()
+
+    def tree_merge(self, a, b):
+        return self._inner.tree_merge(a, b)
+
+    def tree_eval(self, partial) -> float:
+        return self._inner.tree_eval(partial)
+
+    def tree_words(self, partial) -> int:
+        return self._inner.tree_words(partial)
+
+    # -- multi-path ----------------------------------------------------------
+
+    def synopsis_local(self, node: int, epoch: int, reading: float):
+        if self._predicate(reading):
+            return self._inner.synopsis_local(node, epoch, reading)
+        return self._inner.synopsis_empty()
+
+    def synopsis_fuse(self, a, b):
+        return self._inner.synopsis_fuse(a, b)
+
+    def synopsis_eval(self, synopsis) -> float:
+        return self._inner.synopsis_eval(synopsis)
+
+    def synopsis_words(self, synopsis) -> int:
+        return self._inner.synopsis_words(synopsis)
+
+    # -- neutral elements / conversion ----------------------------------------
+
+    def tree_empty(self):
+        return self._inner.tree_empty()
+
+    def synopsis_empty(self):
+        return self._inner.synopsis_empty()
+
+    def convert(self, partial, sender: int, epoch: int):
+        return self._inner.convert(partial, sender, epoch)
+
+    def mixed_eval(self, partials, fused) -> float:
+        return self._inner.mixed_eval(partials, fused)
+
+    # -- truth ---------------------------------------------------------------------
+
+    def exact(self, readings: Sequence[float]) -> float:
+        matching = [r for r in readings if self._predicate(r)]
+        if not matching:
+            # What a loss-free network would report: the neutral element
+            # (0 for Count/Sum, +/-inf for Min/Max).
+            return self._inner.tree_eval(self._inner.tree_empty())
+        return self._inner.exact(matching)
+
+    def synopsis_counts_contributors(self) -> bool:
+        """Filtered Count counts *matching* sensors, not contributing ones,
+        so the contributing-count piggyback must still travel."""
+        return False
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    """``value <comparator> <constant>`` evaluated at each sensor."""
+
+    comparator: str
+    constant: float
+
+    def __post_init__(self) -> None:
+        if self.comparator not in _COMPARATORS:
+            raise ConfigurationError(
+                f"unknown comparator {self.comparator!r}; "
+                f"choose from {sorted(_COMPARATORS)}"
+            )
+
+    def predicate(self) -> Predicate:
+        compare = _COMPARATORS[self.comparator]
+        constant = self.constant
+        return lambda value: compare(value, constant)
+
+    def render(self) -> str:
+        return f"value {self.comparator} {self.constant:g}"
+
+
+@dataclass(frozen=True)
+class ContinuousQuery:
+    """A declarative continuous aggregation query.
+
+    Attributes:
+        select: aggregate name (``count``/``sum``/``avg``/``min``/``max``/
+            ``sample``).
+        where: optional predicate on the (windowed) sensor value.
+        window: optional window size (epochs); 1 or None = latest reading.
+        window_op: window reduction (MEAN/SUM/MIN/MAX/LAST).
+    """
+
+    select: str
+    where: Optional[WhereClause] = None
+    window: Optional[int] = None
+    window_op: str = "MEAN"
+
+    def __post_init__(self) -> None:
+        if self.select not in AGGREGATE_FACTORIES:
+            raise ConfigurationError(
+                f"unknown aggregate {self.select!r}; "
+                f"choose from {sorted(AGGREGATE_FACTORIES)}"
+            )
+        if self.window is not None and self.window < 1:
+            raise ConfigurationError("window must be at least 1 epoch")
+        if self.window_op.upper() not in _WINDOW_OPS:
+            raise ConfigurationError(
+                f"unknown window op {self.window_op!r}"
+            )
+
+    def build(self, source: ReadingFn) -> Tuple[Aggregate, ReadingFn]:
+        """Compile to (aggregate, readings) for any aggregation scheme."""
+        readings: ReadingFn = source
+        if self.window is not None and self.window > 1:
+            readings = WindowedReadings(source, self.window, self.window_op)
+        aggregate = AGGREGATE_FACTORIES[self.select]()
+        if self.where is not None:
+            aggregate = FilteredAggregate(aggregate, self.where.predicate())
+        return aggregate, readings
+
+    def render(self) -> str:
+        parts = [f"SELECT {self.select}"]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.render()}")
+        if self.window is not None and self.window > 1:
+            parts.append(f"WINDOW {self.window} {self.window_op.upper()}")
+        return " ".join(parts)
+
+
+def parse_query(text: str) -> ContinuousQuery:
+    """Parse ``SELECT <agg> [WHERE value <op> <c>] [WINDOW <n> [<op>]]``.
+
+    Case-insensitive keywords; the only predicate subject is ``value`` (a
+    sensor's current, possibly windowed, reading) — matching the paper's
+    single-attribute query model.
+
+    >>> parse_query("SELECT avg WHERE value > 20 WINDOW 5 MEAN").select
+    'avg'
+    """
+    tokens = text.split()
+    if not tokens:
+        raise ConfigurationError("empty query")
+    position = 0
+
+    def expect(keyword: str) -> None:
+        nonlocal position
+        if position >= len(tokens) or tokens[position].upper() != keyword:
+            raise ConfigurationError(
+                f"expected {keyword} at token {position} of {text!r}"
+            )
+        position += 1
+
+    def take() -> str:
+        nonlocal position
+        if position >= len(tokens):
+            raise ConfigurationError(f"query {text!r} ended unexpectedly")
+        token = tokens[position]
+        position += 1
+        return token
+
+    expect("SELECT")
+    select = take().lower()
+    where: Optional[WhereClause] = None
+    window: Optional[int] = None
+    window_op = "MEAN"
+    while position < len(tokens):
+        keyword = take().upper()
+        if keyword == "WHERE":
+            subject = take().lower()
+            if subject != "value":
+                raise ConfigurationError(
+                    f"only 'value' predicates are supported, got {subject!r}"
+                )
+            comparator = take()
+            try:
+                constant = float(take())
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"WHERE constant is not a number in {text!r}"
+                ) from error
+            where = WhereClause(comparator=comparator, constant=constant)
+        elif keyword == "WINDOW":
+            try:
+                window = int(take())
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"WINDOW size is not an integer in {text!r}"
+                ) from error
+            if position < len(tokens) and tokens[position].upper() in _WINDOW_OPS:
+                window_op = take().upper()
+        else:
+            raise ConfigurationError(
+                f"unexpected token {keyword!r} in {text!r}"
+            )
+    return ContinuousQuery(
+        select=select, where=where, window=window, window_op=window_op
+    )

@@ -1,0 +1,30 @@
+"""Spanning-tree substrate: structure, construction, and d-domination.
+
+* :mod:`repro.tree.structure` — the :class:`Tree` value type (parents,
+  children, heights, traversal orders).
+* :mod:`repro.tree.construction` — TAG-style tree construction and the
+  paper's bushy construction with opportunistic parent switching (§6.1.3).
+* :mod:`repro.tree.domination` — height profiles H(i), d-domination tests,
+  and domination factors (§6.1.2, Table 2).
+"""
+
+from repro.tree.structure import Tree
+from repro.tree.construction import build_bushy_tree, build_tag_tree
+from repro.tree.domination import (
+    domination_factor,
+    height_profile,
+    height_profile_fractions,
+    is_d_dominating,
+    tree_from_height_profile,
+)
+
+__all__ = [
+    "Tree",
+    "build_bushy_tree",
+    "build_tag_tree",
+    "domination_factor",
+    "height_profile",
+    "height_profile_fractions",
+    "is_d_dominating",
+    "tree_from_height_profile",
+]

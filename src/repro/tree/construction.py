@@ -1,0 +1,172 @@
+"""Tree construction: TAG baseline and the paper's bushy builder (§6.1.3).
+
+Two algorithms:
+
+* :func:`build_tag_tree` — the standard construction [10]: each node picks a
+  parent among neighbours at its own level or one level up. Same-level
+  parents lengthen paths and flatten the height profile, which is why these
+  trees have *low* domination factors (Figure 7's "TAG Tree" series).
+
+* :func:`build_bushy_tree` — the paper's construction. Two changes: (1)
+  parents come strictly from ring level i-1 (this also enforces the
+  Tributary-Delta synchronisation constraint "tree links are a subset of
+  rings links"); (2) *opportunistic parent switching*: a node of height j+1
+  with two or more height-j children pins two of them and flags itself;
+  non-pinned nodes then switch parents randomly to reachable non-flagged
+  level-(i-1) nodes, and any non-flagged node that accumulates two flagged
+  children of the same height pins them and flags itself. Lemma 2 then makes
+  the tree (locally) 2-dominating wherever possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro._hashing import stream_rng
+from repro.errors import TopologyError
+from repro.network.placement import BASE_STATION, NodeId
+from repro.network.rings import RingsTopology
+from repro.tree.structure import Tree
+
+
+def build_tag_tree(
+    rings: RingsTopology,
+    seed: int = 0,
+    same_level_fraction: float = 0.3,
+) -> Tree:
+    """Standard (TAG-style) tree construction over the rings' radio graph.
+
+    Every node first adopts a random upstream (level i-1) neighbour; then a
+    ``same_level_fraction`` of nodes re-parent to a random same-level
+    neighbour, as the standard algorithm permits [10]. Same-level parents are
+    only adopted when they keep the tree acyclic (the chosen parent must not
+    be a descendant and must itself still have an upstream parent).
+    """
+    rng = stream_rng("tag-tree", seed)
+    parents: Dict[NodeId, NodeId] = {}
+    for node in sorted(rings.levels):
+        if node == BASE_STATION:
+            continue
+        upstream = rings.upstream_neighbors(node)
+        if not upstream:
+            raise TopologyError(f"node {node} has no upstream neighbour")
+        parents[node] = rng.choice(upstream)
+
+    # Second pass: some nodes adopt a same-level parent, which is what makes
+    # TAG trees stringy (chains within a ring) and lowers their domination
+    # factor relative to the paper's construction.
+    candidates = [node for node in sorted(parents) if rings.level(node) >= 1]
+    rng.shuffle(candidates)
+    switch_count = int(len(candidates) * same_level_fraction)
+    switched = 0
+    upstream_parented: Set[NodeId] = set(parents)
+    for node in candidates:
+        if switched >= switch_count:
+            break
+        peers = [
+            peer
+            for peer in rings.same_level_neighbors(node)
+            if peer in upstream_parented and peer != node
+        ]
+        if not peers:
+            continue
+        chosen = rng.choice(peers)
+        # The chosen parent keeps its upstream parent, so the only cycle risk
+        # is `chosen` being below `node`; since `chosen` currently hangs off
+        # an upstream parent (never off `node`), paths stay acyclic as long
+        # as we do not let an already-switched node become a parent target.
+        parents[node] = chosen
+        upstream_parented.discard(node)
+        switched += 1
+    return Tree(parents=parents, root=BASE_STATION)
+
+
+def build_bushy_tree(
+    rings: RingsTopology,
+    seed: int = 0,
+    max_rounds: int = 30,
+) -> Tree:
+    """The paper's tree construction with opportunistic parent switching.
+
+    Returns a tree whose links are all (child at level i, parent at level
+    i-1) rings links, after ``max_rounds`` of the pin-and-flag local search
+    (or earlier if a round changes nothing).
+    """
+    rng = stream_rng("bushy-tree", seed)
+    parents: Dict[NodeId, NodeId] = {}
+    for node in sorted(rings.levels):
+        if node == BASE_STATION:
+            continue
+        upstream = rings.upstream_neighbors(node)
+        if not upstream:
+            raise TopologyError(f"node {node} has no upstream neighbour")
+        parents[node] = rng.choice(upstream)
+
+    pinned: Set[NodeId] = set()
+    flagged: Set[NodeId] = set()
+
+    for _ in range(max_rounds):
+        tree = Tree(parents=dict(parents), root=BASE_STATION)
+        grew = _pin_and_flag(tree, pinned, flagged)
+
+        # Non-pinned nodes explore: switch to a random reachable non-flagged
+        # node one ring closer to the base station.
+        switched_any = False
+        for node in sorted(parents):
+            if node in pinned:
+                continue
+            options = [
+                upstream
+                for upstream in rings.upstream_neighbors(node)
+                if upstream not in flagged and upstream != parents[node]
+            ]
+            if not options:
+                continue
+            parents[node] = rng.choice(options)
+            switched_any = True
+
+        if not grew and not switched_any:
+            break
+
+    # Final bookkeeping pass so the last round's switches can still pin.
+    tree = Tree(parents=dict(parents), root=BASE_STATION)
+    _pin_and_flag(tree, pinned, flagged)
+    return tree
+
+
+def _pin_and_flag(tree: Tree, pinned: Set[NodeId], flagged: Set[NodeId]) -> bool:
+    """Apply the paper's pinning rules; return whether anything changed.
+
+    Rule 1: a node of height j+1 with >= 2 children of height j pins two of
+    them and flags itself. Rule 2: a non-flagged node with >= 2 flagged
+    children of the same height pins both and flags itself. Rule 2 is what
+    propagates bushiness up the tree.
+    """
+    heights = tree.heights()
+    children = tree.children_map()
+    changed = False
+    for node in tree.nodes:
+        if node in flagged:
+            continue
+        kids = children[node]
+        if not kids:
+            continue
+        node_height = heights[node]
+        top_kids = [k for k in kids if heights[k] == node_height - 1]
+        flagged_by_height: Dict[int, List[NodeId]] = {}
+        for kid in kids:
+            if kid in flagged:
+                flagged_by_height.setdefault(heights[kid], []).append(kid)
+        pair: Optional[List[NodeId]] = None
+        if len(top_kids) >= 2:
+            pair = top_kids[:2]
+        else:
+            for _, group in sorted(flagged_by_height.items()):
+                if len(group) >= 2:
+                    pair = sorted(group)[:2]
+                    break
+        if pair is not None:
+            pinned.update(pair)
+            flagged.add(node)
+            changed = True
+    return changed

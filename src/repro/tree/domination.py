@@ -1,0 +1,166 @@
+"""d-dominating trees: height profiles, H(i), and domination factors (§6.1.2).
+
+For a tree with m nodes let h(j) be the number of nodes of height j and
+H(i) = (1/m) * sum_{j<=i} h(j) the fraction of nodes with height at most i.
+A tree is *d-dominating* (d >= 1) if for every i >= 1::
+
+    H(i) >= (d-1)/d * (1 + 1/d + ... + 1/d^(i-1))
+
+Every tree is 1-dominating; the *domination factor* is the largest d (at a
+granularity, the paper uses 0.05) for which the tree is d-dominating. The Min
+Total-load precision gradient's constant factor is (1 + 2/(sqrt(d)-1)), so
+larger d means provably less communication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.tree.structure import Tree
+
+
+def height_profile(tree: Tree) -> List[int]:
+    """Return [h(1), h(2), ..., h(height)] for a tree.
+
+    For any tree h(i) >= h(i+1): every node of height i+1 owes its height to
+    at least one child of height i.
+    """
+    heights = tree.heights()
+    top = max(heights.values())
+    profile = [0] * top
+    for node_height in heights.values():
+        profile[node_height - 1] += 1
+    return profile
+
+
+def height_profile_fractions(profile: Sequence[int]) -> List[float]:
+    """Cumulative fractions H(i) for a height profile."""
+    total = sum(profile)
+    if total <= 0:
+        raise ConfigurationError("height profile cannot be empty")
+    fractions: List[float] = []
+    running = 0
+    for count in profile:
+        running += count
+        fractions.append(running / total)
+    return fractions
+
+
+def _dominating_bound(d: float, i: int) -> float:
+    """The required H(i) lower bound for a d-dominating tree."""
+    if d == 1.0:
+        return 0.0
+    ratio = 1.0 / d
+    geometric = (1.0 - ratio**i) / (1.0 - ratio)
+    return (d - 1.0) / d * geometric
+
+
+def profile_is_d_dominating(profile: Sequence[int], d: float) -> bool:
+    """Whether a height profile satisfies the d-domination inequalities."""
+    if d < 1.0:
+        raise ConfigurationError("d must be at least 1")
+    fractions = height_profile_fractions(profile)
+    epsilon = 1e-12
+    return all(
+        fraction + epsilon >= _dominating_bound(d, i)
+        for i, fraction in enumerate(fractions, start=1)
+    )
+
+
+def is_d_dominating(tree: Tree, d: float) -> bool:
+    """Whether ``tree`` is d-dominating."""
+    return profile_is_d_dominating(height_profile(tree), d)
+
+
+def domination_factor(
+    tree: Tree, granularity: float = 0.05, max_d: float | None = None
+) -> float:
+    """The largest d (on a granularity grid) such that ``tree`` is d-dominating.
+
+    The paper assumes granularity 0.05 (e.g. the Table 2 example tree "has a
+    domination factor of 2, i.e. is not 2.05-dominating"). The search is a
+    linear scan of the grid; the condition is monotone in d (a (d+delta)-
+    dominating tree is d-dominating), so the scan stops at the first failure.
+    """
+    if granularity <= 0:
+        raise ConfigurationError("granularity must be positive")
+    profile = height_profile(tree)
+    if max_d is None:
+        max_d = float(sum(profile))
+    best = 1.0
+    steps = int((max_d - 1.0) / granularity) + 1
+    for step in range(1, steps + 1):
+        candidate = 1.0 + step * granularity
+        if candidate > max_d:
+            break
+        if profile_is_d_dominating(profile, candidate):
+            best = candidate
+        else:
+            break
+    return round(best, 10)
+
+
+def min_children_of_lower_height(tree: Tree) -> int:
+    """The smallest, over internal nodes, count of height-(i-1) children.
+
+    Lemma 2: if every internal node of height i has at least d children of
+    height i-1, the tree is d-dominating. This helper returns that d.
+    """
+    heights = tree.heights()
+    children = tree.children_map()
+    minimum = None
+    for node, node_height in heights.items():
+        if not children[node]:
+            continue
+        matching = sum(
+            1 for child in children[node] if heights[child] == node_height - 1
+        )
+        minimum = matching if minimum is None else min(minimum, matching)
+    return minimum if minimum is not None else 0
+
+
+def tree_from_height_profile(profile: Sequence[int], root: int = 0) -> Tree:
+    """Construct a tree realising a given height profile exactly.
+
+    Used to regenerate the paper's Table 2: ``tree_from_height_profile(
+    [37, 10, 6, 1])`` builds the example tree Te, and ``[8, 4, 2, 1]`` the
+    regular degree-2 tree T2.
+
+    The profile must be positive and non-increasing, with a single node at
+    the top height (the root): any other shape is unrealisable, because each
+    height-(i+1) node needs at least one height-i child.
+
+    Node ids are assigned deterministically: the root is ``root``; remaining
+    nodes are numbered breadth-first by decreasing height.
+    """
+    if not profile:
+        raise ConfigurationError("profile cannot be empty")
+    if any(count <= 0 for count in profile):
+        raise ConfigurationError("profile entries must be positive")
+    for lower, higher in zip(profile, profile[1:]):
+        if lower < higher:
+            raise ConfigurationError(
+                "profile must be non-increasing: each height-(i+1) node "
+                "needs a height-i child"
+            )
+    if profile[-1] != 1:
+        raise ConfigurationError("exactly one node (the root) has the top height")
+
+    top = len(profile)
+    next_id = root + 1
+    ids_by_height: Dict[int, List[int]] = {top: [root]}
+    for height in range(top - 1, 0, -1):
+        count = profile[height - 1]
+        ids_by_height[height] = list(range(next_id, next_id + count))
+        next_id += count
+
+    parents: Dict[int, int] = {}
+    for height in range(top - 1, 0, -1):
+        nodes = ids_by_height[height]
+        hosts = ids_by_height[height + 1]
+        # First give every height-(h+1) node one height-h child (this is what
+        # makes its height correct), then spread the remainder round-robin.
+        for index, node in enumerate(nodes):
+            parents[node] = hosts[index % len(hosts)]
+    return Tree(parents=parents, root=root)

@@ -1,0 +1,36 @@
+"""Shared fixtures: small scenarios used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.labdata import LabDataScenario
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.tree.construction import build_bushy_tree, build_tag_tree
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A 60-sensor connected synthetic scenario (fast to simulate)."""
+    return make_synthetic_scenario(num_sensors=60, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_scenario():
+    """A 150-sensor scenario for statistical assertions."""
+    return make_synthetic_scenario(num_sensors=150, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_scenario):
+    return build_bushy_tree(small_scenario.rings, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_tree(medium_scenario):
+    return build_bushy_tree(medium_scenario.rings, seed=7)
+
+
+@pytest.fixture(scope="session")
+def lab_scenario():
+    return LabDataScenario.build()

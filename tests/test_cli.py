@@ -1,0 +1,64 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+
+class TestRun:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Te" in output
+        assert "table2" in output
+
+    def test_run_with_output_dir(self, tmp_path, capsys):
+        assert main(["run", "table2", "--out", str(tmp_path)]) == 0
+        written = tmp_path / "table2.txt"
+        assert written.exists()
+        assert "Te" in written.read_text()
+
+    def test_experiment_registry_complete(self):
+        # One entry per table/figure of the paper's evaluation, plus the
+        # quantified latency column and the design-knob sweeps.
+        expected = {
+            "table1",
+            "fig2",
+            "table2",
+            "fig4",
+            "fig5a",
+            "fig5b",
+            "fig6",
+            "labdata",
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig9a",
+            "fig9b",
+            "latency",
+            "lifetime",
+            "sweep-threshold",
+            "sweep-interval",
+            "sweep-heuristic",
+            "sweep-split",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_latency(self, capsys):
+        assert main(["run", "latency"]) == 0
+        output = capsys.readouterr().out
+        assert "footnote 6" in output
+        assert "tree (count)" in output

@@ -1,0 +1,72 @@
+"""Tests for tree construction (TAG baseline and the bushy builder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.placement import BASE_STATION
+from repro.tree.construction import build_bushy_tree, build_tag_tree
+from repro.tree.domination import domination_factor
+from repro.tree.structure import Tree
+
+
+class TestBushyTree:
+    def test_spans_all_nodes(self, small_scenario, small_tree):
+        assert set(small_tree.nodes) == set(small_scenario.rings.levels)
+
+    def test_links_subset_of_rings(self, small_scenario, small_tree):
+        # The synchronisation constraint of Section 4.1: every tree parent
+        # is a radio neighbour exactly one ring closer to the base station.
+        rings = small_scenario.rings
+        for child, parent in small_tree.parents.items():
+            assert rings.level(child) == rings.level(parent) + 1
+            assert parent in rings.upstream_neighbors(child)
+
+    def test_deterministic(self, small_scenario):
+        a = build_bushy_tree(small_scenario.rings, seed=4)
+        b = build_bushy_tree(small_scenario.rings, seed=4)
+        assert a.parents == b.parents
+
+    def test_rooted_at_base_station(self, small_tree):
+        assert small_tree.root == BASE_STATION
+
+    def test_improves_over_tag(self, medium_scenario):
+        # Figure 7's claim, statistically: the bushy construction reaches a
+        # domination factor at least as high as the standard construction.
+        rings = medium_scenario.rings
+        ours = [
+            domination_factor(build_bushy_tree(rings, seed=s)) for s in range(3)
+        ]
+        tag = [
+            domination_factor(build_tag_tree(rings, seed=s)) for s in range(3)
+        ]
+        assert sum(ours) / 3 > sum(tag) / 3
+
+
+class TestTagTree:
+    def test_spans_all_nodes(self, small_scenario):
+        tree = build_tag_tree(small_scenario.rings, seed=0)
+        assert set(tree.nodes) == set(small_scenario.rings.levels)
+
+    def test_acyclic_with_same_level_parents(self, medium_scenario):
+        # Construction must stay a valid tree even with same-level links
+        # (Tree.__post_init__ would raise on a cycle).
+        for seed in range(5):
+            tree = build_tag_tree(medium_scenario.rings, seed=seed)
+            assert tree.size == len(medium_scenario.rings.levels)
+
+    def test_contains_same_level_links(self, medium_scenario):
+        rings = medium_scenario.rings
+        tree = build_tag_tree(rings, seed=1, same_level_fraction=0.4)
+        same_level = sum(
+            1
+            for child, parent in tree.parents.items()
+            if rings.level(child) == rings.level(parent)
+        )
+        assert same_level > 0
+
+    def test_zero_fraction_is_strict_upstream(self, small_scenario):
+        rings = small_scenario.rings
+        tree = build_tag_tree(rings, seed=1, same_level_fraction=0.0)
+        for child, parent in tree.parents.items():
+            assert rings.level(child) == rings.level(parent) + 1

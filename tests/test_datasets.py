@@ -1,0 +1,93 @@
+"""Tests for the LabData reconstruction and synthetic scenario builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.labdata import LAB_SENSORS, LabDataScenario
+from repro.datasets.synthetic import (
+    density_sweep_deployment,
+    grid_jitter_placement,
+    make_synthetic_scenario,
+    radio_range_for_density,
+    width_sweep_deployment,
+)
+from repro.errors import ConfigurationError
+from repro.network.failures import GlobalLoss
+from repro.tree.construction import build_bushy_tree
+from repro.tree.domination import domination_factor
+
+
+class TestLabData:
+    def test_54_sensors(self, lab_scenario):
+        assert lab_scenario.num_sensors == LAB_SENSORS
+
+    def test_multi_hop_depth(self, lab_scenario):
+        # The Intel lab deployment is 4-6 hops deep.
+        assert 4 <= lab_scenario.rings.depth <= 7
+
+    def test_link_loss_in_reported_band(self, lab_scenario):
+        rates = list(lab_scenario.base_loss.values())
+        assert rates
+        assert min(rates) >= 0.05
+        assert max(rates) <= 0.30
+
+    def test_bushy_tree_domination_near_paper(self, lab_scenario):
+        # The paper reports a domination factor of 2.25 for LabData.
+        tree = build_bushy_tree(lab_scenario.rings, seed=3)
+        assert domination_factor(tree) >= 1.7
+
+    def test_failure_model_composes(self, lab_scenario):
+        composed = lab_scenario.failure_model(GlobalLoss(0.5))
+        deployment = lab_scenario.deployment
+        edge = next(iter(lab_scenario.base_loss))
+        rate = composed.loss_rate(deployment, edge[0], edge[1], 0)
+        assert rate > 0.5  # base loss stacked on the failure model
+
+    def test_deterministic(self):
+        a = LabDataScenario.build()
+        b = LabDataScenario.build()
+        assert a.deployment.positions == b.deployment.positions
+        assert a.base_loss == b.base_loss
+
+
+class TestSynthetic:
+    def test_default_is_paper_scenario(self):
+        scenario = make_synthetic_scenario(seed=0)
+        assert scenario.deployment.num_sensors == 600
+        assert scenario.deployment.width == 20.0
+        assert scenario.deployment.position(0) == (10.0, 10.0)
+
+    def test_rings_built(self):
+        scenario = make_synthetic_scenario(num_sensors=80, seed=1)
+        assert scenario.rings.depth >= 2
+
+    def test_radio_range_scales_with_density(self):
+        sparse = radio_range_for_density(0.2)
+        dense = radio_range_for_density(2.0)
+        assert sparse > dense
+
+    def test_grid_jitter_counts(self):
+        deployment = grid_jitter_placement(1.0, 10, 10, seed=2)
+        assert deployment.num_sensors == 100
+
+    def test_grid_jitter_bounds(self):
+        deployment = grid_jitter_placement(0.5, 12, 8, seed=2)
+        for node in deployment.sensor_ids:
+            x, y = deployment.position(node)
+            assert 0 <= x <= 12
+            assert 0 <= y <= 8
+
+    def test_grid_jitter_rejects_bad_density(self):
+        with pytest.raises(ConfigurationError):
+            grid_jitter_placement(0.0, 10, 10)
+
+    def test_density_sweep_connected(self):
+        for density in (0.2, 0.8, 1.6):
+            deployment, radio = density_sweep_deployment(density, seed=0)
+            radio.connectivity(deployment)  # raises if disconnected
+
+    def test_width_sweep_connected(self):
+        for width in (10, 40, 80):
+            deployment, radio = width_sweep_deployment(width, seed=0)
+            radio.connectivity(deployment)

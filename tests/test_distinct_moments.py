@@ -1,0 +1,211 @@
+"""Tests for the DistinctCount and Moments aggregates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.distinct import DistinctCountAggregate
+from repro.aggregates.moments import MomentsAggregate
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.sd_scheme import SynopsisDiffusionScheme
+from repro.core.tag_scheme import TagScheme
+from repro.core.td_scheme import TributaryDeltaScheme
+from repro.errors import ConfigurationError
+from repro.network.failures import GlobalLoss, NoLoss
+from repro.network.links import Channel
+
+
+def run_once(deployment, failure, scheme, readings, epoch=0, seed=0):
+    channel = Channel(deployment, failure, seed=seed)
+    return scheme.run_epoch(epoch, channel, readings), channel
+
+
+def clustered_readings(node, epoch):
+    """Readings drawn from a small value universe: duplicates everywhere."""
+    return float((node * 13 + epoch) % 12)
+
+
+class TestDistinctAlgebra:
+    def test_tree_merge_unions(self):
+        aggregate = DistinctCountAggregate()
+        a = aggregate.tree_local(1, 0, 4.0)
+        b = aggregate.tree_local(2, 0, 4.0)
+        c = aggregate.tree_local(3, 0, 7.0)
+        merged = aggregate.tree_merge(aggregate.tree_merge(a, b), c)
+        assert aggregate.tree_eval(merged) == 2.0  # {4, 7}
+
+    def test_synopsis_keyed_by_value(self):
+        """The same value at two nodes yields identical sketches."""
+        aggregate = DistinctCountAggregate()
+        at_node_1 = aggregate.synopsis_local(1, 0, 4.0)
+        at_node_2 = aggregate.synopsis_local(2, 5, 4.0)
+        assert at_node_1 == at_node_2
+
+    def test_conversion_composes_with_delta_duplicates(self):
+        aggregate = DistinctCountAggregate()
+        subtree = frozenset((4, 7))
+        converted = aggregate.convert(subtree, sender=9, epoch=0)
+        direct = aggregate.synopsis_fuse(
+            aggregate.synopsis_local(1, 0, 4.0),
+            aggregate.synopsis_local(2, 0, 7.0),
+        )
+        assert converted == direct
+
+    def test_quantization(self):
+        aggregate = DistinctCountAggregate(precision=10.0)
+        assert aggregate.quantize(1.23) == 12
+        coarse = DistinctCountAggregate(precision=0.1)
+        assert coarse.quantize(57.0) == 6
+
+    def test_tree_words_grow_with_cardinality(self):
+        aggregate = DistinctCountAggregate()
+        small = frozenset((1,))
+        large = frozenset(range(50))
+        assert aggregate.tree_words(large) > aggregate.tree_words(small)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DistinctCountAggregate(precision=0.0)
+
+    @given(values=st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_matches_set_semantics(self, values):
+        aggregate = DistinctCountAggregate()
+        assert aggregate.exact([float(v) for v in values]) == len(set(values))
+
+
+class TestDistinctOverSchemes:
+    def test_tag_exact_without_loss(self, small_scenario, small_tree):
+        aggregate = DistinctCountAggregate()
+        scheme = TagScheme(small_scenario.deployment, small_tree, aggregate)
+        outcome, _ = run_once(
+            small_scenario.deployment, NoLoss(), scheme, clustered_readings
+        )
+        truth = aggregate.exact(
+            [clustered_readings(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        assert outcome.estimate == truth
+
+    def test_sd_approximates_without_double_counting(self, small_scenario):
+        aggregate = DistinctCountAggregate()
+        scheme = SynopsisDiffusionScheme(
+            small_scenario.deployment, small_scenario.rings, aggregate
+        )
+        outcome, _ = run_once(
+            small_scenario.deployment, NoLoss(), scheme, clustered_readings
+        )
+        truth = aggregate.exact(
+            [clustered_readings(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        # 12 distinct values; multi-path duplication must not inflate this.
+        assert outcome.estimate == pytest.approx(truth, rel=0.6)
+        assert outcome.estimate < 3 * truth
+
+    def test_td_mixed(self, small_scenario, small_tree):
+        aggregate = DistinctCountAggregate()
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 1),
+        )
+        scheme = TributaryDeltaScheme(small_scenario.deployment, graph, aggregate)
+        outcome, _ = run_once(
+            small_scenario.deployment, NoLoss(), scheme, clustered_readings
+        )
+        truth = aggregate.exact(
+            [clustered_readings(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        assert outcome.estimate == pytest.approx(truth, rel=0.6)
+
+
+class TestMomentsAlgebra:
+    def test_tree_triple(self):
+        aggregate = MomentsAggregate()
+        partial = aggregate.tree_merge(
+            aggregate.tree_local(1, 0, 3.0), aggregate.tree_local(2, 0, 5.0)
+        )
+        assert partial == (2, 8, 34)
+        # variance of {3, 5} = 1.0
+        assert aggregate.tree_eval(partial) == pytest.approx(1.0)
+
+    def test_statistics_readout(self):
+        aggregate = MomentsAggregate()
+        stats = aggregate.statistics(partial=(4, 20, 120))
+        assert stats["mean"] == 5.0
+        assert stats["variance"] == pytest.approx(5.0)
+        assert stats["std"] == pytest.approx(5.0**0.5)
+
+    def test_statistics_requires_one_side(self):
+        aggregate = MomentsAggregate()
+        with pytest.raises(ConfigurationError):
+            aggregate.statistics()
+
+    def test_negative_readings_rejected(self):
+        aggregate = MomentsAggregate()
+        with pytest.raises(ConfigurationError):
+            aggregate.tree_local(1, 0, -2.0)
+
+    @given(values=st.lists(st.integers(0, 40), min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_matches_population_variance(self, values):
+        aggregate = MomentsAggregate()
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / len(values)
+        assert aggregate.exact([float(v) for v in values]) == pytest.approx(
+            expected
+        )
+
+
+class TestMomentsOverSchemes:
+    def test_tag_exact_without_loss(self, small_scenario, small_tree):
+        aggregate = MomentsAggregate()
+        scheme = TagScheme(small_scenario.deployment, small_tree, aggregate)
+        outcome, _ = run_once(
+            small_scenario.deployment, NoLoss(), scheme, clustered_readings
+        )
+        truth = aggregate.exact(
+            [clustered_readings(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        assert outcome.estimate == pytest.approx(truth)
+
+    def test_sd_approximates(self, small_scenario):
+        aggregate = MomentsAggregate()
+        scheme = SynopsisDiffusionScheme(
+            small_scenario.deployment, small_scenario.rings, aggregate
+        )
+        outcome, _ = run_once(
+            small_scenario.deployment, NoLoss(), scheme, clustered_readings
+        )
+        truth = aggregate.exact(
+            [clustered_readings(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        assert outcome.estimate == pytest.approx(truth, rel=0.8)
+
+    def test_td_under_loss_stays_sane(self, small_scenario, small_tree):
+        aggregate = MomentsAggregate()
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 2),
+        )
+        scheme = TributaryDeltaScheme(small_scenario.deployment, graph, aggregate)
+        truth = aggregate.exact(
+            [clustered_readings(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        estimates = []
+        for epoch in range(6):
+            outcome, _ = run_once(
+                small_scenario.deployment,
+                GlobalLoss(0.15),
+                scheme,
+                clustered_readings,
+                epoch=epoch,
+                seed=4,
+            )
+            estimates.append(outcome.estimate)
+        mean_estimate = sum(estimates) / len(estimates)
+        # Variance estimates from ratios of sketches are noisy; the check
+        # is that they track the truth's magnitude, not a tight bound.
+        assert mean_estimate == pytest.approx(truth, rel=0.8)

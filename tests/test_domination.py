@@ -1,0 +1,139 @@
+"""Tests for d-domination analytics (Section 6.1.2, Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tree.domination import (
+    domination_factor,
+    height_profile,
+    height_profile_fractions,
+    is_d_dominating,
+    min_children_of_lower_height,
+    profile_is_d_dominating,
+    tree_from_height_profile,
+)
+from repro.tree.structure import Tree
+
+
+class TestHeightProfile:
+    def test_star(self):
+        star = Tree(parents={i: 0 for i in range(1, 6)})
+        assert height_profile(star) == [5, 1]
+
+    def test_chain(self):
+        chain = Tree(parents={1: 0, 2: 1, 3: 2})
+        assert height_profile(chain) == [1, 1, 1, 1]
+
+    def test_fractions(self):
+        assert height_profile_fractions([8, 4, 2, 1]) == [
+            pytest.approx(8 / 15),
+            pytest.approx(12 / 15),
+            pytest.approx(14 / 15),
+            pytest.approx(1.0),
+        ]
+
+    def test_fractions_reject_empty(self):
+        with pytest.raises(ConfigurationError):
+            height_profile_fractions([])
+
+
+class TestDomination:
+    def test_every_tree_is_1_dominating(self):
+        chain = Tree(parents={1: 0, 2: 1, 3: 2})
+        assert is_d_dominating(chain, 1.0)
+
+    def test_regular_binary_tree_is_2_dominating(self):
+        # Lemma 2: every internal node has 2 children of one lower height.
+        t2 = tree_from_height_profile([8, 4, 2, 1])
+        assert is_d_dominating(t2, 2.0)
+        assert min_children_of_lower_height(t2) == 2
+
+    def test_paper_table2_fractions(self):
+        te = tree_from_height_profile([37, 10, 6, 1])
+        fractions = height_profile_fractions(height_profile(te))
+        assert fractions[0] == pytest.approx(37 / 54)
+        assert fractions[1] == pytest.approx(47 / 54)
+        assert fractions[2] == pytest.approx(53 / 54)
+        assert fractions[3] == pytest.approx(1.0)
+
+    def test_te_dominates_t2(self):
+        # The paper's argument: H_Te(i) >= H_T2(i) for all i, so Te is
+        # (at least) 2-dominating.
+        te = tree_from_height_profile([37, 10, 6, 1])
+        assert is_d_dominating(te, 2.0)
+
+    def test_monotone_in_d(self):
+        profile = [37, 10, 6, 1]
+        previous = True
+        for step in range(1, 60):
+            d = 1.0 + step * 0.05
+            current = profile_is_d_dominating(profile, d)
+            if not previous:
+                assert not current  # once it fails it stays failed
+            previous = current
+
+    def test_domination_factor_long_chain_is_1(self):
+        # Short chains satisfy the inequalities vacuously; a long chain's
+        # H(i) = i/n falls below the geometric bound for any d > 1.
+        chain = Tree(parents={i: i - 1 for i in range(1, 41)})
+        assert domination_factor(chain) == pytest.approx(1.0)
+
+    def test_domination_factor_star_is_large(self):
+        star = Tree(parents={i: 0 for i in range(1, 30)})
+        assert domination_factor(star) > 5.0
+
+    def test_rejects_d_below_1(self):
+        chain = Tree(parents={1: 0})
+        with pytest.raises(ConfigurationError):
+            is_d_dominating(chain, 0.5)
+
+
+class TestTreeFromProfile:
+    def test_realises_profile_exactly(self):
+        tree = tree_from_height_profile([5, 3, 1])
+        assert height_profile(tree) == [5, 3, 1]
+
+    def test_table2_profiles(self):
+        te = tree_from_height_profile([37, 10, 6, 1])
+        assert height_profile(te) == [37, 10, 6, 1]
+        assert te.size == 54
+
+    def test_rejects_increasing_profile(self):
+        with pytest.raises(ConfigurationError):
+            tree_from_height_profile([2, 5, 1])
+
+    def test_rejects_multi_root(self):
+        with pytest.raises(ConfigurationError):
+            tree_from_height_profile([4, 2])
+
+    def test_rejects_zero_entry(self):
+        with pytest.raises(ConfigurationError):
+            tree_from_height_profile([3, 0, 1])
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=20), min_size=1, max_size=5
+        )
+    )
+    def test_property_any_sorted_profile(self, raw):
+        profile = sorted(raw, reverse=True)
+        profile[-1] = 1
+        profile = [max(c, 1) for c in profile]
+        # enforce non-increasing after the final-1 tweak
+        for i in range(len(profile) - 2, -1, -1):
+            profile[i] = max(profile[i], profile[i + 1])
+        tree = tree_from_height_profile(profile)
+        assert height_profile(tree) == profile
+
+
+class TestLemma2:
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=2, max_value=4))
+    def test_regular_trees(self, degree, height):
+        # A regular degree-d tree of any height is d-dominating.
+        profile = [degree ** (height - level) for level in range(1, height + 1)]
+        tree = tree_from_height_profile(profile)
+        assert is_d_dominating(tree, float(degree))

@@ -1,0 +1,210 @@
+"""Smoke tests for the experiment modules (quick configurations).
+
+These verify that every table/figure regenerator runs end-to-end and that
+the paper's qualitative *shape* claims hold at small scale. The benchmarks
+run the full-size versions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.fig_domination import run_figure7a, run_figure7b, run_table2
+from repro.experiments.fig_fi_load import run_figure8
+from repro.experiments.fig_fi_loss import run_figure9
+from repro.experiments.fig_topology import run_figure4
+from repro.experiments.metrics import (
+    format_table,
+    mean,
+    relative_error,
+    rms_error_series,
+)
+from repro.experiments.runner import build_schemes, converge_td, run_scheme
+from repro.aggregates.count import CountAggregate
+from repro.datasets.streams import ConstantReadings
+from repro.network.failures import GlobalLoss
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(90, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert math.isinf(relative_error(1, 0))
+
+    def test_rms_error_series(self):
+        assert rms_error_series([100, 100], [100, 100]) == 0.0
+        assert rms_error_series([90, 110], [100, 100]) == pytest.approx(0.1)
+
+    def test_mean(self):
+        assert mean([]) == 0.0
+        assert mean([1.0, 3.0]) == 2.0
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0]
+
+
+class TestRunnerShapes:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return build_schemes(CountAggregate, num_sensors=80, seed=3)
+
+    def test_all_schemes_present(self, comparison):
+        assert set(comparison.schemes) == {"TAG", "SD", "TD-Coarse", "TD"}
+
+    def test_no_loss_tag_exact_sd_approx(self, comparison):
+        readings = ConstantReadings(1.0)
+        tag = run_scheme(comparison, "TAG", GlobalLoss(0.0), readings, epochs=5)
+        sd = run_scheme(comparison, "SD", GlobalLoss(0.0), readings, epochs=5)
+        assert tag.rms_error() == 0.0
+        assert 0.0 < sd.rms_error() < 0.5
+
+    def test_high_loss_sd_beats_tag(self, comparison):
+        readings = ConstantReadings(1.0)
+        tag = run_scheme(comparison, "TAG", GlobalLoss(0.3), readings, epochs=8)
+        sd = run_scheme(comparison, "SD", GlobalLoss(0.3), readings, epochs=8)
+        assert sd.rms_error() < tag.rms_error()
+
+    def test_td_adapts_between(self, comparison):
+        readings = ConstantReadings(1.0)
+        failure = GlobalLoss(0.25)
+        converge_td(comparison, failure, readings, epochs=60, seed=3)
+        td = run_scheme(comparison, "TD", failure, readings, epochs=8)
+        tag = run_scheme(comparison, "TAG", failure, readings, epochs=8)
+        assert td.rms_error() < tag.rms_error()
+
+
+class TestFigureSmoke:
+    def test_table2_matches_paper(self):
+        result = run_table2()
+        assert result.te_profile == [37, 10, 6, 1]
+        assert result.te_fractions[0] == pytest.approx(37 / 54)
+        assert result.t2_fractions == [
+            pytest.approx(8 / 15),
+            pytest.approx(12 / 15),
+            pytest.approx(14 / 15),
+            pytest.approx(1.0),
+        ]
+        # Both example trees are 2-dominating, the property Table 2
+        # illustrates.
+        assert result.te_domination >= 2.0
+        assert result.t2_domination >= 2.0
+        assert "Te" in result.render()
+
+    def test_figure7a_our_tree_wins(self):
+        result = run_figure7a(quick=True)
+        assert len(result.our_tree) == len(result.parameters)
+        wins = sum(
+            1 for ours, tag in zip(result.our_tree, result.tag_tree) if ours >= tag
+        )
+        assert wins >= len(result.parameters) - 1
+
+    def test_figure7b_runs(self):
+        result = run_figure7b(quick=True, widths=(10, 30))
+        assert len(result.our_tree) == 2
+        assert result.render()
+
+    def test_figure4_concentrates(self):
+        result = run_figure4(inside_rate=0.4, quick=True, converge_epochs=60)
+        assert result.delta  # a delta formed
+        assert result.concentration > 1.0  # leaning into the failure region
+        assert "B" in result.render_map()
+
+    def test_figure4_td_more_directional_than_coarse(self):
+        # Section 7.2: TD-Coarse "expands uniformly around the base
+        # station", TD "only in the direction of the failure region".
+        td = run_figure4(inside_rate=0.3, quick=True, converge_epochs=80)
+        coarse = run_figure4(
+            inside_rate=0.3, quick=True, converge_epochs=80, strategy="td-coarse"
+        )
+        assert td.concentration > coarse.concentration
+
+    def test_figure4_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            run_figure4(inside_rate=0.3, quick=True, strategy="nope")
+
+    def test_figure8_orderings(self):
+        result = run_figure8(quick=True)
+        labels = {row[1] for row in result.rows}
+        assert labels == {
+            "Min Max-load",
+            "Min Total-load",
+            "Hybrid",
+            "Quantiles-based",
+        }
+        # The headline orderings of Figure 8.
+        lab_quantiles_avg, _ = result.loads("LabData", "Quantiles-based")
+        lab_total_avg, _ = result.loads("LabData", "Min Total-load")
+        assert lab_quantiles_avg > lab_total_avg
+        synthetic_total_avg, _ = result.loads("Synthetic", "Min Total-load")
+        synthetic_max_avg, _ = result.loads("Synthetic", "Min Max-load")
+        assert synthetic_total_avg < synthetic_max_avg
+
+    def test_figure9_tag_degrades_fastest(self):
+        result = run_figure9(quick=True, loss_rates=(0.0, 0.6))
+        tag_curve = result.false_negatives["TAG"]
+        sd_curve = result.false_negatives["SD"]
+        assert tag_curve[-1] > sd_curve[-1]
+        assert tag_curve[0] <= 10.0  # near-zero FN without loss
+
+
+class TestRunPaired:
+    def test_paired_runs_share_loss_draws(self, small_scenario):
+        from repro.aggregates.count import CountAggregate
+        from repro.datasets.streams import ConstantReadings
+        from repro.experiments.runner import build_schemes, run_paired
+        from repro.network.failures import GlobalLoss
+        from repro.tree.construction import build_bushy_tree
+
+        tree = build_bushy_tree(small_scenario.rings, seed=11)
+        comparison = build_schemes(
+            CountAggregate, scenario=small_scenario, tree=tree
+        )
+        results = run_paired(
+            comparison,
+            GlobalLoss(0.2),
+            ConstantReadings(1.0),
+            epochs=5,
+            seed=3,
+            names=["TAG", "SD"],
+        )
+        assert set(results) == {"TAG", "SD"}
+        # Identical seeds: re-running TAG reproduces its series exactly.
+        again = run_paired(
+            comparison,
+            GlobalLoss(0.2),
+            ConstantReadings(1.0),
+            epochs=5,
+            seed=3,
+            names=["TAG"],
+        )
+        assert [e.estimate for e in results["TAG"].epochs] == [
+            e.estimate for e in again["TAG"].epochs
+        ]
+
+
+class TestLatencyExperiment:
+    def test_quick_run_shapes(self):
+        from repro.experiments.fig_latency import run_latency
+
+        result = run_latency(quick=True, seed=0)
+        assert result.overhead > 1.0
+        text = result.render()
+        assert "footnote 6" in text
+        assert result.table["tree (count)"] == result.table["multi-path (count)"]
+
+
+class TestLifetimeExperiment:
+    def test_quick_run_orderings(self):
+        from repro.experiments.fig_lifetime import run_lifetime
+
+        comparison = run_lifetime(quick=True, seed=0)
+        assert set(comparison.reports) == {"TAG", "SD", "TD"}
+        tag = comparison.reports["TAG"]
+        sd = comparison.reports["SD"]
+        assert tag.first_death_epochs > sd.first_death_epochs
+        assert "first death" in comparison.render()

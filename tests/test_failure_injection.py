@@ -1,0 +1,211 @@
+"""End-to-end failure injection: bursts, crashes, and topology maintenance.
+
+These integration tests drive full schemes through the new failure models
+and the link-maintenance machinery, checking the qualitative behaviours the
+paper's robustness story predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.count import CountAggregate
+from repro.core.adaptation import TDFinePolicy
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.sd_scheme import SynopsisDiffusionScheme
+from repro.core.tag_scheme import TagScheme
+from repro.core.td_scheme import TributaryDeltaScheme
+from repro.datasets.streams import ConstantReadings
+from repro.network.burst import (
+    GilbertElliottLoss,
+    NodeCrashLoss,
+    matched_gilbert_elliott,
+)
+from repro.network.failures import GlobalLoss, LinkLossTable
+from repro.network.linkquality import LinkQualityMonitor, TreeMaintainer
+from repro.network.links import Channel
+from repro.network.simulator import EpochSimulator
+
+
+class TestBurstyLossEndToEnd:
+    def test_all_schemes_survive_bursts(self, small_scenario, small_tree):
+        """Every scheme completes a bursty run with sane outputs."""
+        failure = matched_gilbert_elliott(target_loss=0.2, seed=5)
+        readings = ConstantReadings(1.0)
+        sensors = small_scenario.deployment.num_sensors
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 2),
+        )
+        schemes = [
+            TagScheme(small_scenario.deployment, small_tree, CountAggregate()),
+            SynopsisDiffusionScheme(
+                small_scenario.deployment, small_scenario.rings, CountAggregate()
+            ),
+            TributaryDeltaScheme(
+                small_scenario.deployment, graph, CountAggregate()
+            ),
+        ]
+        for scheme in schemes:
+            simulator = EpochSimulator(
+                small_scenario.deployment, failure, scheme, seed=4
+            )
+            run = simulator.run(25, readings)
+            assert all(0 <= e.estimate <= 2.5 * sensors for e in run.epochs)
+            assert run.mean_contributing_fraction(sensors) > 0.2
+
+    def test_multipath_beats_tree_under_bursts(self, small_scenario, small_tree):
+        """The paper's robustness ordering holds under correlated loss too."""
+        failure = matched_gilbert_elliott(target_loss=0.25, seed=9)
+        readings = ConstantReadings(1.0)
+        tag = TagScheme(small_scenario.deployment, small_tree, CountAggregate())
+        sd = SynopsisDiffusionScheme(
+            small_scenario.deployment, small_scenario.rings, CountAggregate()
+        )
+        tag_run = EpochSimulator(
+            small_scenario.deployment, failure, tag, seed=6
+        ).run(30, readings)
+        sd_run = EpochSimulator(
+            small_scenario.deployment, failure, sd, seed=6
+        ).run(30, readings)
+        assert sd_run.rms_error() < tag_run.rms_error()
+
+    def test_burst_epochs_are_worse_than_quiet_epochs(self, small_scenario, small_tree):
+        """Within one tree run, epochs with many bad links lose more."""
+        failure = GilbertElliottLoss(
+            good_loss=0.0,
+            bad_loss=0.9,
+            p_enter_bad=0.15,
+            p_exit_bad=0.25,
+            seed=3,
+        )
+        tag = TagScheme(small_scenario.deployment, small_tree, CountAggregate())
+        simulator = EpochSimulator(
+            small_scenario.deployment, failure, tag, seed=2
+        )
+        run = simulator.run(60, ConstantReadings(1.0))
+        # Count the tree links inside a burst at each epoch.
+        contributions = []
+        for result in run.epochs:
+            bad_links = sum(
+                failure.is_bad(child, parent, result.epoch)
+                for child, parent in small_tree.parents.items()
+            )
+            contributions.append((bad_links, result.contributing))
+        quiet = [c for bad, c in contributions if bad == 0]
+        stormy = [c for bad, c in contributions if bad >= 5]
+        if quiet and stormy:
+            assert sum(stormy) / len(stormy) < sum(quiet) / len(quiet)
+
+
+class TestCrashesEndToEnd:
+    def test_contributing_drops_during_crash_window(
+        self, small_scenario, small_tree
+    ):
+        victims = small_scenario.deployment.sensor_ids[:10]
+        failure = NodeCrashLoss.single_window(victims, start=10, end=20)
+        tag = TagScheme(small_scenario.deployment, small_tree, CountAggregate())
+        simulator = EpochSimulator(
+            small_scenario.deployment, failure, tag, seed=0
+        )
+        run = simulator.run(30, ConstantReadings(1.0))
+        sensors = small_scenario.deployment.num_sensors
+        before = [e.contributing for e in run.epochs if e.epoch < 10]
+        during = [e.contributing for e in run.epochs if 10 <= e.epoch < 20]
+        after = [e.contributing for e in run.epochs if e.epoch >= 20]
+        assert all(c == sensors for c in before)
+        assert all(c == sensors for c in after)
+        # Crashed senders drop themselves and anything routed through them.
+        assert all(c <= sensors - len(victims) for c in during)
+
+    def test_td_adapts_around_crashed_region(self, medium_scenario, medium_tree):
+        """Crashing a contiguous region pushes TD's delta outward."""
+        victims = medium_scenario.deployment.nodes_in_rect((0, 0), (10, 10))
+        failure = NodeCrashLoss.single_window(
+            victims, start=0, end=10_000, base=GlobalLoss(0.02)
+        )
+        graph = TDGraph(
+            medium_scenario.rings,
+            medium_tree,
+            initial_modes_by_level(medium_scenario.rings, 0),
+        )
+        scheme = TributaryDeltaScheme(
+            medium_scenario.deployment,
+            graph,
+            CountAggregate(),
+            policy=TDFinePolicy(threshold=0.95),
+        )
+        before = len(graph.delta_region())
+        EpochSimulator(
+            medium_scenario.deployment, failure, scheme, seed=1, adapt_interval=1
+        ).run(0, ConstantReadings(1.0), warmup=40)
+        assert len(graph.delta_region()) > before
+
+
+class TestMaintenanceEndToEnd:
+    def test_parent_switching_restores_tag_accuracy(self, small_scenario):
+        """TAG over a tree with a few terrible links recovers most of its
+        contributing fraction once maintenance re-parents around them."""
+        from repro.tree.construction import build_bushy_tree
+
+        rings = small_scenario.rings
+        tree = build_bushy_tree(rings, seed=11)
+        # Sabotage the tree links of the nodes that have an alternative.
+        rates = {}
+        for child, parent in tree.parents.items():
+            if len(rings.upstream_neighbors(child)) >= 2:
+                rates[(child, parent)] = 0.8
+        table = LinkLossTable(rates=rates, default=0.0)
+        readings = ConstantReadings(1.0)
+        deployment = small_scenario.deployment
+
+        broken = TagScheme(deployment, tree, CountAggregate())
+        broken_run = EpochSimulator(deployment, table, broken, seed=2).run(
+            20, readings
+        )
+
+        monitor = LinkQualityMonitor(alpha=0.3, prior=0.9)
+        channel = Channel(deployment, table, seed=2)
+        links = [
+            (node, candidate)
+            for node in tree.parents
+            for candidate in rings.upstream_neighbors(node)
+        ]
+        for epoch in range(30):
+            monitor.probe_round(channel, links, epoch)
+        maintained, switches = TreeMaintainer(
+            rings, monitor, switch_margin=0.2
+        ).maintain(tree)
+        assert switches
+
+        fixed = TagScheme(deployment, maintained, CountAggregate())
+        fixed_run = EpochSimulator(deployment, table, fixed, seed=2).run(
+            20, readings
+        )
+        sensors = deployment.num_sensors
+        assert fixed_run.mean_contributing_fraction(sensors) > (
+            broken_run.mean_contributing_fraction(sensors) + 0.1
+        )
+
+    def test_maintained_tree_stays_td_compatible(self, small_scenario):
+        """Maintained trees still satisfy TDGraph's rings-subset invariant."""
+        from repro.tree.construction import build_bushy_tree
+
+        rings = small_scenario.rings
+        tree = build_bushy_tree(rings, seed=11)
+        monitor = LinkQualityMonitor(alpha=1.0, prior=0.5)
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.5), seed=8)
+        links = [
+            (node, candidate)
+            for node in tree.parents
+            for candidate in rings.upstream_neighbors(node)
+        ]
+        for epoch in range(12):
+            monitor.probe_round(channel, links, epoch)
+        maintained, _ = TreeMaintainer(rings, monitor, switch_margin=0.0).maintain(
+            tree
+        )
+        # TDGraph's constructor re-checks the synchronisation constraint.
+        graph = TDGraph(rings, maintained, initial_modes_by_level(rings, 0))
+        graph.validate()

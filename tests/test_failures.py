@@ -1,0 +1,92 @@
+"""Tests for failure models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.failures import (
+    ComposedLoss,
+    FailureSchedule,
+    GlobalLoss,
+    LinkLossTable,
+    NoLoss,
+    RegionalLoss,
+)
+from repro.network.placement import placement_from_points
+
+
+@pytest.fixture()
+def deployment():
+    return placement_from_points(
+        [(2.0, 2.0), (15.0, 15.0)],
+        base_position=(10.0, 10.0),
+        width=20,
+        height=20,
+    )
+
+
+class TestGlobalLoss:
+    def test_uniform(self, deployment):
+        model = GlobalLoss(0.3)
+        assert model.loss_rate(deployment, 1, 2, 0) == 0.3
+        assert model.loss_rate(deployment, 2, 1, 99) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GlobalLoss(1.5)
+
+
+class TestRegionalLoss:
+    def test_sender_position_decides(self, deployment):
+        model = RegionalLoss(0.8, 0.05)
+        # Node 1 at (2, 2) is inside the default {(0,0),(10,10)} rectangle.
+        assert model.loss_rate(deployment, 1, 2, 0) == 0.8
+        # Node 2 at (15, 15) is outside.
+        assert model.loss_rate(deployment, 2, 1, 0) == 0.05
+
+    def test_contains(self, deployment):
+        model = RegionalLoss(0.5, 0.0)
+        assert model.contains(deployment, 1)
+        assert not model.contains(deployment, 2)
+
+    def test_bad_rectangle(self):
+        with pytest.raises(ConfigurationError):
+            RegionalLoss(0.1, 0.1, lower=(5, 5), upper=(1, 1))
+
+
+class TestFailureSchedule:
+    def test_phase_selection(self, deployment):
+        schedule = FailureSchedule(
+            [(0, GlobalLoss(0.0)), (100, GlobalLoss(0.3)), (200, GlobalLoss(0.1))]
+        )
+        assert schedule.loss_rate(deployment, 1, 2, 50) == 0.0
+        assert schedule.loss_rate(deployment, 1, 2, 100) == 0.3
+        assert schedule.loss_rate(deployment, 1, 2, 150) == 0.3
+        assert schedule.loss_rate(deployment, 1, 2, 999) == 0.1
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule([(10, GlobalLoss(0.1))])
+
+    def test_must_be_sorted(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule([(0, GlobalLoss(0.1)), (50, NoLoss()), (20, NoLoss())])
+
+
+class TestLinkLossTable:
+    def test_lookup_and_default(self, deployment):
+        table = LinkLossTable(rates={(1, 2): 0.4}, default=0.1)
+        assert table.loss_rate(deployment, 1, 2, 0) == 0.4
+        assert table.loss_rate(deployment, 2, 1, 0) == 0.1
+
+
+class TestComposedLoss:
+    def test_survival_multiplies(self, deployment):
+        composed = ComposedLoss(base_rates={(1, 2): 0.2}, failure=GlobalLoss(0.5))
+        # 1 - (1 - 0.2)(1 - 0.5) = 0.6
+        assert composed.loss_rate(deployment, 1, 2, 0) == pytest.approx(0.6)
+
+    def test_no_base_rate(self, deployment):
+        composed = ComposedLoss(base_rates={}, failure=GlobalLoss(0.5))
+        assert composed.loss_rate(deployment, 1, 2, 0) == pytest.approx(0.5)

@@ -1,0 +1,140 @@
+"""Tests for the Flajolet-Martin / PCSA sketch."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.multipath.fm import FMSketch
+from repro.multipath.synopsis import check_odi
+
+
+class TestInsertion:
+    def test_insert_is_idempotent(self):
+        a = FMSketch(16)
+        a.insert("item", 1)
+        b = a.copy()
+        b.insert("item", 1)
+        assert a == b
+
+    def test_empty_estimate_zero(self):
+        assert FMSketch().estimate() == 0.0
+        assert FMSketch().is_empty()
+
+    def test_insert_count_zero_is_noop(self):
+        sketch = FMSketch()
+        sketch.insert_count(0, "x")
+        assert sketch.is_empty()
+
+    def test_insert_count_matches_exact_small(self):
+        # Below the exact-insert limit both paths must agree bit-for-bit.
+        a = FMSketch(8)
+        a.insert_count(100, "key")
+        b = FMSketch(8)
+        for j in range(100):
+            b.insert("key", j)
+        assert a == b
+
+    def test_insert_count_negative_rejected(self):
+        with pytest.raises(SketchError):
+            FMSketch().insert_count(-1, "x")
+
+    def test_bulk_insert_deterministic(self):
+        a = FMSketch()
+        a.insert_count(100_000, "big")
+        b = FMSketch()
+        b.insert_count(100_000, "big")
+        assert a == b
+
+
+class TestFusion:
+    def test_fuse_is_union(self):
+        a = FMSketch(8)
+        a.insert("x")
+        b = FMSketch(8)
+        b.insert("y")
+        fused = a.fuse(b)
+        both = FMSketch(8)
+        both.insert("x")
+        both.insert("y")
+        assert fused == both
+
+    def test_odi_properties(self):
+        sketches = []
+        for key in ("a", "b", "c"):
+            sketch = FMSketch(8)
+            sketch.insert_count(50, key)
+            sketches.append(sketch)
+        assert check_odi(lambda x, y: x.fuse(y), sketches)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SketchError):
+            FMSketch(8).fuse(FMSketch(16))
+
+    def test_or_operator(self):
+        a = FMSketch(8)
+        a.insert("x")
+        assert (a | FMSketch(8)) == a
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("true_count", [100, 1000, 10_000])
+    def test_estimate_within_tolerance(self, true_count):
+        # PCSA with 40 bitmaps: ~12% standard error; allow 4 sigma over a
+        # few seeds to keep the test deterministic but meaningful.
+        errors = []
+        for seed in range(5):
+            sketch = FMSketch(40)
+            sketch.insert_count(true_count, "acc", seed)
+            errors.append(abs(sketch.estimate() - true_count) / true_count)
+        assert sum(errors) / len(errors) < 0.25
+
+    def test_estimate_monotone_under_fusion(self):
+        a = FMSketch(40)
+        a.insert_count(500, "m1")
+        b = FMSketch(40)
+        b.insert_count(500, "m2")
+        fused = a.fuse(b)
+        assert fused.estimate() >= max(a.estimate(), b.estimate())
+
+    def test_distinct_counting_ignores_duplicates(self):
+        sketch = FMSketch(40)
+        for _ in range(50):
+            sketch.insert_count(200, "same-key")
+        single = FMSketch(40)
+        single.insert_count(200, "same-key")
+        assert sketch == single
+
+
+class TestSizing:
+    def test_words_positive(self):
+        sketch = FMSketch(40)
+        sketch.insert_count(1000, "w")
+        assert 1 <= sketch.words() <= sketch.raw_words()
+
+    def test_typical_count_sketch_fits_one_message(self):
+        # The experimental setup of Section 7.1: 40 bitmaps, RLE, 48-byte
+        # messages.
+        sketch = FMSketch(40)
+        sketch.insert_count(600, "net")
+        assert sketch.words() <= 12
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_fusion_order_invariance(self, counts):
+        sketches = []
+        for index, count in enumerate(counts):
+            sketch = FMSketch(8)
+            sketch.insert_count(count, "p", index)
+            sketches.append(sketch)
+        forward = sketches[0]
+        for sketch in sketches[1:]:
+            forward = forward.fuse(sketch)
+        backward = sketches[-1]
+        for sketch in reversed(sketches[:-1]):
+            backward = backward.fuse(sketch)
+        assert forward == backward

@@ -1,0 +1,149 @@
+"""Tests for the mergeable Greenwald-Khanna quantile summaries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.frequent.gk import GKSummary
+
+
+def true_rank(values, x):
+    return sum(1 for v in values if v <= x)
+
+
+class TestExactSummary:
+    def test_from_values(self):
+        summary = GKSummary.from_values([3.0, 1.0, 2.0])
+        assert summary.n == 3
+        assert summary.rank_error == 0.0
+        assert [entry[0] for entry in summary.entries] == [1.0, 2.0, 3.0]
+
+    def test_query_rank_exact(self):
+        summary = GKSummary.from_values(range(1, 11))
+        for rank in range(1, 11):
+            assert summary.query_rank(rank) == float(rank)
+
+    def test_query_quantile(self):
+        summary = GKSummary.from_values(range(1, 101))
+        assert summary.query_quantile(0.5) == pytest.approx(50.0, abs=1)
+
+    def test_query_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            GKSummary.from_values([]).query_rank(1)
+
+    def test_rank_bounds_exact(self):
+        values = [1.0, 2.0, 2.0, 5.0]
+        summary = GKSummary.from_values(values)
+        low, high = summary.rank_bounds(2.0)
+        assert low <= true_rank(values, 2.0) <= high
+
+
+class TestMerge:
+    def test_merge_sizes_add(self):
+        a = GKSummary.from_values([1, 3, 5])
+        b = GKSummary.from_values([2, 4, 6])
+        merged = a.merge(b)
+        assert merged.n == 6
+        assert merged.size == 6
+
+    def test_merge_exact_ranks(self):
+        values_a = [1.0, 4.0, 9.0]
+        values_b = [2.0, 3.0, 10.0]
+        merged = GKSummary.from_values(values_a).merge(
+            GKSummary.from_values(values_b)
+        )
+        combined = sorted(values_a + values_b)
+        for value, rmin, rmax in merged.entries:
+            truth = true_rank(combined, value)
+            assert rmin <= truth <= rmax
+
+    def test_merge_with_empty(self):
+        a = GKSummary.from_values([1, 2])
+        empty = GKSummary.from_values([])
+        assert a.merge(empty) is a
+        assert empty.merge(a) is a
+
+
+class TestPrune:
+    def test_prune_shrinks(self):
+        summary = GKSummary.from_values(range(100))
+        pruned = summary.prune(10)
+        assert pruned.size <= 11
+        assert pruned.n == 100
+
+    def test_prune_adds_bounded_error(self):
+        summary = GKSummary.from_values(range(100))
+        pruned = summary.prune(10)
+        assert pruned.rank_error == pytest.approx(100 / 20)
+
+    def test_prune_noop_when_small(self):
+        summary = GKSummary.from_values([1, 2, 3])
+        assert summary.prune(10) is summary
+
+    def test_prune_rejects_zero_budget(self):
+        with pytest.raises(ConfigurationError):
+            GKSummary.from_values([1, 2, 3, 4]).prune(0)
+
+    def test_query_error_within_guarantee(self):
+        values = list(range(1, 1001))
+        summary = GKSummary.from_values(values).prune(20)
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
+            answer = summary.query_quantile(phi)
+            target = phi * 1000
+            assert abs(answer - target) <= summary.rank_error + 1
+
+
+class TestFrequencyEstimate:
+    def test_exact_summary_frequencies(self):
+        values = [1.0] * 10 + [2.0] * 5 + [3.0]
+        summary = GKSummary.from_values(values)
+        assert summary.frequency_estimate(1.0) == pytest.approx(10)
+        assert summary.frequency_estimate(2.0) == pytest.approx(5)
+        assert summary.frequency_estimate(3.0) == pytest.approx(1)
+
+    def test_candidates(self):
+        summary = GKSummary.from_values([1.0, 1.0, 2.0])
+        assert summary.candidate_values() == [1.0, 2.0]
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_rank_bounds_valid(self, raw_a, raw_b):
+        values_a = [float(v) for v in raw_a]
+        values_b = [float(v) for v in raw_b]
+        merged = GKSummary.from_values(values_a).merge(
+            GKSummary.from_values(values_b)
+        )
+        combined = sorted(values_a + values_b)
+        for value, rmin, rmax in merged.entries:
+            truth = true_rank(combined, value)
+            # rmin may undercount duplicates spread across both sides, but
+            # the bracket [rmin, rmax] must always contain a valid rank of
+            # an equal element.
+            first_equal = sum(1 for v in combined if v < value) + 1
+            assert rmin <= truth
+            assert rmax >= first_equal
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=20, max_size=200),
+        st.integers(min_value=4, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_prune_then_query_error_bound(self, raw, budget):
+        values = sorted(float(v) for v in raw)
+        summary = GKSummary.from_values(values).prune(budget)
+        for phi in (0.0, 0.5, 1.0):
+            answer = summary.query_quantile(phi)
+            rank = max(1, round(phi * len(values)))
+            truth_low = values[max(0, rank - 1 - int(summary.rank_error) - 1)]
+            truth_high = values[
+                min(len(values) - 1, rank - 1 + int(summary.rank_error) + 1)
+            ]
+            assert truth_low <= answer <= truth_high

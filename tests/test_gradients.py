@@ -1,0 +1,131 @@
+"""Tests for precision gradients (Min Total-load, Min Max-load, Hybrid)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.frequent.gradients import (
+    FlatGradient,
+    HybridGradient,
+    MinMaxLoadGradient,
+    MinTotalLoadGradient,
+)
+
+
+class TestMinTotalLoad:
+    def test_closed_form(self):
+        gradient = MinTotalLoadGradient(0.1, d=4.0)
+        t = 0.5  # 1/sqrt(4)
+        for height in range(1, 8):
+            expected = 0.1 * (1 - t**height)
+            assert gradient.epsilon_at(height) == pytest.approx(expected)
+
+    def test_monotone_and_bounded(self):
+        gradient = MinTotalLoadGradient(0.05, d=2.25)
+        gradient.validate(20)
+
+    def test_counter_cap_grows_geometrically(self):
+        gradient = MinTotalLoadGradient(0.1, d=4.0)
+        ratio = gradient.max_counters(5) / gradient.max_counters(4)
+        assert ratio == pytest.approx(2.0)  # sqrt(d)
+
+    def test_total_load_bound_formula(self):
+        gradient = MinTotalLoadGradient(0.01, d=4.0)
+        assert gradient.total_load_bound(100) == pytest.approx(
+            (1 + 2 / (2 - 1)) * 100 / 0.01
+        )
+
+    def test_degenerate_d_clamped(self):
+        gradient = MinTotalLoadGradient(0.1, d=1.0)
+        assert gradient.d > 1.0
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            MinTotalLoadGradient(0.0, d=2.0)
+
+
+class TestMinMaxLoad:
+    def test_linear(self):
+        gradient = MinMaxLoadGradient(0.1, tree_height=5)
+        for height in range(1, 6):
+            assert gradient.epsilon_at(height) == pytest.approx(0.1 * height / 5)
+
+    def test_uniform_counter_cap(self):
+        gradient = MinMaxLoadGradient(0.1, tree_height=5)
+        caps = [gradient.max_counters(h) for h in range(1, 6)]
+        assert all(cap == pytest.approx(caps[0]) for cap in caps)
+        assert caps[0] == pytest.approx(5 / 0.1)
+
+    def test_clamps_beyond_height(self):
+        gradient = MinMaxLoadGradient(0.1, tree_height=5)
+        assert gradient.epsilon_at(9) == pytest.approx(0.1)
+
+
+class TestHybrid:
+    def test_is_sum_of_halves(self):
+        hybrid = HybridGradient(0.1, d=4.0, tree_height=5)
+        total = MinTotalLoadGradient(0.05, d=4.0)
+        maxload = MinMaxLoadGradient(0.05, tree_height=5)
+        for height in range(1, 6):
+            assert hybrid.epsilon_at(height) == pytest.approx(
+                total.epsilon_at(height) + maxload.epsilon_at(height)
+            )
+
+    def test_caps_within_factor_two_of_each(self):
+        # Section 6.1.4: both metrics within a factor 2 of optimal.
+        epsilon, d, height = 0.1, 4.0, 6
+        hybrid = HybridGradient(epsilon, d=d, tree_height=height)
+        total = MinTotalLoadGradient(epsilon, d=d)
+        maxload = MinMaxLoadGradient(epsilon, tree_height=height)
+        for h in range(1, height + 1):
+            assert hybrid.max_counters(h) <= 2 * total.max_counters(h) + 1e-9
+            assert hybrid.max_counters(h) <= 2 * maxload.max_counters(h) + 1e-9
+
+    def test_validates(self):
+        HybridGradient(0.2, d=2.25, tree_height=8).validate(8)
+
+
+class TestFlat:
+    def test_constant(self):
+        gradient = FlatGradient(0.1)
+        assert gradient.epsilon_at(1) == gradient.epsilon_at(7) == 0.1
+
+    def test_no_fresh_slack_above_leaves(self):
+        gradient = FlatGradient(0.1)
+        assert gradient.max_counters(2) == math.inf
+
+
+class TestGradientProperties:
+    @given(
+        st.floats(min_value=0.001, max_value=0.5),
+        st.floats(min_value=1.2, max_value=16.0),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60)
+    def test_min_total_monotone_bounded(self, epsilon, d, max_height):
+        gradient = MinTotalLoadGradient(epsilon, d)
+        gradient.validate(max_height)
+
+    @given(
+        st.floats(min_value=0.001, max_value=0.5),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60)
+    def test_min_max_monotone_bounded(self, epsilon, height):
+        gradient = MinMaxLoadGradient(epsilon, height)
+        gradient.validate(height)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=1.5, max_value=9.0),
+        st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=60)
+    def test_hybrid_monotone_bounded(self, epsilon, d, height):
+        gradient = HybridGradient(epsilon, d, height)
+        gradient.validate(height)

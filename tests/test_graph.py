@@ -1,0 +1,164 @@
+"""Tests for the Tributary-Delta graph: correctness and switchability."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.modes import Mode
+from repro.errors import CorrectnessError, TopologyError
+from repro.network.placement import BASE_STATION
+
+
+@pytest.fixture()
+def graph(small_scenario, small_tree):
+    return TDGraph(
+        small_scenario.rings,
+        small_tree,
+        initial_modes_by_level(small_scenario.rings, 1),
+    )
+
+
+class TestConstruction:
+    def test_initial_modes_by_level(self, small_scenario, small_tree):
+        rings = small_scenario.rings
+        graph = TDGraph(rings, small_tree, initial_modes_by_level(rings, 1))
+        for node in rings.levels:
+            expected = Mode.MULTIPATH if rings.level(node) <= 1 else Mode.TREE
+            assert graph.mode(node) is expected
+
+    def test_all_tree_allowed(self, small_scenario, small_tree):
+        rings = small_scenario.rings
+        graph = TDGraph(rings, small_tree, initial_modes_by_level(rings, -1))
+        assert graph.delta_region() == set()
+
+    def test_all_multipath_allowed(self, small_scenario, small_tree):
+        rings = small_scenario.rings
+        graph = TDGraph(
+            rings, small_tree, initial_modes_by_level(rings, rings.depth)
+        )
+        assert len(graph.delta_region()) == len(rings.levels)
+
+    def test_edge_correctness_enforced(self, small_scenario, small_tree):
+        rings = small_scenario.rings
+        # Hand-build an invalid labelling: one M node deep in the tree whose
+        # parent is T.
+        modes = initial_modes_by_level(rings, -1)
+        deep_node = max(rings.levels, key=lambda n: rings.level(n))
+        modes[deep_node] = Mode.MULTIPATH
+        with pytest.raises(CorrectnessError):
+            TDGraph(rings, small_tree, modes)
+
+    def test_tag_tree_rejected(self, small_scenario):
+        # A tree with same-level links violates the rings-subset constraint.
+        from repro.tree.construction import build_tag_tree
+
+        rings = small_scenario.rings
+        tree = build_tag_tree(rings, seed=0, same_level_fraction=0.5)
+        with pytest.raises(TopologyError):
+            TDGraph(rings, tree)
+
+
+class TestSwitchability:
+    def test_observation1(self, graph):
+        # All tree children of a switchable M vertex are switchable T.
+        for node in graph.switchable_m_nodes():
+            for child in graph.tree_children(node):
+                assert graph.is_switchable_t(child)
+
+    def test_lemma1_t_side(self, graph):
+        # If T vertices exist, at least one is switchable.
+        t_nodes = [n for n in graph.modes() if graph.is_tree(n)]
+        assert t_nodes
+        assert graph.switchable_t_nodes()
+
+    def test_lemma1_m_side(self, graph):
+        m_nodes = [n for n in graph.modes() if graph.is_multipath(n)]
+        assert m_nodes
+        assert graph.switchable_m_nodes()
+
+    def test_switch_t_to_m_requires_m_parent(self, graph):
+        # A T node two levels below the delta boundary is not switchable.
+        rings = graph.rings
+        deep = [n for n in rings.levels if rings.level(n) >= 3]
+        if deep:
+            node = deep[0]
+            assert not graph.is_switchable_t(node)
+            with pytest.raises(CorrectnessError):
+                graph.switch_to_multipath(node)
+
+    def test_switch_round_trip(self, graph):
+        node = graph.switchable_t_nodes()[0]
+        graph.switch_to_multipath(node)
+        assert graph.is_multipath(node)
+        graph.validate()
+        # A just-switched M leaf has no downstream M, so it can switch back.
+        assert graph.is_switchable_m(node)
+        graph.switch_to_tree(node)
+        assert graph.is_tree(node)
+        graph.validate()
+
+    def test_expand_all_widens_one_level(self, small_scenario, small_tree):
+        rings = small_scenario.rings
+        graph = TDGraph(rings, small_tree, initial_modes_by_level(rings, 0))
+        before = graph.delta_region()
+        switched = graph.expand_all()
+        assert switched
+        after = graph.delta_region()
+        assert after > before
+        graph.validate()
+
+    def test_shrink_all_reverses_expand(self, small_scenario, small_tree):
+        rings = small_scenario.rings
+        graph = TDGraph(rings, small_tree, initial_modes_by_level(rings, 0))
+        graph.expand_all()
+        while graph.delta_region():
+            if not graph.shrink_all():
+                break
+        assert graph.delta_region() == set()
+        graph.validate()
+
+
+class TestRandomSwitchSequences:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 10_000)), max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_preserved(self, small_scenario, small_tree, moves):
+        # Any sequence of legal switches keeps edge correctness (Property 1).
+        rings = small_scenario.rings
+        graph = TDGraph(rings, small_tree, initial_modes_by_level(rings, 0))
+        for expand, pick in moves:
+            candidates = (
+                graph.switchable_t_nodes() if expand else graph.switchable_m_nodes()
+            )
+            if not candidates:
+                continue
+            node = candidates[pick % len(candidates)]
+            if expand:
+                graph.switch_to_multipath(node)
+            else:
+                graph.switch_to_tree(node)
+            graph.validate()
+
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_lemma1_holds_at_every_level(self, small_scenario, small_tree, level):
+        rings = small_scenario.rings
+        graph = TDGraph(
+            rings, small_tree, initial_modes_by_level(rings, min(level, rings.depth))
+        )
+        has_t = any(graph.is_tree(n) for n in rings.levels)
+        has_m = any(graph.is_multipath(n) for n in rings.levels)
+        if has_t:
+            assert graph.switchable_t_nodes()
+        if has_m:
+            assert graph.switchable_m_nodes()
+
+
+class TestDiagnostics:
+    def test_delta_summary(self, graph):
+        summary = graph.delta_summary()
+        assert summary["delta_size"] == len(graph.delta_region())
+        assert 0.0 <= summary["delta_fraction"] <= 1.0
+        assert summary["delta_max_level"] >= 0

@@ -1,0 +1,90 @@
+"""Tests for repro._hashing: stability, distribution, substreams."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._hashing import (
+    geometric_level,
+    hash_key,
+    hash_unit,
+    splitmix64,
+    stream_rng,
+)
+
+
+class TestHashKey:
+    def test_deterministic(self):
+        assert hash_key("count", 3) == hash_key("count", 3)
+
+    def test_token_order_matters(self):
+        assert hash_key("a", "b") != hash_key("b", "a")
+
+    def test_distinct_tokens_distinct_hashes(self):
+        values = {hash_key("item", i) for i in range(10_000)}
+        assert len(values) == 10_000
+
+    def test_mixed_token_types(self):
+        assert hash_key(1, "x", 2.5, None) == hash_key(1, "x", 2.5, None)
+
+    def test_int_vs_str_differ(self):
+        assert hash_key(1) != hash_key("1")
+
+    def test_tuple_token_flattens_consistently(self):
+        assert hash_key(("a", 1)) == hash_key(("a", 1))
+
+    @given(st.lists(st.integers(), min_size=1, max_size=5))
+    def test_always_64_bit(self, tokens):
+        value = hash_key(*tokens)
+        assert 0 <= value < 1 << 64
+
+
+class TestSplitmix:
+    def test_avalanche_on_single_bit(self):
+        a = splitmix64(0)
+        b = splitmix64(1)
+        assert bin(a ^ b).count("1") > 16
+
+    def test_range(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(value) < 1 << 64
+
+
+class TestHashUnit:
+    def test_in_unit_interval(self):
+        for i in range(1000):
+            assert 0.0 <= hash_unit("u", i) < 1.0
+
+    def test_roughly_uniform(self):
+        values = [hash_unit("uniform", i) for i in range(20_000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 0.5) < 0.02
+
+
+class TestGeometricLevel:
+    def test_distribution(self):
+        counts = {}
+        trials = 40_000
+        for i in range(trials):
+            level = geometric_level("geo", i)
+            counts[level] = counts.get(level, 0) + 1
+        # level 0 should hit ~1/2, level 1 ~1/4, level 2 ~1/8.
+        assert abs(counts[0] / trials - 0.5) < 0.02
+        assert abs(counts[1] / trials - 0.25) < 0.02
+        assert abs(counts[2] / trials - 0.125) < 0.02
+
+    def test_deterministic(self):
+        assert geometric_level("x", 42) == geometric_level("x", 42)
+
+
+class TestStreamRng:
+    def test_same_key_same_stream(self):
+        a = stream_rng("s", 1)
+        b = stream_rng("s", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_keys_different_streams(self):
+        a = stream_rng("s", 1)
+        b = stream_rng("s", 2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

@@ -1,0 +1,215 @@
+"""Cross-module integration tests: full pipelines over multiple epochs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.average import AverageAggregate
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.core.adaptation import DampedPolicy, TDCoarsePolicy, TDFinePolicy
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.sd_scheme import SynopsisDiffusionScheme
+from repro.core.tag_scheme import TagScheme
+from repro.core.td_scheme import TributaryDeltaScheme
+from repro.core.validation import audit, topology_of_td_graph
+from repro.datasets.streams import ConstantReadings, UniformReadings
+from repro.frequent.mp_fi import KMVOperator
+from repro.frequent.td_fi import TributaryDeltaFrequentItems
+from repro.frequent.reporting import false_negative_rate, true_frequent
+from repro.datasets.streams import ZipfItemStream, exact_item_counts
+from repro.network.failures import (
+    FailureSchedule,
+    GlobalLoss,
+    NoLoss,
+    RegionalLoss,
+)
+from repro.network.links import Channel
+from repro.network.simulator import EpochSimulator
+
+
+class TestPairedComparison:
+    """All schemes over one channel seed: the paper's paired methodology."""
+
+    def test_ordering_under_moderate_loss(self, medium_scenario, medium_tree):
+        failure = GlobalLoss(0.25)
+        readings = ConstantReadings(1.0)
+        sensors = medium_scenario.deployment.num_sensors
+        tag = TagScheme(medium_scenario.deployment, medium_tree, CountAggregate())
+        sd = SynopsisDiffusionScheme(
+            medium_scenario.deployment, medium_scenario.rings, CountAggregate()
+        )
+        graph = TDGraph(
+            medium_scenario.rings,
+            medium_tree,
+            initial_modes_by_level(medium_scenario.rings, 0),
+        )
+        td = TributaryDeltaScheme(
+            medium_scenario.deployment, graph, CountAggregate(),
+            policy=TDFinePolicy(),
+        )
+        EpochSimulator(
+            medium_scenario.deployment, failure, td, seed=5, adapt_interval=1
+        ).run(0, readings, warmup=80)
+
+        results = {}
+        for name, scheme in (("tag", tag), ("sd", sd), ("td", td)):
+            interval = 10 if name == "td" else 0
+            run = EpochSimulator(
+                medium_scenario.deployment, failure, scheme, seed=6,
+                adapt_interval=interval,
+            ).run(20, readings, start_epoch=100)
+            results[name] = run
+        # The paper's headline: TD at most the error of the best baseline
+        # (generous tolerance at this small scale), and far below TAG.
+        assert results["td"].rms_error() < results["tag"].rms_error()
+        assert results["td"].rms_error() < results["sd"].rms_error() + 0.1
+        # And the graph stayed correct throughout.
+        assert audit(topology_of_td_graph(graph)).correct
+
+    def test_average_aggregate_end_to_end(self, small_scenario, small_tree):
+        readings = UniformReadings(50, 150, seed=8)
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 1),
+        )
+        td = TributaryDeltaScheme(
+            small_scenario.deployment, graph, AverageAggregate()
+        )
+        run = EpochSimulator(
+            small_scenario.deployment, GlobalLoss(0.15), td, seed=2,
+            adapt_interval=0,
+        ).run(10, readings)
+        # Average is ratio-robust: estimates stay near the truth even with
+        # moderate loss and sketch error.
+        assert run.rms_error() < 0.25
+
+
+class TestScheduleDrivenAdaptation:
+    def test_delta_grows_then_shrinks(self, medium_scenario, medium_tree):
+        schedule = FailureSchedule(
+            [(0, GlobalLoss(0.0)), (30, GlobalLoss(0.35)), (90, GlobalLoss(0.0))]
+        )
+        readings = ConstantReadings(1.0)
+        graph = TDGraph(
+            medium_scenario.rings,
+            medium_tree,
+            initial_modes_by_level(medium_scenario.rings, 0),
+        )
+        td = TributaryDeltaScheme(
+            medium_scenario.deployment, graph, CountAggregate(),
+            policy=TDFinePolicy(),
+        )
+        simulator = EpochSimulator(
+            medium_scenario.deployment, schedule, td, seed=3, adapt_interval=2
+        )
+        run = simulator.run(150, readings)
+        sizes = [int(e.extra.get("delta_size", 0)) for e in run.epochs]
+        quiet_before = max(sizes[:30])
+        lossy_peak = max(sizes[30:90])
+        quiet_after = sizes[-1]
+        assert lossy_peak > quiet_before
+        assert quiet_after < lossy_peak
+
+    def test_regional_failure_regional_delta(self, medium_scenario, medium_tree):
+        failure = RegionalLoss(0.5, 0.02)
+        readings = ConstantReadings(1.0)
+        graph = TDGraph(
+            medium_scenario.rings,
+            medium_tree,
+            initial_modes_by_level(medium_scenario.rings, 0),
+        )
+        td = TributaryDeltaScheme(
+            medium_scenario.deployment, graph, CountAggregate(),
+            policy=TDFinePolicy(),
+        )
+        EpochSimulator(
+            medium_scenario.deployment, failure, td, seed=4, adapt_interval=1
+        ).run(0, readings, warmup=100)
+        delta = graph.delta_region() - {0}
+        deployment = medium_scenario.deployment
+        if delta:
+            inside = sum(1 for n in delta if failure.contains(deployment, n))
+            all_inside = sum(
+                1
+                for n in deployment.sensor_ids
+                if failure.contains(deployment, n)
+            )
+            assert inside / len(delta) > all_inside / deployment.num_sensors
+
+
+class TestFrequentItemsOverConvergedGraph:
+    def test_fi_rides_adapted_delta(self, medium_scenario, medium_tree):
+        """The paper's design: one delta serves many concurrent queries."""
+        failure = GlobalLoss(0.3)
+        graph = TDGraph(
+            medium_scenario.rings,
+            medium_tree,
+            initial_modes_by_level(medium_scenario.rings, 0),
+        )
+        count_scheme = TributaryDeltaScheme(
+            medium_scenario.deployment, graph, CountAggregate(),
+            policy=TDFinePolicy(),
+        )
+        EpochSimulator(
+            medium_scenario.deployment, failure, count_scheme, seed=7,
+            adapt_interval=1,
+        ).run(0, ConstantReadings(1.0), warmup=60)
+        assert graph.delta_region()
+
+        stream = ZipfItemStream(items_per_node=60, universe=150, alpha=1.3, seed=7)
+        counts = exact_item_counts(
+            stream, medium_scenario.deployment.sensor_ids, 0
+        )
+        truth = true_frequent(counts, 0.02)
+        fi = TributaryDeltaFrequentItems(
+            graph,
+            epsilon=0.002,
+            support=0.02,
+            total_items_hint=sum(counts.values()),
+            operator=KMVOperator(k=64),
+        )
+        channel = Channel(medium_scenario.deployment, failure, seed=8)
+        outcome = fi.run_epoch(0, channel, lambda n, e: stream.items(n, e))
+        assert false_negative_rate(truth, outcome.reported) <= 0.4
+
+
+class TestDeterminismAcrossRuns:
+    def test_everything_reproducible(self, small_scenario, small_tree):
+        def run_once():
+            graph = TDGraph(
+                small_scenario.rings,
+                small_tree,
+                initial_modes_by_level(small_scenario.rings, 0),
+            )
+            td = TributaryDeltaScheme(
+                small_scenario.deployment, graph, SumAggregate(),
+                policy=DampedPolicy(TDCoarsePolicy()),
+            )
+            run = EpochSimulator(
+                small_scenario.deployment, GlobalLoss(0.2), td, seed=11,
+                adapt_interval=5,
+            ).run(30, UniformReadings(1, 9, seed=11))
+            return run.estimates, sorted(graph.delta_region())
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+
+class TestDocstringExample:
+    def test_package_docstring_quickstart_runs(self):
+        """The example in repro/__init__'s docstring must stay executable."""
+        import textwrap
+
+        import repro
+
+        lines = repro.__doc__.splitlines()
+        start = next(i for i, l in enumerate(lines) if "from repro import" in l)
+        end = next(i for i, l in enumerate(lines) if "print(" in l)
+        code = textwrap.dedent("\n".join(lines[start : end + 1]))
+        namespace = {}
+        exec(code, namespace)  # noqa: S102 - doc-sync check
+        assert "result" in namespace
+        assert namespace["result"].rms_error() >= 0.0

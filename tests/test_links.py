@@ -1,0 +1,94 @@
+"""Tests for the lossy channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.failures import GlobalLoss, NoLoss
+from repro.network.links import Channel
+from repro.network.placement import grid_random_placement
+
+
+@pytest.fixture()
+def deployment():
+    return grid_random_placement(20, seed=1)
+
+
+class TestDelivery:
+    def test_no_loss_always_delivers(self, deployment):
+        channel = Channel(deployment, NoLoss(), seed=0)
+        assert channel.delivered(1, 2, epoch=0)
+
+    def test_full_loss_never_delivers(self, deployment):
+        channel = Channel(deployment, GlobalLoss(1.0), seed=0)
+        assert not channel.delivered(1, 2, epoch=0)
+
+    def test_deterministic_in_seed(self, deployment):
+        a = Channel(deployment, GlobalLoss(0.5), seed=9)
+        b = Channel(deployment, GlobalLoss(0.5), seed=9)
+        draws_a = [a.delivered(1, 2, epoch) for epoch in range(50)]
+        draws_b = [b.delivered(1, 2, epoch) for epoch in range(50)]
+        assert draws_a == draws_b
+
+    def test_seed_changes_draws(self, deployment):
+        a = Channel(deployment, GlobalLoss(0.5), seed=1)
+        b = Channel(deployment, GlobalLoss(0.5), seed=2)
+        draws_a = [a.delivered(1, 2, epoch) for epoch in range(100)]
+        draws_b = [b.delivered(1, 2, epoch) for epoch in range(100)]
+        assert draws_a != draws_b
+
+    def test_empirical_rate(self, deployment):
+        channel = Channel(deployment, GlobalLoss(0.3), seed=4)
+        delivered = sum(
+            1
+            for epoch in range(4000)
+            if channel.delivered(3, 4, epoch)
+        )
+        assert abs(delivered / 4000 - 0.7) < 0.03
+
+
+class TestTransmit:
+    def test_broadcast_counts_one_transmission(self, deployment):
+        channel = Channel(deployment, NoLoss(), seed=0)
+        heard = channel.transmit(1, [2, 3, 4], epoch=0, words=5)
+        assert heard == [2, 3, 4]
+        assert channel.log.transmissions == 1
+        assert channel.log.deliveries == 3
+        assert channel.log.words_sent == 5
+
+    def test_retransmission_accounting(self, deployment):
+        channel = Channel(deployment, NoLoss(), seed=0)
+        channel.transmit(1, [2], epoch=0, words=4, messages=2, attempts=3)
+        assert channel.log.transmissions == 3
+        assert channel.log.words_sent == 12
+        assert channel.log.messages_sent == 6
+
+    def test_retransmission_improves_delivery(self, deployment):
+        single = Channel(deployment, GlobalLoss(0.6), seed=5)
+        triple = Channel(deployment, GlobalLoss(0.6), seed=5)
+        got_single = sum(
+            1
+            for epoch in range(800)
+            if single.transmit(1, [2], epoch, words=1, attempts=1)
+        )
+        got_triple = sum(
+            1
+            for epoch in range(800)
+            if triple.transmit(1, [2], epoch, words=1, attempts=3)
+        )
+        assert got_triple > got_single
+
+    def test_per_node_accounting(self, deployment):
+        channel = Channel(deployment, NoLoss(), seed=0)
+        channel.transmit(1, [2], epoch=0, words=7)
+        channel.transmit(1, [2], epoch=1, words=3)
+        channel.transmit(2, [3], epoch=1, words=5)
+        assert channel.per_node_words() == {1: 10, 2: 5}
+        assert channel.per_node_messages() == {1: 2, 2: 1}
+
+    def test_reset_log(self, deployment):
+        channel = Channel(deployment, NoLoss(), seed=0)
+        channel.transmit(1, [2], epoch=0, words=1)
+        old = channel.reset_log()
+        assert old.transmissions == 1
+        assert channel.log.transmissions == 0

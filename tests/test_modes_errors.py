@@ -1,0 +1,44 @@
+"""Tests for the Mode enum and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modes import Mode
+from repro.errors import (
+    ConfigurationError,
+    CorrectnessError,
+    ReproError,
+    SketchError,
+    TopologyError,
+)
+
+
+class TestMode:
+    def test_values(self):
+        assert str(Mode.TREE) == "T"
+        assert str(Mode.MULTIPATH) == "M"
+
+    def test_predicates(self):
+        assert Mode.TREE.is_tree
+        assert not Mode.TREE.is_multipath
+        assert Mode.MULTIPATH.is_multipath
+        assert not Mode.MULTIPATH.is_tree
+
+    def test_round_trip(self):
+        assert Mode("T") is Mode.TREE
+        assert Mode("M") is Mode.MULTIPATH
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "error", [ConfigurationError, CorrectnessError, SketchError, TopologyError]
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+    def test_catchable_individually(self):
+        with pytest.raises(SketchError):
+            raise SketchError("sketch")

@@ -1,0 +1,158 @@
+"""Tests for pipelined tree aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.core.pipelined import PipelinedTagScheme
+from repro.core.tag_scheme import TagScheme
+from repro.datasets.streams import ConstantReadings
+from repro.errors import ConfigurationError
+from repro.network.failures import GlobalLoss, NoLoss
+from repro.network.links import Channel
+from repro.network.simulator import EpochSimulator
+
+
+def varying(node, epoch):
+    """Per-epoch-varying readings for staleness checks."""
+    return float(node % 7 + epoch * 10)
+
+
+class TestFillPhase:
+    def test_first_epochs_are_partial(self, small_scenario, small_tree):
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        sensors = small_scenario.deployment.num_sensors
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        counts = []
+        for epoch in range(scheme.depth + 3):
+            outcome = scheme.run_epoch(epoch, channel, ConstantReadings(1.0))
+            counts.append(outcome.contributing)
+        # Epoch 0 only hears ring-1 nodes; full coverage by epoch depth-1.
+        assert counts[0] < sensors
+        assert counts[scheme.depth - 1] == sensors
+        assert all(c == sensors for c in counts[scheme.depth - 1 :])
+
+    def test_fill_flag_reported(self, small_scenario, small_tree):
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        outcome = scheme.run_epoch(0, channel, ConstantReadings(1.0))
+        assert outcome.extra["pipeline_fill"] is True
+
+
+class TestSteadyState:
+    def test_constant_readings_match_snapshot(self, small_scenario, small_tree):
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, SumAggregate()
+        )
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        readings = ConstantReadings(2.0)
+        outcome = None
+        for epoch in range(scheme.depth + 2):
+            outcome = scheme.run_epoch(epoch, channel, readings)
+        assert outcome.estimate == scheme.exact_answer(0, readings)
+
+    def test_varying_readings_match_mixed_truth(self, small_scenario, small_tree):
+        """The pipelined answer equals the age-adjusted truth exactly."""
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, SumAggregate()
+        )
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        for epoch in range(scheme.depth + 4):
+            outcome = scheme.run_epoch(epoch, channel, varying)
+        final_epoch = scheme.depth + 3
+        assert outcome.estimate == scheme.mixed_truth(final_epoch, varying)
+        # ... and differs from the snapshot truth (readings drift by epoch).
+        assert outcome.estimate != scheme.exact_answer(final_epoch, varying)
+
+    def test_staleness_equals_deepest_contribution(self, small_scenario, small_tree):
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        for epoch in range(scheme.depth + 2):
+            outcome = scheme.run_epoch(epoch, channel, ConstantReadings(1.0))
+        assert outcome.extra["staleness"] == scheme.depth - 1
+
+    def test_one_transmission_per_node_per_epoch(self, small_scenario, small_tree):
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        scheme.run_epoch(0, channel, ConstantReadings(1.0))
+        assert (
+            channel.log.transmissions == small_scenario.deployment.num_sensors
+        )
+
+
+class TestUnderLoss:
+    def test_loss_drops_accumulated_state(self, small_scenario, small_tree):
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        sensors = small_scenario.deployment.num_sensors
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.25), seed=3)
+        contributing = []
+        for epoch in range(scheme.depth + 15):
+            outcome = scheme.run_epoch(epoch, channel, ConstantReadings(1.0))
+            if epoch >= scheme.depth:
+                contributing.append(outcome.contributing)
+        mean = sum(contributing) / len(contributing)
+        assert 0 < mean < sensors
+
+    def test_simulator_drives_pipelined_scheme(self, small_scenario, small_tree):
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        simulator = EpochSimulator(
+            small_scenario.deployment, GlobalLoss(0.1), scheme, seed=1
+        )
+        run = simulator.run(20, ConstantReadings(1.0), warmup=scheme.depth)
+        assert len(run.epochs) == 20
+        assert run.rms_error() < 1.0
+
+
+class TestThroughputVsSnapshot:
+    def test_pipelined_produces_an_answer_every_epoch(
+        self, small_scenario, small_tree
+    ):
+        """Both schemes emit one answer per simulator epoch; the pipelined
+        one's epochs are radio epochs (short), the snapshot one's are whole
+        waves (depth x longer) — the throughput argument from [10]."""
+        pipelined = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        snapshot = TagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        readings = ConstantReadings(1.0)
+        for epoch in range(pipelined.depth + 1):
+            pipelined_outcome = pipelined.run_epoch(epoch, channel, readings)
+        snapshot_outcome = snapshot.run_epoch(0, channel, readings)
+        assert pipelined_outcome.estimate == snapshot_outcome.estimate
+
+    def test_reset_drains_pipeline(self, small_scenario, small_tree):
+        scheme = PipelinedTagScheme(
+            small_scenario.deployment, small_tree, CountAggregate()
+        )
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        for epoch in range(scheme.depth + 2):
+            scheme.run_epoch(epoch, channel, ConstantReadings(1.0))
+        scheme.reset()
+        outcome = scheme.run_epoch(0, channel, ConstantReadings(1.0))
+        assert outcome.contributing < small_scenario.deployment.num_sensors
+
+    def test_validation(self, small_scenario, small_tree):
+        with pytest.raises(ConfigurationError):
+            PipelinedTagScheme(
+                small_scenario.deployment,
+                small_tree,
+                CountAggregate(),
+                attempts=0,
+            )

@@ -1,0 +1,197 @@
+"""Tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.plotting import (
+    LineChart,
+    bar_chart,
+    render_series_table,
+    sparkline,
+)
+
+
+class TestLineChart:
+    def make_chart(self):
+        chart = LineChart("RMS vs loss", x_label="loss", y_label="rms")
+        chart.add_series("TAG", [(0.0, 0.0), (0.5, 0.5), (1.0, 0.9)])
+        chart.add_series("SD", [(0.0, 0.1), (0.5, 0.12), (1.0, 0.2)])
+        return chart
+
+    def test_render_contains_title_and_legend(self):
+        text = self.make_chart().render()
+        assert "RMS vs loss" in text
+        assert "* TAG" in text
+        assert "o SD" in text
+
+    def test_render_contains_axis_labels(self):
+        text = self.make_chart().render()
+        assert "rms" in text
+        assert "0.9" in text  # the y-max tick
+
+    def test_markers_appear(self):
+        text = self.make_chart().render()
+        assert "*" in text
+        assert "o" in text
+
+    def test_extremes_hit_grid_corners(self):
+        chart = LineChart("corners", width=20, height=6)
+        chart.add_series("s", [(0.0, 0.0), (1.0, 1.0)])
+        lines = chart.render().splitlines()
+        plot_rows = [line for line in lines if "|" in line]
+        # Max value on the top plot row, min on the bottom one.
+        assert "*" in plot_rows[0]
+        assert "*" in plot_rows[-1]
+
+    def test_fixed_y_range(self):
+        chart = LineChart("fixed", y_min=0.0, y_max=1.0)
+        chart.add_series("s", [(0.0, 0.4), (1.0, 0.6)])
+        text = chart.render()
+        assert "1" in text.splitlines()[2]
+
+    def test_chaining(self):
+        chart = LineChart("t")
+        assert chart.add_series("a", [(0, 1)]) is chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LineChart("too small", width=5, height=2)
+        with pytest.raises(ConfigurationError):
+            LineChart("no points").add_series("empty", [])
+        with pytest.raises(ConfigurationError):
+            LineChart("no series").render()
+        chart = LineChart("full")
+        for index in range(8):
+            chart.add_series(f"s{index}", [(0, index)])
+        with pytest.raises(ConfigurationError):
+            chart.add_series("one too many", [(0, 9)])
+
+    def test_flat_series_renders(self):
+        chart = LineChart("flat")
+        chart.add_series("s", [(0.0, 0.5), (1.0, 0.5)])
+        assert "*" in chart.render()
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=-100, max_value=100),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_render_never_crashes(self, points):
+        chart = LineChart("fuzz")
+        chart.add_series("s", points)
+        text = chart.render()
+        assert "fuzz" in text
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart(
+            "loads",
+            {"Real": {"Min Total-load": 120.0, "Min Max-load": 240.0}},
+        )
+        assert "loads" in text
+        assert "Min Total-load" in text
+        assert "#" in text
+
+    def test_longer_bar_for_larger_value(self):
+        text = bar_chart("t", {"g": {"small": 10.0, "large": 100.0}})
+        lines = {line.split()[0]: line for line in text.splitlines() if "#" in line}
+        assert lines["large"].count("#") > lines["small"].count("#")
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart("t", {"g": {"a": 10.0, "b": 10000.0}}, width=40)
+        log = bar_chart(
+            "t", {"g": {"a": 10.0, "b": 10000.0}}, width=40, log_scale=True
+        )
+
+        def bars(text):
+            return {
+                line.split()[0]: line.count("#")
+                for line in text.splitlines()
+                if "#" in line
+            }
+
+        assert bars(log)["a"] > bars(linear)["a"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", {})
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", {"g": {}})
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", {"g": {"a": 0.0}}, log_scale=True)
+
+    def test_unit_suffix(self):
+        text = bar_chart("t", {"g": {"a": 5.0}}, unit=" words")
+        assert "5 words" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "   "
+
+    def test_monotone_series_uses_increasing_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert line[0] == " "
+        assert line[-1] == "@"
+        assert len(line) == 10
+
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_length_preserved(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestSeriesTable:
+    def test_basic_table(self):
+        text = render_series_table(
+            "loss",
+            {
+                "TAG": [(0.0, 0.0), (0.5, 0.4)],
+                "SD": [(0.0, 0.1), (0.5, 0.12)],
+            },
+        )
+        lines = text.splitlines()
+        assert "loss" in lines[0]
+        assert "TAG" in lines[0]
+        assert "SD" in lines[0]
+        assert len(lines) == 4  # header, rule, two data rows
+
+    def test_mismatched_grids_raise(self):
+        with pytest.raises(ConfigurationError):
+            render_series_table(
+                "x",
+                {"a": [(0.0, 1.0)], "b": [(1.0, 2.0)]},
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            render_series_table("x", {})
+
+
+class TestMarkerCollisions:
+    def test_conflicting_markers_render_as_question_mark(self):
+        chart = LineChart("overlap", width=10, height=4)
+        chart.add_series("a", [(0.0, 0.0), (1.0, 1.0)])
+        chart.add_series("b", [(0.0, 0.0), (1.0, 0.5)])
+        text = chart.render()
+        # Both series hit the (0, 0) cell with different markers.
+        assert "?" in text
+
+    def test_same_series_revisiting_a_cell_keeps_marker(self):
+        chart = LineChart("revisit", width=10, height=4)
+        chart.add_series("a", [(0.0, 0.0), (0.0, 0.0), (1.0, 1.0)])
+        assert "?" not in chart.render()

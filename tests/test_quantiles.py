@@ -1,0 +1,82 @@
+"""Tests for the Quantiles-based FI baseline and precision-gradient quantiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.streams import ZipfItemStream, exact_item_counts
+from repro.frequent.quantiles_fi import QuantilesBasedFrequentItems
+from repro.frequent.reporting import false_negative_rate, true_frequent
+from repro.frequent.tree_fi import TreeFrequentItems
+from repro.frequent.tree_quantiles import TreeQuantiles
+from repro.network.failures import GlobalLoss
+from repro.network.links import Channel
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return ZipfItemStream(items_per_node=100, universe=120, alpha=1.2, seed=8)
+
+
+class TestQuantilesBaseline:
+    def test_no_false_negatives_lossless(self, small_tree, stream):
+        support, epsilon = 0.02, 0.005
+        engine = QuantilesBasedFrequentItems(small_tree, epsilon)
+        root, _ = engine.aggregate(lambda n, e: stream.items(n, e))
+        nodes = [n for n in small_tree.nodes if n != small_tree.root]
+        truth = true_frequent(exact_item_counts(stream, nodes, 0), support)
+        reported = engine.frequent_items(root, support)
+        assert false_negative_rate(truth, reported) == 0.0
+
+    def test_loads_exceed_summary_algorithms(self, small_tree, stream):
+        # Figure 8: the Quantiles-based baseline pays far more communication
+        # than the epsilon-deficient summaries.
+        epsilon = 0.01
+        items_fn = lambda n, e: stream.items(n, e)
+        quantiles = QuantilesBasedFrequentItems(small_tree, epsilon)
+        summaries = TreeFrequentItems.min_total_load(small_tree, epsilon)
+        _, quantile_report = quantiles.aggregate(items_fn)
+        _, summary_report = summaries.aggregate(items_fn)
+        assert quantile_report.total_words > summary_report.total_words
+
+    def test_lossy_operation(self, small_tree, small_scenario, stream):
+        engine = QuantilesBasedFrequentItems(small_tree, 0.01)
+        channel = Channel(small_scenario.deployment, GlobalLoss(1.0), seed=1)
+        root, _ = engine.aggregate(
+            lambda n, e: stream.items(n, e), 0, channel=channel
+        )
+        assert root is None
+
+
+class TestTreeQuantiles:
+    def test_quantile_accuracy(self, small_tree, stream):
+        engine = TreeQuantiles.min_total_load(small_tree, epsilon=0.05)
+        root, _ = engine.aggregate(lambda n, e: stream.items(n, e))
+        nodes = [n for n in small_tree.nodes if n != small_tree.root]
+        everything = sorted(
+            item for node in nodes for item in stream.items(node, 0)
+        )
+        total = len(everything)
+        for phi in (0.25, 0.5, 0.75):
+            answer = engine.quantiles(root, [phi])[0]
+            target_rank = phi * total
+            low = everything[max(0, int(target_rank - 0.1 * total))]
+            high = everything[min(total - 1, int(target_rank + 0.1 * total))]
+            assert low <= answer <= high
+
+    def test_total_load_scales_like_min_total(self, medium_tree, stream):
+        # The gradient-budgeted quantiles keep total communication within a
+        # constant of m/eps (the Section 6.1.4 claim), far below the
+        # uniform-budget baseline on the same tree.
+        epsilon = 0.05
+        items_fn = lambda n, e: stream.items(n, e)
+        gradient_engine = TreeQuantiles.min_total_load(medium_tree, epsilon)
+        uniform_engine = QuantilesBasedFrequentItems(medium_tree, epsilon)
+        _, gradient_report = gradient_engine.aggregate(items_fn)
+        _, uniform_report = uniform_engine.aggregate(items_fn)
+        assert gradient_report.total_words < uniform_report.total_words
+
+    def test_lossless_counts(self, small_tree, stream):
+        engine = TreeQuantiles.min_total_load(small_tree, epsilon=0.05)
+        root, _ = engine.aggregate(lambda n, e: stream.items(n, e))
+        assert root.n == 100 * (small_tree.size - 1)

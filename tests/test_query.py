@@ -1,0 +1,227 @@
+"""Tests for the declarative query layer (predicates, windows, parsing)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.minmax import MinAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.tag_scheme import TagScheme
+from repro.core.td_scheme import TributaryDeltaScheme
+from repro.errors import ConfigurationError
+from repro.network.failures import GlobalLoss, NoLoss
+from repro.network.links import Channel
+from repro.query import (
+    AGGREGATE_FACTORIES,
+    ContinuousQuery,
+    FilteredAggregate,
+    WhereClause,
+    WindowedReadings,
+    parse_query,
+)
+
+
+def sawtooth(node, epoch):
+    """A deterministic per-(node, epoch) reading in [0, 10)."""
+    return float((node * 7 + epoch * 3) % 10)
+
+
+class TestWindowedReadings:
+    def test_last_is_source(self):
+        window = WindowedReadings(sawtooth, size=4, op="LAST")
+        assert window(3, 9) == sawtooth(3, 9)
+
+    def test_mean_over_window(self):
+        window = WindowedReadings(sawtooth, size=3, op="MEAN")
+        expected = (sawtooth(2, 3) + sawtooth(2, 4) + sawtooth(2, 5)) / 3
+        assert window(2, 5) == pytest.approx(expected)
+
+    def test_window_fills_from_epoch_zero(self):
+        window = WindowedReadings(sawtooth, size=10, op="SUM")
+        # At epoch 2 only epochs 0..2 exist.
+        expected = sum(sawtooth(1, e) for e in range(3))
+        assert window(1, 2) == pytest.approx(expected)
+
+    def test_min_max_ops(self):
+        low = WindowedReadings(sawtooth, size=5, op="MIN")
+        high = WindowedReadings(sawtooth, size=5, op="MAX")
+        assert low(4, 10) <= high(4, 10)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindowedReadings(sawtooth, size=0)
+        with pytest.raises(ConfigurationError):
+            WindowedReadings(sawtooth, size=3, op="MEDIAN")
+
+    @given(
+        size=st.integers(min_value=1, max_value=12),
+        epoch=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mean_within_source_range(self, size, epoch):
+        window = WindowedReadings(sawtooth, size=size, op="MEAN")
+        assert 0.0 <= window(5, epoch) < 10.0
+
+
+class TestFilteredAggregate:
+    def test_non_matching_contributes_neutral(self):
+        aggregate = FilteredAggregate(SumAggregate(), lambda v: v >= 5)
+        assert aggregate.tree_local(1, 0, 3.0) == 0
+        assert aggregate.tree_local(1, 0, 7.0) == 7
+
+    def test_exact_filters(self):
+        aggregate = FilteredAggregate(CountAggregate(), lambda v: v > 5)
+        assert aggregate.exact([1.0, 6.0, 9.0]) == 2.0
+
+    def test_exact_with_nothing_matching(self):
+        count = FilteredAggregate(CountAggregate(), lambda v: False)
+        assert count.exact([1.0, 2.0]) == 0.0
+        low = FilteredAggregate(MinAggregate(), lambda v: False)
+        assert low.exact([1.0]) == float("inf")
+
+    def test_counts_contributors_disabled(self):
+        aggregate = FilteredAggregate(CountAggregate(), lambda v: v > 5)
+        assert not aggregate.synopsis_counts_contributors()
+
+    def test_name_is_tagged(self):
+        aggregate = FilteredAggregate(SumAggregate(), lambda v: True)
+        assert aggregate.name == "sum[filtered]"
+
+
+class TestWhereClause:
+    def test_comparators(self):
+        assert WhereClause(">", 5.0).predicate()(6.0)
+        assert not WhereClause(">", 5.0).predicate()(5.0)
+        assert WhereClause("<=", 5.0).predicate()(5.0)
+        assert WhereClause("!=", 5.0).predicate()(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WhereClause("~", 5.0)
+
+
+class TestParseQuery:
+    def test_minimal(self):
+        query = parse_query("SELECT count")
+        assert query.select == "count"
+        assert query.where is None
+        assert query.window is None
+
+    def test_full(self):
+        query = parse_query("SELECT avg WHERE value > 20 WINDOW 5 MEAN")
+        assert query.select == "avg"
+        assert query.where == WhereClause(">", 20.0)
+        assert query.window == 5
+        assert query.window_op == "MEAN"
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select max where VALUE <= 3 window 2")
+        assert query.select == "max"
+        assert query.where == WhereClause("<=", 3.0)
+        assert query.window == 2
+
+    def test_window_without_op_defaults_to_mean(self):
+        assert parse_query("SELECT sum WINDOW 3").window_op == "MEAN"
+
+    def test_render_roundtrip(self):
+        text = "SELECT avg WHERE value > 20 WINDOW 5 MEAN"
+        assert parse_query(text).render() == text
+
+    def test_errors(self):
+        for bad in (
+            "",
+            "PICK count",
+            "SELECT histogram",
+            "SELECT sum WHERE temp > 3",
+            "SELECT sum WHERE value > banana",
+            "SELECT sum WINDOW many",
+            "SELECT sum EXTRA",
+        ):
+            with pytest.raises(ConfigurationError):
+                parse_query(bad)
+
+    def test_every_registered_aggregate_parses(self):
+        for name in AGGREGATE_FACTORIES:
+            assert parse_query(f"SELECT {name}").select == name
+
+
+class TestQueriesOverSchemes:
+    def test_filtered_count_over_tag(self, small_scenario, small_tree):
+        aggregate, readings = parse_query(
+            "SELECT count WHERE value >= 5"
+        ).build(sawtooth)
+        scheme = TagScheme(small_scenario.deployment, small_tree, aggregate)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        outcome = scheme.run_epoch(0, channel, readings)
+        truth = aggregate.exact(
+            [sawtooth(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        assert outcome.estimate == truth
+        assert 0 < truth < small_scenario.deployment.num_sensors
+
+    def test_windowed_sum_over_tag(self, small_scenario, small_tree):
+        aggregate, readings = parse_query("SELECT sum WINDOW 4 MEAN").build(
+            sawtooth
+        )
+        scheme = TagScheme(small_scenario.deployment, small_tree, aggregate)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        outcome = scheme.run_epoch(6, channel, readings)
+        truth = aggregate.exact(
+            [readings(n, 6) for n in small_scenario.deployment.sensor_ids]
+        )
+        # Sum truncates windowed means to ints at each node.
+        assert outcome.estimate == pytest.approx(truth, rel=0.2)
+
+    def test_filtered_query_over_td_under_loss(self, small_scenario, small_tree):
+        aggregate, readings = parse_query(
+            "SELECT count WHERE value >= 5"
+        ).build(sawtooth)
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 2),
+        )
+        scheme = TributaryDeltaScheme(small_scenario.deployment, graph, aggregate)
+        estimates = []
+        truths = []
+        for epoch in range(6):
+            channel = Channel(small_scenario.deployment, GlobalLoss(0.2), seed=3)
+            outcome = scheme.run_epoch(epoch, channel, readings)
+            estimates.append(outcome.estimate)
+            truths.append(
+                aggregate.exact(
+                    [
+                        sawtooth(n, epoch)
+                        for n in small_scenario.deployment.sensor_ids
+                    ]
+                )
+            )
+        mean_estimate = sum(estimates) / len(estimates)
+        mean_truth = sum(truths) / len(truths)
+        assert mean_estimate == pytest.approx(mean_truth, rel=0.4)
+
+    def test_adaptation_feedback_counts_all_relays(self, small_scenario, small_tree):
+        """A highly selective query must not shrink the %-contributing
+        feedback: filtered nodes still relay and register."""
+        aggregate, readings = parse_query(
+            "SELECT count WHERE value >= 9"
+        ).build(sawtooth)
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 1),
+        )
+        scheme = TributaryDeltaScheme(small_scenario.deployment, graph, aggregate)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        outcome = scheme.run_epoch(0, channel, readings)
+        sensors = small_scenario.deployment.num_sensors
+        assert outcome.contributing == sensors
+        assert outcome.contributing_estimate == pytest.approx(
+            sensors, rel=0.35
+        )
+        # ... while the answer reflects only the matching sensors.
+        assert outcome.estimate < sensors / 2

@@ -1,0 +1,69 @@
+"""Tests for radio/connectivity models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.network.placement import grid_random_placement, placement_from_points
+from repro.network.radio import DiscRadio, QualityDiscRadio, link_set
+
+
+class TestDiscRadio:
+    def test_edges_respect_range(self):
+        deployment = placement_from_points(
+            [(1.0, 0.0), (2.5, 0.0)], base_position=(0.0, 0.0), width=5, height=5
+        )
+        graph = DiscRadio(1.6).connectivity(deployment)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(0, 2)
+
+    def test_disconnected_raises(self):
+        deployment = placement_from_points(
+            [(10.0, 10.0)], base_position=(0.0, 0.0), width=20, height=20
+        )
+        with pytest.raises(TopologyError):
+            DiscRadio(1.0).connectivity(deployment)
+
+    def test_matches_brute_force(self):
+        deployment = grid_random_placement(80, width=10, height=10, seed=2)
+        radio = DiscRadio(2.6)
+        graph = radio.connectivity(deployment)
+        expected = set()
+        nodes = deployment.node_ids
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if deployment.distance(a, b) <= 2.6:
+                    expected.add((a, b))
+        assert link_set(graph) == frozenset(expected)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            DiscRadio(0.0)
+
+    def test_base_loss_is_zero(self):
+        deployment = grid_random_placement(10, seed=1)
+        assert DiscRadio(5.0).base_loss(deployment, 0, 1) == 0.0
+
+
+class TestQualityDiscRadio:
+    def test_loss_grows_with_distance(self):
+        deployment = placement_from_points(
+            [(1.0, 0.0), (4.0, 0.0)], base_position=(0.0, 0.0), width=5, height=5
+        )
+        radio = QualityDiscRadio(5.0, min_loss=0.05, max_loss=0.3)
+        near = radio.base_loss(deployment, 0, 1)
+        far = radio.base_loss(deployment, 0, 2)
+        assert 0.05 <= near < far <= 0.3
+
+    def test_loss_capped_at_max(self):
+        deployment = placement_from_points(
+            [(5.0, 0.0)], base_position=(0.0, 0.0), width=6, height=6
+        )
+        radio = QualityDiscRadio(5.0, min_loss=0.1, max_loss=0.25)
+        assert radio.base_loss(deployment, 0, 1) == pytest.approx(0.25)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            QualityDiscRadio(5.0, min_loss=0.5, max_loss=0.2)

@@ -1,0 +1,78 @@
+"""Tests for support thresholding and report metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frequent.reporting import (
+    false_negative_rate,
+    false_positive_rate,
+    report_frequent,
+    report_from_estimates,
+    true_frequent,
+)
+from repro.frequent.summary import Summary
+
+
+class TestTrueFrequent:
+    def test_threshold_inclusive(self):
+        counts = {1: 10, 2: 5, 3: 1}
+        assert true_frequent(counts, 10 / 16) == {1}
+        assert true_frequent(counts, 5 / 16) == {1, 2}
+
+    def test_rejects_bad_support(self):
+        with pytest.raises(ConfigurationError):
+            true_frequent({1: 1}, 0.0)
+
+
+class TestReportFrequent:
+    def test_reports_above_relaxed_threshold(self):
+        summary = Summary(n=100, epsilon=0.01, counts={1: 50.0, 2: 9.5, 3: 5.0})
+        # threshold = (0.1 - 0.01) * 100 = 9
+        assert report_frequent(summary, 0.1, 0.01) == [1, 2]
+
+    def test_epsilon_must_be_below_support(self):
+        summary = Summary(n=10, epsilon=0.0, counts={})
+        with pytest.raises(ConfigurationError):
+            report_frequent(summary, 0.01, 0.01)
+
+    def test_report_from_estimates(self):
+        estimates = {1: 30.0, 2: 3.0}
+        assert report_from_estimates(estimates, 100.0, 0.1, 0.01) == [1]
+
+
+class TestRates:
+    def test_false_negative_rate(self):
+        assert false_negative_rate({1, 2, 3}, [1]) == pytest.approx(2 / 3)
+        assert false_negative_rate({1}, [1]) == 0.0
+        assert false_negative_rate(set(), []) == 0.0
+
+    def test_false_positive_rate(self):
+        assert false_positive_rate({1}, [1, 2]) == pytest.approx(0.5)
+        assert false_positive_rate({1}, []) == 0.0
+        assert false_positive_rate(set(), [5]) == 1.0
+
+
+class TestRateEdgeCases:
+    def test_no_truth_means_no_false_negatives(self):
+        from repro.frequent.reporting import false_negative_rate
+
+        assert false_negative_rate(set(), [1, 2, 3]) == 0.0
+
+    def test_no_reports_means_no_false_positives(self):
+        from repro.frequent.reporting import false_positive_rate
+
+        assert false_positive_rate({1, 2}, []) == 0.0
+
+    def test_rates_bounded(self):
+        from repro.frequent.reporting import (
+            false_negative_rate,
+            false_positive_rate,
+        )
+
+        truth = {1, 2, 3, 4}
+        reported = [3, 4, 5, 6]
+        assert 0.0 <= false_negative_rate(truth, reported) <= 1.0
+        assert 0.0 <= false_positive_rate(truth, reported) <= 1.0
+        assert false_negative_rate(truth, reported) == 0.5

@@ -1,0 +1,82 @@
+"""Tests for the rings topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.network.placement import BASE_STATION, grid_random_placement
+from repro.network.radio import DiscRadio
+from repro.network.rings import RingsTopology
+
+
+@pytest.fixture(scope="module")
+def rings():
+    deployment = grid_random_placement(120, width=15, height=15, seed=3)
+    graph = DiscRadio(2.8).connectivity(deployment)
+    return RingsTopology.build(deployment, graph), deployment, graph
+
+
+class TestConstruction:
+    def test_base_station_is_level_zero(self, rings):
+        topology, _, _ = rings
+        assert topology.level(BASE_STATION) == 0
+
+    def test_levels_are_hop_counts(self, rings):
+        topology, _, graph = rings
+        shortest = nx.single_source_shortest_path_length(graph, BASE_STATION)
+        assert dict(topology.levels) == dict(shortest)
+
+    def test_edges_span_at_most_one_ring(self, rings):
+        topology, _, graph = rings
+        for a, b in graph.edges:
+            assert abs(topology.level(a) - topology.level(b)) <= 1
+
+    def test_validate_passes(self, rings):
+        topology, _, _ = rings
+        topology.validate()
+
+    def test_every_node_has_upstream(self, rings):
+        topology, deployment, _ = rings
+        for node in deployment.sensor_ids:
+            assert topology.upstream_neighbors(node), node
+
+
+class TestNeighbourQueries:
+    def test_upstream_levels(self, rings):
+        topology, deployment, _ = rings
+        for node in deployment.sensor_ids:
+            own = topology.level(node)
+            for upstream in topology.upstream_neighbors(node):
+                assert topology.level(upstream) == own - 1
+
+    def test_downstream_mirrors_upstream(self, rings):
+        topology, deployment, _ = rings
+        for node in deployment.sensor_ids[:40]:
+            for downstream in topology.downstream_neighbors(node):
+                assert node in topology.upstream_neighbors(downstream)
+
+    def test_same_level_neighbors(self, rings):
+        topology, deployment, _ = rings
+        for node in deployment.sensor_ids[:40]:
+            for peer in topology.same_level_neighbors(node):
+                assert topology.level(peer) == topology.level(node)
+                assert peer != node
+
+    def test_nodes_at_level_partition(self, rings):
+        topology, deployment, _ = rings
+        seen = []
+        for level in range(topology.depth + 1):
+            seen.extend(topology.nodes_at_level(level))
+        assert sorted(seen) == deployment.node_ids
+
+    def test_levels_descending_order(self, rings):
+        topology, _, _ = rings
+        order = topology.levels_descending()
+        assert order == sorted(order, reverse=True)
+        assert order[-1] == 1
+
+    def test_ring_edges_directed_upstream(self, rings):
+        topology, _, _ = rings
+        for child, parent in topology.ring_edges():
+            assert topology.level(child) == topology.level(parent) + 1

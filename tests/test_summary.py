@@ -1,0 +1,118 @@
+"""Tests for epsilon-deficient summaries and Algorithm 1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.frequent.summary import Summary, exact_counts, generate_summary
+
+
+class TestSummaryBasics:
+    def test_from_items_exact(self):
+        summary = Summary.from_items([1, 1, 2, 3, 3, 3])
+        assert summary.n == 6
+        assert summary.epsilon == 0.0
+        assert summary.estimate(3) == 3.0
+        assert summary.estimate(9) == 0.0
+
+    def test_words(self):
+        summary = Summary.from_items([1, 2, 3])
+        assert summary.words() == 2 + 2 * 3
+
+    def test_items_over(self):
+        summary = Summary.from_items([1, 1, 1, 2])
+        assert summary.items_over(2.0) == [1]
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Summary(n=-1, epsilon=0.0, counts={})
+
+
+class TestAlgorithm1:
+    def test_merge_without_slack_is_exact(self):
+        a = Summary.from_items([1, 2])
+        b = Summary.from_items([2, 3])
+        own = Summary.from_items([3])
+        merged = generate_summary([a, b], own, epsilon_k=0.0)
+        assert merged.n == 5
+        assert merged.estimate(2) == 2.0
+        assert merged.estimate(3) == 2.0
+
+    def test_slack_decrements_and_drops(self):
+        children = [Summary.from_items([1] * 10 + [2])]
+        own = Summary.from_items([])
+        merged = generate_summary(children, own, epsilon_k=0.2)
+        # slack = 0.2 * 11 = 2.2: item 2 (count 1) is dropped, item 1 keeps
+        # 10 - 2.2 = 7.8.
+        assert merged.estimate(2) == 0.0
+        assert merged.estimate(1) == pytest.approx(7.8)
+
+    def test_requires_exact_own_summary(self):
+        lossy_own = Summary(n=3, epsilon=0.1, counts={1: 2.0})
+        with pytest.raises(ConfigurationError):
+            generate_summary([], lossy_own, epsilon_k=0.2)
+
+    def test_rejects_decreasing_gradient(self):
+        child = Summary(n=10, epsilon=0.3, counts={1: 5.0})
+        own = Summary.from_items([])
+        with pytest.raises(ConfigurationError):
+            generate_summary([child], own, epsilon_k=0.1)
+
+    def test_deficiency_invariant_single_level(self):
+        items = [1] * 20 + [2] * 5 + [3]
+        own = Summary.from_items(items)
+        merged = generate_summary([], own, epsilon_k=0.1)
+        truth = exact_counts([items])
+        for item, true_count in truth.items():
+            estimate = merged.estimate(item)
+            assert estimate <= true_count + 1e-9
+            assert estimate >= max(0, true_count - 0.1 * merged.n) - 1e-9
+
+
+@st.composite
+def item_collections(draw):
+    """A list of small item collections (one per node)."""
+    num_nodes = draw(st.integers(min_value=1, max_value=8))
+    return [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=12), min_size=0, max_size=30
+            )
+        )
+        for _ in range(num_nodes)
+    ]
+
+
+class TestDeficiencyProperty:
+    @given(item_collections(), st.floats(min_value=0.01, max_value=0.3))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_over_chain_aggregation(self, collections, epsilon):
+        # Aggregate the collections along a chain with a linear gradient;
+        # the final estimates must satisfy the epsilon-deficiency bounds.
+        height = len(collections)
+        current = None
+        for index, items in enumerate(collections, start=1):
+            own = Summary.from_items(items)
+            children = [current] if current is not None else []
+            epsilon_k = epsilon * index / height
+            current = generate_summary(children, own, epsilon_k)
+        truth = exact_counts(collections)
+        total = sum(truth.values())
+        assert current.n == total
+        for item, true_count in truth.items():
+            estimate = current.estimate(item)
+            assert estimate <= true_count + 1e-9
+            assert estimate >= max(0.0, true_count - epsilon * total) - 1e-9
+
+    @given(item_collections())
+    @settings(max_examples=30, deadline=None)
+    def test_star_merge_counts(self, collections):
+        # Merging all collections at one node with eps=0 is exact counting.
+        children = [Summary.from_items(items) for items in collections]
+        merged = generate_summary(children, Summary.from_items([]), 0.0)
+        truth = exact_counts(collections)
+        for item, count in truth.items():
+            assert merged.estimate(item) == pytest.approx(count)

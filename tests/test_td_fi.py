@@ -1,0 +1,135 @@
+"""Tests for the Tributary-Delta frequent-items algorithm (Section 6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.datasets.streams import ZipfItemStream, exact_item_counts
+from repro.errors import ConfigurationError
+from repro.frequent.mp_fi import KMVOperator
+from repro.frequent.reporting import (
+    false_negative_rate,
+    false_positive_rate,
+    true_frequent,
+)
+from repro.frequent.summary import Summary
+from repro.frequent.td_fi import TributaryDeltaFrequentItems
+from repro.network.failures import GlobalLoss, NoLoss
+from repro.network.links import Channel
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return ZipfItemStream(items_per_node=80, universe=200, alpha=1.3, seed=6)
+
+
+def make_td(scenario, tree, level, total, epsilon=0.01, support=0.02):
+    graph = TDGraph(
+        scenario.rings, tree, initial_modes_by_level(scenario.rings, level)
+    )
+    return TributaryDeltaFrequentItems(
+        graph,
+        epsilon=epsilon,
+        support=support,
+        total_items_hint=total,
+        operator=KMVOperator(k=64),
+    )
+
+
+class TestConversion:
+    def test_convert_preserves_counts(self, small_scenario, small_tree, stream):
+        counts = exact_item_counts(stream, small_scenario.deployment.sensor_ids, 0)
+        total = sum(counts.values())
+        td = make_td(small_scenario, small_tree, 1, total)
+        summary = Summary(n=500, epsilon=0.0, counts={7: 300.0, 8: 150.0})
+        synopsis = td.convert(summary, sender=3, epoch=0)
+        assert synopsis is not None
+        estimate = td.algorithm.operator.estimate(synopsis.counts[7])
+        assert abs(estimate - 300) / 300 < 0.4
+
+    def test_convert_empty_summary(self, small_scenario, small_tree, stream):
+        counts = exact_item_counts(stream, small_scenario.deployment.sensor_ids, 0)
+        td = make_td(small_scenario, small_tree, 1, sum(counts.values()))
+        assert td.convert(Summary(n=0, epsilon=0.0, counts={}), 3, 0) is None
+
+    def test_convert_prunes_small_estimates(self, small_scenario, small_tree):
+        td = make_td(small_scenario, small_tree, 1, 100_000, epsilon=0.3)
+        summary = Summary(n=4096, epsilon=0.0, counts={1: 4000.0, 2: 2.0})
+        synopsis = td.convert(summary, sender=3, epoch=0)
+        assert 1 in synopsis.counts
+        assert 2 not in synopsis.counts
+
+    def test_convert_deterministic(self, small_scenario, small_tree, stream):
+        counts = exact_item_counts(stream, small_scenario.deployment.sensor_ids, 0)
+        td = make_td(small_scenario, small_tree, 1, sum(counts.values()))
+        summary = Summary(n=100, epsilon=0.0, counts={5: 60.0})
+        a = td.convert(summary, 3, 0)
+        b = td.convert(summary, 3, 0)
+        assert a.counts[5] == b.counts[5]
+
+
+class TestEndToEnd:
+    def test_lossless_low_false_negatives(self, small_scenario, small_tree, stream):
+        counts = exact_item_counts(stream, small_scenario.deployment.sensor_ids, 0)
+        total = sum(counts.values())
+        td = make_td(small_scenario, small_tree, 1, total)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=1)
+        outcome = td.run_epoch(0, channel, lambda n, e: stream.items(n, e))
+        truth = true_frequent(counts, 0.02)
+        assert false_negative_rate(truth, outcome.reported) <= 0.15
+        assert false_positive_rate(truth, outcome.reported) <= 0.5
+
+    def test_all_tree_mode_is_exact_reporting(self, small_scenario, small_tree, stream):
+        counts = exact_item_counts(stream, small_scenario.deployment.sensor_ids, 0)
+        total = sum(counts.values())
+        td = make_td(small_scenario, small_tree, -1, total)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=1)
+        outcome = td.run_epoch(0, channel, lambda n, e: stream.items(n, e))
+        truth = true_frequent(counts, 0.02)
+        assert false_negative_rate(truth, outcome.reported) == 0.0
+        assert outcome.total_estimate == total
+
+    def test_error_budget_split_validated(self, small_scenario, small_tree):
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 1),
+        )
+        with pytest.raises(ConfigurationError):
+            TributaryDeltaFrequentItems(
+                graph,
+                epsilon=0.01,
+                support=0.02,
+                total_items_hint=1000,
+                tree_epsilon=0.01,  # leaves nothing for the multi-path side
+            )
+
+    def test_more_robust_than_tree_under_loss(
+        self, medium_scenario, medium_tree
+    ):
+        stream = ZipfItemStream(items_per_node=60, universe=150, alpha=1.3, seed=2)
+        counts = exact_item_counts(
+            stream, medium_scenario.deployment.sensor_ids, 0
+        )
+        total = sum(counts.values())
+        truth = true_frequent(counts, 0.02)
+        items_fn = lambda n, e: stream.items(n, e)
+
+        from repro.frequent.tree_fi import TreeFrequentItems
+        from repro.frequent.reporting import report_frequent
+
+        depth = medium_scenario.rings.depth
+        td = make_td(medium_scenario, medium_tree, depth // 2, total)
+        tree_engine = TreeFrequentItems.min_total_load(medium_tree, 0.01)
+        td_fn = 0.0
+        tree_fn = 0.0
+        for epoch in range(4):
+            channel = Channel(medium_scenario.deployment, GlobalLoss(0.4), seed=5)
+            outcome = td.run_epoch(epoch, channel, items_fn)
+            td_fn += false_negative_rate(truth, outcome.reported)
+            channel = Channel(medium_scenario.deployment, GlobalLoss(0.4), seed=5)
+            root, _ = tree_engine.aggregate(items_fn, epoch, channel=channel)
+            reported = report_frequent(root, 0.02, 0.01) if root else []
+            tree_fn += false_negative_rate(truth, reported)
+        assert td_fn <= tree_fn

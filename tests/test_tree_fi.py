@@ -1,0 +1,129 @@
+"""Tests for the tree frequent-items engine (Lemma 3 included)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.streams import DisjointUniformItemStream, ZipfItemStream, exact_item_counts
+from repro.frequent.reporting import (
+    false_negative_rate,
+    report_frequent,
+    true_frequent,
+)
+from repro.frequent.tree_fi import TreeFrequentItems
+from repro.network.failures import GlobalLoss, NoLoss
+from repro.network.links import Channel
+from repro.tree.domination import domination_factor
+from repro.tree.structure import Tree
+
+
+@pytest.fixture(scope="module")
+def zipf_stream():
+    return ZipfItemStream(items_per_node=80, universe=300, alpha=1.2, seed=4)
+
+
+class TestLossless:
+    def test_counts_all_items(self, small_tree, zipf_stream):
+        engine = TreeFrequentItems.min_total_load(small_tree, epsilon=0.01)
+        root, _ = engine.aggregate(lambda n, e: zipf_stream.items(n, e))
+        expected = 80 * (small_tree.size - 1)
+        assert root.n == expected
+
+    def test_no_false_negatives_without_loss(self, small_tree, zipf_stream):
+        # The epsilon-deficient guarantee: everything with frequency >= sN
+        # is reported when communication is exact.
+        support, epsilon = 0.02, 0.002
+        engine = TreeFrequentItems.min_total_load(small_tree, epsilon=epsilon)
+        items_fn = lambda n, e: zipf_stream.items(n, e)
+        root, _ = engine.aggregate(items_fn)
+        nodes = [n for n in small_tree.nodes if n != small_tree.root]
+        truth = true_frequent(exact_item_counts(zipf_stream, nodes, 0), support)
+        reported = report_frequent(root, support, epsilon)
+        assert false_negative_rate(truth, reported) == 0.0
+
+    def test_false_positives_bounded_by_tolerance(self, small_tree, zipf_stream):
+        support, epsilon = 0.02, 0.002
+        engine = TreeFrequentItems.min_total_load(small_tree, epsilon=epsilon)
+        items_fn = lambda n, e: zipf_stream.items(n, e)
+        root, _ = engine.aggregate(items_fn)
+        nodes = [n for n in small_tree.nodes if n != small_tree.root]
+        counts = exact_item_counts(zipf_stream, nodes, 0)
+        total = sum(counts.values())
+        for item in report_frequent(root, support, epsilon):
+            # every reported item truly has frequency > (s - eps) N
+            assert counts.get(item, 0) > (support - epsilon) * total - 1e-9
+
+    def test_lemma3_total_communication_bound(self, medium_tree):
+        # Total words <= 2 * counters-bound + headers; counters bound is
+        # (1 + 2/(sqrt(d)-1)) * m / eps for the tree's domination factor.
+        epsilon = 0.05
+        stream = DisjointUniformItemStream(items_per_node=60, values_per_node=30, seed=1)
+        engine = TreeFrequentItems.min_total_load(medium_tree, epsilon=epsilon)
+        _, report = engine.aggregate(lambda n, e: stream.items(n, e))
+        d = domination_factor(medium_tree)
+        m = medium_tree.size
+        counter_bound = (1 + 2 / (d**0.5 - 1)) * m / epsilon
+        word_bound = 2 * counter_bound + 2 * m  # 2 words/counter + headers
+        assert report.total_words <= word_bound
+
+
+class TestGradientsDiffer:
+    def test_min_total_beats_min_max_on_disjoint_stream(self, medium_tree):
+        # Figure 8's synthetic claim: roughly half the total load.
+        epsilon = 0.02
+        stream = DisjointUniformItemStream(
+            items_per_node=200, values_per_node=100, seed=2
+        )
+        items_fn = lambda n, e: stream.items(n, e)
+        total_engine = TreeFrequentItems.min_total_load(medium_tree, epsilon)
+        max_engine = TreeFrequentItems.min_max_load(medium_tree, epsilon)
+        _, total_report = total_engine.aggregate(items_fn)
+        _, max_report = max_engine.aggregate(items_fn)
+        assert total_report.total_words < max_report.total_words
+
+    def test_hybrid_max_load_within_two_of_min_max(self, medium_tree):
+        epsilon = 0.02
+        stream = DisjointUniformItemStream(
+            items_per_node=200, values_per_node=100, seed=2
+        )
+        items_fn = lambda n, e: stream.items(n, e)
+        hybrid = TreeFrequentItems.hybrid(medium_tree, epsilon)
+        max_engine = TreeFrequentItems.min_max_load(medium_tree, epsilon)
+        _, hybrid_report = hybrid.aggregate(items_fn)
+        _, max_report = max_engine.aggregate(items_fn)
+        assert hybrid_report.max_load <= 2 * max_report.max_load + 4
+
+
+class TestLossy:
+    def test_loss_reduces_observed_total(self, small_tree, zipf_stream, small_scenario):
+        engine = TreeFrequentItems.min_total_load(small_tree, epsilon=0.01)
+        items_fn = lambda n, e: zipf_stream.items(n, e)
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.4), seed=2)
+        root, _ = engine.aggregate(items_fn, 0, channel=channel)
+        lossless_root, _ = engine.aggregate(items_fn, 0)
+        assert root is None or root.n < lossless_root.n
+
+    def test_total_loss_returns_none(self, small_tree, zipf_stream, small_scenario):
+        engine = TreeFrequentItems.min_total_load(small_tree, epsilon=0.01)
+        channel = Channel(small_scenario.deployment, GlobalLoss(1.0), seed=2)
+        root, _ = engine.aggregate(
+            lambda n, e: zipf_stream.items(n, e), 0, channel=channel
+        )
+        assert root is None
+
+    def test_retransmissions_recover_mass(self, small_tree, zipf_stream, small_scenario):
+        items_fn = lambda n, e: zipf_stream.items(n, e)
+        totals = {}
+        for attempts in (1, 3):
+            engine = TreeFrequentItems.min_total_load(
+                small_tree, epsilon=0.01, attempts=attempts
+            )
+            survived = 0
+            for epoch in range(5):
+                channel = Channel(
+                    small_scenario.deployment, GlobalLoss(0.4), seed=2
+                )
+                root, _ = engine.aggregate(items_fn, epoch, channel=channel)
+                survived += root.n if root else 0
+            totals[attempts] = survived
+        assert totals[3] > totals[1]

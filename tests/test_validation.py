@@ -1,0 +1,197 @@
+"""Tests for topology auditing (Properties 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.modes import Mode
+from repro.core.validation import (
+    LabelledTopology,
+    audit,
+    delta_region_is_sink_closed,
+    edge_correctness_violations,
+    is_edge_correct,
+    is_path_correct,
+    path_correctness_violations,
+    topology_of_td_graph,
+)
+
+T, M = Mode.TREE, Mode.MULTIPATH
+
+
+class TestEdgeCorrectness:
+    def test_detects_m_edge_into_t(self):
+        topology = LabelledTopology.build([(1, 2)], {1: M, 2: T})
+        assert edge_correctness_violations(topology) == [(1, 2)]
+        assert not is_edge_correct(topology)
+
+    def test_t_into_m_is_fine(self):
+        topology = LabelledTopology.build([(1, 2)], {1: T, 2: M})
+        assert is_edge_correct(topology)
+
+    def test_figure3_topology_is_correct(self):
+        # The paper's Figure 3: T1..T5 tree vertices feeding M1..M4.
+        modes = {f"T{i}": T for i in range(1, 6)} | {f"M{i}": M for i in range(1, 5)}
+        edges = [
+            ("T4", "T2"),
+            ("T5", "T2"),
+            ("T2", "T1"),
+            ("T3", "T1"),
+            ("T1", "M3"),
+            ("M1", "M3"),
+            ("M2", "M3"),
+            ("M3", "M4"),
+        ]
+        topology = LabelledTopology.build(edges, modes)
+        assert is_edge_correct(topology)
+        assert is_path_correct(topology)
+
+
+class TestPathCorrectness:
+    def test_detects_t_after_m(self):
+        topology = LabelledTopology.build(
+            [(1, 2), (2, 3)], {1: M, 2: T, 3: T}
+        )
+        violations = path_correctness_violations(topology)
+        assert violations == [((1, 2), (2, 3))]
+        assert not is_path_correct(topology)
+
+    def test_edge_correct_implies_path_correct(self):
+        # Property 1 => Property 2 (the easy direction of the equivalence).
+        topology = LabelledTopology.build(
+            [(1, 2), (2, 3), (3, 0), (4, 3)], {0: M, 1: T, 2: T, 3: M, 4: M}
+        )
+        assert is_edge_correct(topology)
+        assert is_path_correct(topology)
+
+
+class TestAudit:
+    def test_clean_report(self):
+        topology = LabelledTopology.build([(1, 0)], {0: M, 1: T})
+        report = audit(topology)
+        assert report.correct
+        assert "OK" in report.render()
+
+    def test_dirty_report_lists_violations(self):
+        topology = LabelledTopology.build([(1, 2)], {1: M, 2: T})
+        report = audit(topology)
+        assert not report.correct
+        assert "incident on T vertex" in report.render()
+
+    def test_sink_closure(self):
+        good = LabelledTopology.build([(1, 0)], {0: T, 1: M})
+        assert delta_region_is_sink_closed(good, base_station=0)
+        bad = LabelledTopology.build([(1, 2)], {1: M, 2: T})
+        assert not delta_region_is_sink_closed(bad, base_station=0)
+
+
+class TestTDGraphExtraction:
+    def test_every_reachable_configuration_audits_clean(
+        self, small_scenario, small_tree
+    ):
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 1),
+        )
+        report = audit(topology_of_td_graph(graph))
+        assert report.correct
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 999)), max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_random_switch_sequences_stay_correct(
+        self, small_scenario, small_tree, moves
+    ):
+        graph = TDGraph(
+            small_scenario.rings,
+            small_tree,
+            initial_modes_by_level(small_scenario.rings, 0),
+        )
+        for expand, pick in moves:
+            candidates = (
+                graph.switchable_t_nodes() if expand else graph.switchable_m_nodes()
+            )
+            if not candidates:
+                continue
+            node = candidates[pick % len(candidates)]
+            if expand:
+                graph.switch_to_multipath(node)
+            else:
+                graph.switch_to_tree(node)
+        report = audit(topology_of_td_graph(graph))
+        assert report.correct
+        assert report.delta_sink_closed
+
+
+class TestRepair:
+    def test_correct_topology_unchanged(self):
+        from repro.core.validation import repair
+
+        topology = LabelledTopology.build([(2, 1), (1, 0)], {0: M, 1: M, 2: T})
+        repaired, promoted = repair(topology)
+        assert promoted == []
+        assert repaired is topology
+
+    def test_single_violation_promoted(self):
+        from repro.core.validation import repair
+
+        topology = LabelledTopology.build([(1, 2)], {1: M, 2: T})
+        repaired, promoted = repair(topology)
+        assert promoted == [2]
+        assert is_edge_correct(repaired)
+        assert is_path_correct(repaired)
+
+    def test_promotion_cascades_along_paths(self):
+        from repro.core.validation import repair
+
+        # M at the leaf; the whole chain to the sink must promote.
+        topology = LabelledTopology.build(
+            [(3, 2), (2, 1), (1, 0)], {3: M, 2: T, 1: T, 0: T}
+        )
+        repaired, promoted = repair(topology)
+        assert promoted == [0, 1, 2]
+        assert is_edge_correct(repaired)
+
+    def test_branches_not_reachable_from_m_stay_tree(self):
+        from repro.core.validation import repair
+
+        # 4 -> 1 is a pure-T branch; only the M-reachable chain promotes.
+        topology = LabelledTopology.build(
+            [(3, 2), (2, 1), (4, 1), (1, 0)],
+            {3: M, 2: T, 4: T, 1: T, 0: M},
+        )
+        repaired, promoted = repair(topology)
+        assert 4 not in promoted
+        assert set(promoted) == {1, 2}
+        assert is_edge_correct(repaired)
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_repair_always_restores_both_properties(self, data):
+        from repro.core.validation import repair
+
+        num_nodes = data.draw(st.integers(min_value=2, max_value=10))
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, num_nodes - 1),
+                    st.integers(0, num_nodes - 1),
+                ).filter(lambda edge: edge[0] != edge[1]),
+                max_size=20,
+            )
+        )
+        modes = {
+            node: data.draw(st.sampled_from([T, M]), label=f"mode{node}")
+            for node in range(num_nodes)
+        }
+        topology = LabelledTopology.build(edges, modes)
+        repaired, promoted = repair(topology)
+        assert is_edge_correct(repaired)
+        assert is_path_correct(repaired)
+        # Promotions only ever add M labels.
+        for node in promoted:
+            assert topology.modes[node].is_tree
+            assert repaired.modes[node].is_multipath
