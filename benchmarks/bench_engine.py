@@ -1,0 +1,220 @@
+"""Engine benchmark: scalar vs batch epochs, serial vs pooled sweeps.
+
+Measures the two speedups the vectorized execution stack claims:
+
+1. **Epoch throughput** — the four Fig-2 schemes (TAG, SD, TD-Coarse, TD)
+   on the 600-node Synthetic deployment under ``Global(0.3)``, run with the
+   scalar per-node channel path versus the level-synchronous batch path
+   (identical results, see ``tests/test_batch_equivalence.py``).
+2. **Sweep wall-clock** — a multi-scheme multi-seed grid through
+   :class:`repro.experiments.parallel.SweepRunner`, serial versus pooled.
+
+Emits a JSON perf record. Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--out PATH]
+
+or through pytest (records ``benchmarks/results/engine_perf.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.aggregates.count import CountAggregate
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.sd_scheme import SynopsisDiffusionScheme
+from repro.core.tag_scheme import TagScheme
+from repro.core.td_scheme import TributaryDeltaScheme
+from repro.datasets.streams import ConstantReadings
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.experiments.parallel import SweepRunner, SweepSpec
+from repro.network.failures import GlobalLoss
+from repro.network.links import Channel
+from repro.tree.construction import build_bushy_tree
+
+#: The paper's Figure 2 configuration.
+FIG2_SENSORS = 600
+FIG2_LOSS = 0.3
+
+
+def _build_schemes(scenario, tree, use_batch):
+    schemes = {
+        "TAG": TagScheme(
+            scenario.deployment, tree, CountAggregate(), use_batch=use_batch
+        ),
+        "SD": SynopsisDiffusionScheme(
+            scenario.deployment,
+            scenario.rings,
+            CountAggregate(),
+            use_batch=use_batch,
+        ),
+    }
+    for name, level in (("TD-Coarse", 1), ("TD", 2)):
+        graph = TDGraph(
+            scenario.rings, tree, initial_modes_by_level(scenario.rings, level)
+        )
+        schemes[name] = TributaryDeltaScheme(
+            scenario.deployment,
+            graph,
+            CountAggregate(),
+            use_batch=use_batch,
+            name=name,
+        )
+    return schemes
+
+
+def _time_epochs(scheme, deployment, failure, readings, epochs, rounds) -> float:
+    """Best-of-``rounds`` seconds per ``epochs`` epochs, after a warm-up."""
+    channel = Channel(deployment, failure, seed=1)
+    for epoch in range(2):  # warm caches (hash prefixes, RLE memo, numpy)
+        scheme.run_epoch(epoch, channel, readings)
+    best = float("inf")
+    for round_index in range(rounds):
+        started = time.perf_counter()
+        for epoch in range(epochs):
+            scheme.run_epoch(1000 * round_index + epoch, channel, readings)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_epoch_throughput(
+    num_sensors: int = FIG2_SENSORS,
+    epochs: int = 10,
+    rounds: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Scalar vs batch epoch timings for the Fig-2 scheme set.
+
+    Takes the best of ``rounds`` timed blocks per scheme/mode (after a
+    warm-up) so a shared-host scheduler blip cannot masquerade as a
+    regression.
+    """
+    scenario = make_synthetic_scenario(num_sensors=num_sensors, seed=seed)
+    tree = build_bushy_tree(scenario.rings, seed=seed)
+    readings = ConstantReadings(1.0)
+    failure = GlobalLoss(FIG2_LOSS)
+    record: dict = {
+        "num_sensors": num_sensors,
+        "loss": FIG2_LOSS,
+        "epochs": epochs,
+        "rounds": rounds,
+        "schemes": {},
+    }
+    totals = {"scalar_s": 0.0, "batch_s": 0.0}
+    for mode, use_batch in (("scalar_s", False), ("batch_s", True)):
+        schemes = _build_schemes(scenario, tree, use_batch)
+        for name, scheme in schemes.items():
+            elapsed = _time_epochs(
+                scheme, scenario.deployment, failure, readings, epochs, rounds
+            )
+            record["schemes"].setdefault(name, {})[mode] = elapsed
+            totals[mode] += elapsed
+    for name, entry in record["schemes"].items():
+        entry["speedup"] = entry["scalar_s"] / max(entry["batch_s"], 1e-12)
+        entry["batch_epochs_per_s"] = epochs / max(entry["batch_s"], 1e-12)
+    record["total_scalar_s"] = totals["scalar_s"]
+    record["total_batch_s"] = totals["batch_s"]
+    record["total_speedup"] = totals["scalar_s"] / max(totals["batch_s"], 1e-12)
+    return record
+
+
+def measure_sweep_wall_clock(
+    num_sensors: int = 120,
+    epochs: int = 25,
+    converge_epochs: int = 40,
+    jobs: int = 4,
+) -> dict:
+    """Serial vs pooled wall-clock for a (scheme x seed) sweep grid."""
+    specs = [
+        SweepSpec(
+            scheme=scheme,
+            seed=seed,
+            failure=f"global:{FIG2_LOSS}",
+            num_sensors=num_sensors,
+            epochs=epochs,
+            converge_epochs=converge_epochs,
+        )
+        for scheme in ("TAG", "SD", "TD-Coarse", "TD")
+        for seed in (1, 2)
+    ]
+    started = time.perf_counter()
+    serial = SweepRunner(jobs=1).run(specs)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    pooled = SweepRunner(jobs=jobs).run(specs)
+    pooled_s = time.perf_counter() - started
+    identical = all(
+        left.estimates == right.estimates for left, right in zip(serial, pooled)
+    )
+    return {
+        "runs": len(specs),
+        "jobs": jobs,
+        "num_sensors": num_sensors,
+        "epochs": epochs,
+        "serial_s": serial_s,
+        "pooled_s": pooled_s,
+        "speedup": serial_s / max(pooled_s, 1e-12),
+        "results_identical": identical,
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    """The full perf record: epoch throughput plus sweep wall-clock.
+
+    The sweep comparison only shows wall-clock gains on multi-core hosts;
+    ``cpu_count`` is recorded so a 1-core container's ~1x pooled speedup
+    reads as what it is, not as an engine defect (results are still
+    asserted identical).
+    """
+    import os
+
+    record = {
+        "benchmark": "engine",
+        "cpu_count": os.cpu_count(),
+        "epoch_throughput": measure_epoch_throughput(
+            epochs=5 if quick else 10, rounds=2 if quick else 3
+        ),
+        "sweep": measure_sweep_wall_clock(
+            num_sensors=80 if quick else 120,
+            epochs=10 if quick else 25,
+            converge_epochs=15 if quick else 40,
+        ),
+    }
+    return record
+
+
+def test_engine_perf(record_result, quick):
+    """Record the perf JSON; sanity-check the batch path actually wins."""
+    record = run_benchmark(quick=quick)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "engine_perf.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    record_result("engine_perf", json.dumps(record, indent=2))
+    # Timing in CI is noisy; the acceptance target (>= 3x on the 600-node
+    # Fig-2 scenario) is checked loosely here and exactly by the standalone
+    # run recorded in EXPERIMENTS/results.
+    assert record["epoch_throughput"]["total_speedup"] > 1.5
+    assert record["sweep"]["results_identical"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args()
+    record = run_benchmark(quick=args.quick)
+    text = json.dumps(record, indent=2)
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,11 +48,40 @@ class Aggregate(ABC, Generic[P, S]):
     def tree_words(self, partial: P) -> int:
         """Transmission size of a tree partial, in words."""
 
+    def tree_local_batch(
+        self, nodes: Sequence[int], epoch: int, readings: Sequence[float]
+    ) -> List[P]:
+        """Tree partials for a whole ring level at once.
+
+        The default loops over :meth:`tree_local`; aggregates with a
+        vectorizable local computation may override it. Overrides MUST
+        return exactly the per-node results — the level-synchronous schemes
+        rely on batch and scalar paths being interchangeable.
+        """
+        return [
+            self.tree_local(node, epoch, reading)
+            for node, reading in zip(nodes, readings)
+        ]
+
     # -- multi-path algorithm ------------------------------------------------
 
     @abstractmethod
     def synopsis_local(self, node: int, epoch: int, reading: float) -> S:
         """SG: the synopsis of a single node's local reading."""
+
+    def synopsis_local_batch(
+        self, nodes: Sequence[int], epoch: int, readings: Sequence[float]
+    ) -> List[S]:
+        """SG for a whole ring level at once (see :meth:`tree_local_batch`).
+
+        Overrides must produce synopses identical to per-node
+        :meth:`synopsis_local` calls; Count vectorizes the FM bucket/level
+        hashing across the level this way.
+        """
+        return [
+            self.synopsis_local(node, epoch, reading)
+            for node, reading in zip(nodes, readings)
+        ]
 
     @abstractmethod
     def synopsis_fuse(self, a: S, b: S) -> S:

@@ -10,10 +10,10 @@ value c" exactly as Section 5 prescribes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.aggregates.base import Aggregate
-from repro.multipath.fm import FMSketch
+from repro.multipath.fm import FMSketch, single_item_sketches
 
 
 class CountAggregate(Aggregate[int, FMSketch]):
@@ -33,6 +33,11 @@ class CountAggregate(Aggregate[int, FMSketch]):
     def tree_local(self, node: int, epoch: int, reading: float) -> int:
         return 1
 
+    def tree_local_batch(
+        self, nodes: Sequence[int], epoch: int, readings: Sequence[float]
+    ) -> List[int]:
+        return [1] * len(nodes)
+
     def tree_merge(self, a: int, b: int) -> int:
         return a + b
 
@@ -48,6 +53,17 @@ class CountAggregate(Aggregate[int, FMSketch]):
         sketch = self._empty_sketch()
         sketch.insert("count", node, epoch)
         return sketch
+
+    def synopsis_local_batch(
+        self, nodes: Sequence[int], epoch: int, readings: Sequence[float]
+    ) -> List[FMSketch]:
+        return single_item_sketches(
+            self._num_bitmaps,
+            self._bits,
+            ("count",),
+            nodes,
+            [epoch] * len(nodes),
+        )
 
     def synopsis_fuse(self, a: FMSketch, b: FMSketch) -> FMSketch:
         return a.fuse(b)

@@ -5,19 +5,27 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig2 [--full] [--seed N]
     python -m repro.cli run all --out results/
+    python -m repro.cli sweep --schemes TAG,SD,TD --seeds 1,2,3 \
+        --failures global:0.0,global:0.3 --jobs 4 --cache-dir .sweep-cache
 
-Each experiment prints (and optionally writes) the same rows/series the
-paper reports; ``--full`` switches from the quick configurations to the
-paper-scale ones.
+``run`` regenerates a figure/table; each experiment prints (and optionally
+writes) the same rows/series the paper reports, with ``--full`` switching
+from the quick configurations to the paper-scale ones. ``sweep`` fans a
+(scheme x failure x seed) grid across the parallel sweep engine with an
+optional on-disk result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
 from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import SweepRunner
 
 from repro.experiments.fig_count_rms import run_figure2, run_figure5a
 from repro.experiments.fig_domination import run_figure7a, run_figure7b, run_table2
@@ -161,6 +169,50 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--out", type=pathlib.Path, default=None, help="directory for .txt outputs"
     )
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a (scheme x failure x seed) grid through the pool"
+    )
+    sweep_parser.add_argument(
+        "--schemes",
+        default="TAG,SD,TD-Coarse,TD",
+        help="comma-separated scheme names",
+    )
+    sweep_parser.add_argument(
+        "--seeds", default="1", help="comma-separated channel seeds"
+    )
+    sweep_parser.add_argument(
+        "--failures",
+        default="global:0.0,global:0.2",
+        help="comma-separated failure specs (none, global:P, regional:P1:P2)",
+    )
+    sweep_parser.add_argument("--sensors", type=int, default=600)
+    sweep_parser.add_argument("--epochs", type=int, default=100)
+    sweep_parser.add_argument("--converge", type=int, default=120)
+    sweep_parser.add_argument("--scenario-seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--aggregate", choices=("count", "sum"), default="count"
+    )
+    sweep_parser.add_argument(
+        "--reading",
+        default="constant:1.0",
+        help="workload spec (constant:V or uniform:LO:HI:SEED)",
+    )
+    sweep_parser.add_argument("--threshold", type=float, default=0.9)
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes; 0 = one per grid cell up to the CPU count",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="directory for cached results (re-runs load identical results)",
+    )
+    sweep_parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="file for the table"
+    )
     return parser
 
 
@@ -178,12 +230,55 @@ def _run_one(name: str, quick: bool, seed: int, out: pathlib.Path | None) -> Non
         (out / f"{name}.txt").write_text(text + "\n")
 
 
+def _run_sweep(args) -> int:
+    schemes = [name.strip() for name in args.schemes.split(",") if name.strip()]
+    try:
+        seeds = [int(token) for token in args.seeds.split(",") if token.strip()]
+    except ValueError:
+        print(f"--seeds must be comma-separated integers, got {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    failures = [
+        token.strip() for token in args.failures.split(",") if token.strip()
+    ]
+    cells = len(schemes) * len(seeds) * len(failures)
+    jobs = args.jobs if args.jobs > 0 else min(cells, os.cpu_count() or 1)
+    runner = SweepRunner(jobs=jobs, cache_dir=args.cache_dir)
+    started = time.time()
+    try:
+        report = runner.run_grid(
+            schemes,
+            seeds,
+            failures,
+            num_sensors=args.sensors,
+            epochs=args.epochs,
+            converge_epochs=args.converge,
+            scenario_seed=args.scenario_seed,
+            aggregate=args.aggregate,
+            reading=args.reading,
+            threshold=args.threshold,
+        )
+    except ConfigurationError as error:
+        print(f"invalid sweep configuration: {error}", file=sys.stderr)
+        return 2
+    text = report.render()
+    elapsed = time.time() - started
+    print(f"== sweep: {cells} runs, {jobs} workers [{elapsed:.1f}s]")
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:10s} {description}")
         return 0
+    if args.command == "sweep":
+        return _run_sweep(args)
     quick = not args.full
     if args.experiment == "all":
         for name in EXPERIMENTS:

@@ -20,8 +20,9 @@ adjustment frequency (skipping a geometrically growing number of rounds).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Tuple
+from typing import Deque, List, Optional, Protocol, Tuple
 
 from repro.core.graph import TDGraph
 from repro.errors import ConfigurationError
@@ -67,12 +68,11 @@ class _SmoothedFraction:
         if window < 1:
             raise ConfigurationError("smoothing window must be at least 1")
         self._window = window
-        self._values: List[float] = []
+        # maxlen evicts the oldest value in O(1); a list.pop(0) is O(n).
+        self._values: Deque[float] = deque(maxlen=window)
 
     def update(self, value: float) -> float:
         self._values.append(value)
-        if len(self._values) > self._window:
-            self._values.pop(0)
         return sum(self._values) / len(self._values)
 
 

@@ -15,8 +15,8 @@ from typing import Dict, List, Optional
 from repro.aggregates.base import Aggregate
 from repro.core.payloads import MultipathPayload
 from repro.errors import ConfigurationError
-from repro.multipath.fm import FMSketch
-from repro.network.links import Channel
+from repro.multipath.fm import DEFAULT_BITS, FMSketch, single_item_sketches
+from repro.network.links import Channel, Transmission, transmit_sequential
 from repro.network.messages import MessageAccountant
 from repro.network.placement import BASE_STATION, Deployment, NodeId
 from repro.network.rings import RingsTopology
@@ -35,6 +35,7 @@ class SynopsisDiffusionScheme:
         count_bitmaps: int = 40,
         accountant: Optional[MessageAccountant] = None,
         name: str = "SD",
+        use_batch: bool = True,
     ) -> None:
         if attempts < 1:
             raise ConfigurationError("attempts must be at least 1")
@@ -44,7 +45,19 @@ class SynopsisDiffusionScheme:
         self._attempts = attempts
         self._count_bitmaps = count_bitmaps
         self._accountant = accountant or MessageAccountant()
+        self._use_batch = use_batch
         self.name = name
+        # Rings are static for the scheme's lifetime: precompute the
+        # per-level schedule and each node's broadcast audience.
+        self._level_nodes = [
+            self._rings.nodes_at_level(level)
+            for level in self._rings.levels_descending()
+        ]
+        self._upstream = {
+            node: tuple(self._rings.upstream_neighbors(node))
+            for nodes in self._level_nodes
+            for node in nodes
+        }
 
     @property
     def rings(self) -> RingsTopology:
@@ -63,17 +76,43 @@ class SynopsisDiffusionScheme:
         sketch.insert("contrib", node, epoch)
         return sketch
 
+    def _contrib_sketches(
+        self, nodes: List[NodeId], epoch: int
+    ) -> List[Optional[FMSketch]]:
+        """Batched :meth:`_contrib_sketch` for a whole ring level."""
+        if self._aggregate.synopsis_counts_contributors():
+            return [None] * len(nodes)
+        return single_item_sketches(
+            self._count_bitmaps,
+            DEFAULT_BITS,
+            ("contrib",),
+            nodes,
+            [epoch] * len(nodes),
+        )
+
     def run_epoch(
         self, epoch: int, channel: Channel, readings: ReadingFn
     ) -> EpochOutcome:
         aggregate = self._aggregate
         inbox: Dict[NodeId, List[MultipathPayload]] = {}
-        for level in self._rings.levels_descending():
-            for node in self._rings.nodes_at_level(level):
-                synopsis = aggregate.synopsis_local(
-                    node, epoch, readings(node, epoch)
-                )
-                count_sketch = self._contrib_sketch(node, epoch)
+        for nodes in self._level_nodes:
+            values = [readings(node, epoch) for node in nodes]
+            if self._use_batch:
+                synopses = aggregate.synopsis_local_batch(nodes, epoch, values)
+                count_sketches = self._contrib_sketches(nodes, epoch)
+            else:
+                synopses = [
+                    aggregate.synopsis_local(node, epoch, value)
+                    for node, value in zip(nodes, values)
+                ]
+                count_sketches = [
+                    self._contrib_sketch(node, epoch) for node in nodes
+                ]
+            transmissions: List[Transmission] = []
+            outgoing: List[MultipathPayload] = []
+            for node, synopsis, count_sketch in zip(
+                nodes, synopses, count_sketches
+            ):
                 contributors = 1 << node
                 for received in inbox.pop(node, ()):
                     synopsis = aggregate.synopsis_fuse(synopsis, received.synopsis)
@@ -83,10 +122,21 @@ class SynopsisDiffusionScheme:
                 payload = MultipathPayload(synopsis, count_sketch, contributors)
                 words = aggregate.synopsis_words(synopsis) + payload.extra_words()
                 spec = self._accountant.spec_for_words(words)
-                receivers = self._rings.upstream_neighbors(node)
-                heard = channel.transmit(
-                    node, receivers, epoch, words, spec.messages, self._attempts
+                transmissions.append(
+                    Transmission(
+                        node,
+                        self._upstream[node],
+                        words,
+                        spec.messages,
+                        self._attempts,
+                    )
                 )
+                outgoing.append(payload)
+            if self._use_batch:
+                heard_lists = channel.transmit_batch(transmissions, epoch)
+            else:
+                heard_lists = transmit_sequential(channel, transmissions, epoch)
+            for payload, heard in zip(outgoing, heard_lists):
                 for receiver in heard:
                     inbox.setdefault(receiver, []).append(payload)
 

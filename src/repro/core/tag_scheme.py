@@ -1,10 +1,12 @@
 """TAG: tree-based in-network aggregation (the paper's tree baseline).
 
 Each epoch proceeds level-by-level from the deepest tree level toward the
-root: a node merges its children's partial results into its own local
-partial and unicasts the merged partial to its parent. A lost message drops
-the entire subtree from the answer — the communication-error behaviour that
-motivates the whole paper.
+root: every node in the level merges its children's partial results into
+its own local partial, and the level's unicasts are drawn as ONE channel
+batch (bit-identical to per-node draws — see
+:meth:`repro.network.links.Channel.transmit_batch`). A lost message drops
+the entire subtree from the answer — the communication-error behaviour
+that motivates the whole paper.
 
 ``attempts`` models TinyDB-style retransmissions (Figure 9b lets tree nodes
 retransmit twice, i.e. ``attempts=3``); the default, like the original
@@ -13,16 +15,29 @@ TinyDB implementation the paper follows, is no retransmission.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.aggregates.base import Aggregate
 from repro.core.payloads import TreePayload
 from repro.errors import ConfigurationError
-from repro.network.links import Channel
+from repro.network.links import Channel, Transmission, transmit_sequential
 from repro.network.messages import MessageAccountant
 from repro.network.placement import BASE_STATION, Deployment, NodeId
 from repro.network.simulator import EpochOutcome, ReadingFn
 from repro.tree.structure import Tree
+
+
+def _level_groups(levels: Dict[NodeId, int]) -> List[List[NodeId]]:
+    """Deepest-first transmission schedule: one sorted node list per level.
+
+    Ties within a level are broken by node id for determinism; the base
+    station (level 0) only listens, so it never appears.
+    """
+    grouped: Dict[int, List[NodeId]] = {}
+    for node, level in levels.items():
+        if node != BASE_STATION:
+            grouped.setdefault(level, []).append(node)
+    return [sorted(grouped[level]) for level in sorted(grouped, reverse=True)]
 
 
 class TagScheme:
@@ -36,6 +51,7 @@ class TagScheme:
         attempts: int = 1,
         accountant: Optional[MessageAccountant] = None,
         name: str = "TAG",
+        use_batch: bool = True,
     ) -> None:
         if attempts < 1:
             raise ConfigurationError("attempts must be at least 1")
@@ -44,15 +60,12 @@ class TagScheme:
         self._aggregate = aggregate
         self._attempts = attempts
         self._accountant = accountant or MessageAccountant()
+        self._use_batch = use_batch
         self.name = name
         levels = tree.levels()
-        # Deepest-first transmission order; ties broken by node id for
-        # determinism. The base station (level 0) only listens.
-        self._order: List[NodeId] = sorted(
-            (node for node in levels if node != BASE_STATION),
-            key=lambda node: (-levels[node], node),
-        )
+        self._levels = _level_groups(levels)
         self._depth = max(levels.values(), default=0)
+        self._parents = dict(tree.parents)
 
     @property
     def tree(self) -> Tree:
@@ -63,43 +76,63 @@ class TagScheme:
 
         TAG aggregation is stateless between epochs, so swapping the
         routing tree between waves is safe; the next epoch simply follows
-        the new parents. The transmission order and depth are recomputed.
+        the new parents. The transmission schedule and depth are recomputed.
         """
         levels = tree.levels()
         self._tree = tree
-        self._order = sorted(
-            (node for node in levels if node != BASE_STATION),
-            key=lambda node: (-levels[node], node),
-        )
+        self._levels = _level_groups(levels)
         self._depth = max(levels.values(), default=0)
+        self._parents = dict(tree.parents)
 
     @property
     def latency_epochs(self) -> int:
         """Latency proxy: number of level-by-level forwarding steps."""
         return self._depth
 
+    def _transmit(
+        self, channel: Channel, transmissions: List[Transmission], epoch: int
+    ) -> List[List[NodeId]]:
+        if self._use_batch:
+            return channel.transmit_batch(transmissions, epoch)
+        return transmit_sequential(channel, transmissions, epoch)
+
     def run_epoch(
         self, epoch: int, channel: Channel, readings: ReadingFn
     ) -> EpochOutcome:
         aggregate = self._aggregate
         inbox: Dict[NodeId, List[TreePayload]] = {}
-        for node in self._order:
-            partial = aggregate.tree_local(node, epoch, readings(node, epoch))
-            count = 1
-            contributors = 1 << node
-            for received in inbox.pop(node, ()):
-                partial = aggregate.tree_merge(partial, received.partial)
-                count += received.count
-                contributors |= received.contributors
-            payload = TreePayload(partial, count, contributors, sender=node)
-            words = aggregate.tree_words(partial) + payload.extra_words()
-            spec = self._accountant.spec_for_words(words)
-            parent = self._tree.parent(node)
-            heard = channel.transmit(
-                node, [parent], epoch, words, spec.messages, self._attempts
-            )
-            if heard:
-                inbox.setdefault(parent, []).append(payload)
+        for level_nodes in self._levels:
+            values = [readings(node, epoch) for node in level_nodes]
+            if self._use_batch:
+                partials = aggregate.tree_local_batch(level_nodes, epoch, values)
+            else:
+                partials = [
+                    aggregate.tree_local(node, epoch, value)
+                    for node, value in zip(level_nodes, values)
+                ]
+            transmissions: List[Transmission] = []
+            outgoing: List[Tuple[NodeId, TreePayload]] = []
+            for node, partial in zip(level_nodes, partials):
+                count = 1
+                contributors = 1 << node
+                for received in inbox.pop(node, ()):
+                    partial = aggregate.tree_merge(partial, received.partial)
+                    count += received.count
+                    contributors |= received.contributors
+                payload = TreePayload(partial, count, contributors, sender=node)
+                words = aggregate.tree_words(partial) + payload.extra_words()
+                spec = self._accountant.spec_for_words(words)
+                parent = self._parents.get(node)
+                transmissions.append(
+                    Transmission(
+                        node, (parent,), words, spec.messages, self._attempts
+                    )
+                )
+                outgoing.append((parent, payload))
+            heard_lists = self._transmit(channel, transmissions, epoch)
+            for (parent, payload), heard in zip(outgoing, heard_lists):
+                if heard:
+                    inbox.setdefault(parent, []).append(payload)
 
         received = inbox.pop(BASE_STATION, [])
         if not received:

@@ -28,8 +28,8 @@ from repro.core.adaptation import AdaptationAction, AdaptationPolicy
 from repro.core.graph import TDGraph
 from repro.core.payloads import MultipathPayload, TreePayload, combine_stats
 from repro.errors import ConfigurationError
-from repro.multipath.fm import FMSketch
-from repro.network.links import Channel
+from repro.multipath.fm import DEFAULT_BITS, FMSketch, single_item_sketches
+from repro.network.links import Channel, Transmission, transmit_sequential
 from repro.network.messages import MessageAccountant
 from repro.network.placement import BASE_STATION, Deployment, NodeId
 from repro.network.simulator import EpochOutcome, ReadingFn
@@ -49,6 +49,7 @@ class TributaryDeltaScheme:
         count_bitmaps: int = 40,
         accountant: Optional[MessageAccountant] = None,
         name: str = "TD",
+        use_batch: bool = True,
     ) -> None:
         if tree_attempts < 1 or multipath_attempts < 1:
             raise ConfigurationError("attempts must be at least 1")
@@ -60,7 +61,22 @@ class TributaryDeltaScheme:
         self._multipath_attempts = multipath_attempts
         self._count_bitmaps = count_bitmaps
         self._accountant = accountant or MessageAccountant()
+        self._use_batch = use_batch
         self.name = name
+        # Rings are static even as modes adapt: precompute the per-level
+        # schedule and each node's broadcast audience.
+        rings = graph.rings
+        self._level_nodes = [
+            rings.nodes_at_level(level) for level in rings.levels_descending()
+        ]
+        self._upstream = {
+            node: tuple(rings.upstream_neighbors(node))
+            for nodes in self._level_nodes
+            for node in nodes
+        }
+        # The routing tree never changes (only modes adapt); flatten the
+        # parent lookup out of the per-node hot path.
+        self._tree_parents = dict(graph.tree.parents)
         #: (epoch, action kind, number of nodes switched) per adaptation call.
         self.adaptation_log: List[Tuple[int, str, int]] = []
         #: Cumulative base-station control messages spent on adaptation.
@@ -89,6 +105,20 @@ class TributaryDeltaScheme:
         sketch = FMSketch(self._count_bitmaps)
         sketch.insert("contrib", node, epoch)
         return sketch
+
+    def _contrib_sketches(
+        self, nodes: List[NodeId], epoch: int
+    ) -> List[Optional[FMSketch]]:
+        """Batched :meth:`_contrib_sketch` over the level's M nodes."""
+        if self._aggregate.synopsis_counts_contributors():
+            return [None] * len(nodes)
+        return single_item_sketches(
+            self._count_bitmaps,
+            DEFAULT_BITS,
+            ("contrib",),
+            nodes,
+            [epoch] * len(nodes),
+        )
 
     def _tributary_missing(
         self, node: NodeId, tributary_contributing: int
@@ -122,30 +152,83 @@ class TributaryDeltaScheme:
         self, epoch: int, channel: Channel, readings: ReadingFn
     ) -> EpochOutcome:
         graph = self._graph
-        rings = graph.rings
         inbox_tree: Dict[NodeId, List[TreePayload]] = {}
         inbox_syn: Dict[NodeId, List[MultipathPayload]] = {}
 
-        for level in rings.levels_descending():
-            for node in rings.nodes_at_level(level):
+        for nodes in self._level_nodes:
+            # SG for all the level's M nodes in one vectorized pass (tree
+            # links point one ring up, so nothing in this level feeds
+            # anything else in it — level-synchronous batching is exact).
+            m_nodes = [node for node in nodes if not graph.is_tree(node)]
+            if self._use_batch and m_nodes:
+                synopses = dict(
+                    zip(
+                        m_nodes,
+                        self._aggregate.synopsis_local_batch(
+                            m_nodes,
+                            epoch,
+                            [readings(node, epoch) for node in m_nodes],
+                        ),
+                    )
+                )
+                count_sketches = dict(
+                    zip(m_nodes, self._contrib_sketches(m_nodes, epoch))
+                )
+            else:
+                synopses = {}
+                count_sketches = {}
+
+            transmissions: List[Transmission] = []
+            outgoing: List[Tuple[bool, object, object]] = []
+            for node in nodes:
                 if graph.is_tree(node):
-                    self._run_tree_node(
-                        node, epoch, channel, readings, inbox_tree
+                    payload, item = self._prepare_tree_node(
+                        node, epoch, readings, inbox_tree
+                    )
+                    outgoing.append(
+                        (True, self._tree_parents.get(node), payload)
                     )
                 else:
-                    self._run_multipath_node(
-                        node, epoch, channel, readings, inbox_tree, inbox_syn
+                    if self._use_batch:
+                        count_sketch = count_sketches.get(node)
+                    else:
+                        count_sketch = self._contrib_sketch(node, epoch)
+                    payload, item = self._prepare_multipath_node(
+                        node,
+                        epoch,
+                        readings,
+                        inbox_tree,
+                        inbox_syn,
+                        synopses.get(node),
+                        count_sketch,
                     )
+                    outgoing.append((False, None, payload))
+                transmissions.append(item)
+
+            if self._use_batch:
+                heard_lists = channel.transmit_batch(transmissions, epoch)
+            else:
+                heard_lists = transmit_sequential(channel, transmissions, epoch)
+
+            for (is_tree, parent, payload), heard in zip(outgoing, heard_lists):
+                if is_tree:
+                    if heard:
+                        inbox_tree.setdefault(parent, []).append(payload)
+                else:
+                    for receiver in heard:
+                        # T receivers ignore M broadcasts (edge correctness,
+                        # Property 1).
+                        if graph.is_multipath(receiver):
+                            inbox_syn.setdefault(receiver, []).append(payload)
         return self._evaluate_base_station(epoch, inbox_tree, inbox_syn)
 
-    def _run_tree_node(
+    def _prepare_tree_node(
         self,
         node: NodeId,
         epoch: int,
-        channel: Channel,
         readings: ReadingFn,
         inbox_tree: Dict[NodeId, List[TreePayload]],
-    ) -> None:
+    ) -> Tuple[TreePayload, Transmission]:
         aggregate = self._aggregate
         partial = aggregate.tree_local(node, epoch, readings(node, epoch))
         count = 1
@@ -157,26 +240,26 @@ class TributaryDeltaScheme:
         payload = TreePayload(partial, count, contributors, sender=node)
         words = aggregate.tree_words(partial) + payload.extra_words()
         spec = self._accountant.spec_for_words(words)
-        parent = self._graph.tree.parent(node)
-        heard = channel.transmit(
-            node, [parent], epoch, words, spec.messages, self._tree_attempts
+        parent = self._tree_parents.get(node)
+        return payload, Transmission(
+            node, (parent,), words, spec.messages, self._tree_attempts
         )
-        if heard:
-            inbox_tree.setdefault(parent, []).append(payload)
 
-    def _run_multipath_node(
+    def _prepare_multipath_node(
         self,
         node: NodeId,
         epoch: int,
-        channel: Channel,
         readings: ReadingFn,
         inbox_tree: Dict[NodeId, List[TreePayload]],
         inbox_syn: Dict[NodeId, List[MultipathPayload]],
-    ) -> None:
+        synopsis: Optional[object] = None,
+        count_sketch: Optional[FMSketch] = None,
+    ) -> Tuple[MultipathPayload, Transmission]:
         aggregate = self._aggregate
-        graph = self._graph
-        synopsis = aggregate.synopsis_local(node, epoch, readings(node, epoch))
-        count_sketch = self._contrib_sketch(node, epoch)
+        if synopsis is None:
+            synopsis = aggregate.synopsis_local(
+                node, epoch, readings(node, epoch)
+            )
         contributors = 1 << node
         subtree_contributing = 1  # the node's own reading
         missing_stats: Optional[Dict[NodeId, int]] = None
@@ -207,14 +290,13 @@ class TributaryDeltaScheme:
         )
         words = aggregate.synopsis_words(synopsis) + payload.extra_words()
         spec = self._accountant.spec_for_words(words)
-        receivers = graph.rings.upstream_neighbors(node)
-        heard = channel.transmit(
-            node, receivers, epoch, words, spec.messages, self._multipath_attempts
+        return payload, Transmission(
+            node,
+            self._upstream[node],
+            words,
+            spec.messages,
+            self._multipath_attempts,
         )
-        for receiver in heard:
-            # T receivers ignore M broadcasts (edge correctness, Property 1).
-            if graph.is_multipath(receiver):
-                inbox_syn.setdefault(receiver, []).append(payload)
 
     def _evaluate_base_station(
         self,

@@ -15,6 +15,13 @@ from repro.experiments.metrics import (
     relative_error,
     rms_error_series,
 )
+from repro.experiments.parallel import (
+    SweepReport,
+    SweepRunner,
+    SweepSpec,
+    parallel_map,
+    run_spec,
+)
 from repro.experiments.runner import (
     SchemeComparison,
     build_schemes,
@@ -26,6 +33,11 @@ __all__ = [
     "mean",
     "relative_error",
     "rms_error_series",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpec",
+    "parallel_map",
+    "run_spec",
     "SchemeComparison",
     "build_schemes",
     "converge_td",

@@ -1,0 +1,344 @@
+"""The parallel sweep engine: fan independent runs across a process pool.
+
+Every multi-scheme figure in the paper is embarrassingly parallel: a
+(scheme, seed, failure-model) triple fully determines one simulator run,
+and the paired-comparison methodology (identical channel seeds across
+schemes) couples runs only through their *specs*, never through shared
+state. This module exploits that:
+
+* :class:`SweepSpec` — a frozen, JSON-able description of one run. Its
+  :meth:`SweepSpec.digest` hashes the canonical encoding, which keys the
+  result cache.
+* :func:`run_spec` — executes one spec (scenario assembly, TD convergence,
+  measurement) and returns the :class:`~repro.network.simulator.RunResult`.
+  Module-level so process pools can pickle it.
+* :class:`SweepRunner` — maps specs to results through a
+  ``concurrent.futures`` process pool with **deterministic result
+  ordering** (results come back in spec order regardless of completion
+  order) and an on-disk JSON cache: re-running a swept grid reloads
+  byte-identical results instead of recomputing.
+* :func:`parallel_map` — the generic deterministic-order pool map the
+  design-knob sweeps in :mod:`repro.experiments.sweeps` use.
+
+Determinism: a run's result depends only on its spec (the channel draws
+are keyed hashes), so serial, pooled, and cached executions of the same
+grid return identical estimates — asserted by ``tests/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.datasets.streams import ConstantReadings, UniformReadings
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import format_table
+from repro.experiments.runner import build_schemes, converge_td, run_scheme
+from repro.network.failures import GlobalLoss, NoLoss, RegionalLoss
+from repro.network.simulator import RunResult
+from repro.serialization import from_jsonable, to_jsonable
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: Bump when run semantics change; invalidates every cached result.
+CACHE_VERSION = 1
+
+_ADAPTIVE_SCHEMES = ("TD-Coarse", "TD")
+KNOWN_SCHEMES = ("TAG", "SD") + _ADAPTIVE_SCHEMES
+
+
+# -- spec -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One independent simulator run, fully described by plain values.
+
+    Attributes:
+        scheme: one of ``TAG``, ``SD``, ``TD-Coarse``, ``TD``.
+        seed: channel seed of the measurement run (specs sharing a seed are
+            paired: identical loss draws).
+        failure: failure-model spec string — ``none``, ``global:P`` or
+            ``regional:P1:P2``.
+        num_sensors: deployment size (the paper's Synthetic is 600).
+        epochs: measured epochs.
+        scenario_seed: seed of the deployment/tree construction.
+        aggregate: ``count`` or ``sum``.
+        reading: workload spec string — ``constant:V`` or
+            ``uniform:LO:HI:SEED``.
+        converge_epochs: stabilisation epochs for the adaptive schemes.
+        threshold: contributing-percentage target driving adaptation.
+    """
+
+    scheme: str
+    seed: int
+    failure: str
+    num_sensors: int = 600
+    epochs: int = 100
+    scenario_seed: int = 0
+    aggregate: str = "count"
+    reading: str = "constant:1.0"
+    converge_epochs: int = 120
+    threshold: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.scheme not in KNOWN_SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; expected one of {KNOWN_SCHEMES}"
+            )
+        failure_model(self.failure)  # validate eagerly
+        reading_fn(self.reading)
+        if self.aggregate not in ("count", "sum"):
+            raise ConfigurationError("aggregate must be 'count' or 'sum'")
+        if self.epochs < 0 or self.converge_epochs < 0:
+            raise ConfigurationError("epoch counts cannot be negative")
+
+    def digest(self) -> str:
+        """A stable hash of the spec (plus cache version): the cache key."""
+        payload = dict(asdict(self), cache_version=CACHE_VERSION)
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+
+def failure_model(spec: str):
+    """Parse a failure spec string into a failure model."""
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        if kind == "none" and len(parts) == 1:
+            return NoLoss()
+        if kind == "global" and len(parts) == 2:
+            return GlobalLoss(float(parts[1]))
+        if kind == "regional" and len(parts) == 3:
+            return RegionalLoss(float(parts[1]), float(parts[2]))
+    except ValueError as error:
+        raise ConfigurationError(f"bad failure spec {spec!r}: {error}") from error
+    raise ConfigurationError(
+        f"unknown failure spec {spec!r}; expected none, global:P or regional:P1:P2"
+    )
+
+
+def reading_fn(spec: str):
+    """Parse a workload spec string into a ReadingFn."""
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        if kind == "constant" and len(parts) == 2:
+            return ConstantReadings(float(parts[1]))
+        if kind == "uniform" and len(parts) == 4:
+            return UniformReadings(
+                int(parts[1]), int(parts[2]), seed=int(parts[3])
+            )
+    except ValueError as error:
+        raise ConfigurationError(f"bad reading spec {spec!r}: {error}") from error
+    raise ConfigurationError(
+        f"unknown reading spec {spec!r}; expected constant:V or uniform:LO:HI:SEED"
+    )
+
+
+def run_spec(spec: SweepSpec) -> RunResult:
+    """Execute one spec: the paper's per-run methodology, self-contained.
+
+    Builds the shared scenario, converges the adaptive scheme (only the one
+    named — a worker should not pay for the others), then measures with the
+    channel seed offset exactly as :func:`repro.experiments.runner.run_scheme`
+    prescribes.
+    """
+    factory = CountAggregate if spec.aggregate == "count" else SumAggregate
+    comparison = build_schemes(
+        factory,
+        num_sensors=spec.num_sensors,
+        seed=spec.scenario_seed,
+        threshold=spec.threshold,
+    )
+    failure = failure_model(spec.failure)
+    readings = reading_fn(spec.reading)
+    if spec.scheme in _ADAPTIVE_SCHEMES and spec.converge_epochs:
+        converge_td(
+            comparison,
+            failure,
+            readings,
+            epochs=spec.converge_epochs,
+            seed=spec.scenario_seed,
+            names=[spec.scheme],
+        )
+    return run_scheme(
+        comparison,
+        spec.scheme,
+        failure,
+        readings,
+        epochs=spec.epochs,
+        seed=spec.seed,
+    )
+
+
+# -- generic deterministic pool map ---------------------------------------
+
+
+def parallel_map(
+    fn: Callable[[T], U],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+) -> List[U]:
+    """Map ``fn`` over ``items`` with deterministic result ordering.
+
+    ``jobs`` <= 1 (or a single item) runs serially. Otherwise the items are
+    dispatched to a ``ProcessPoolExecutor`` and the results are collected in
+    submission order, so callers observe exactly the serial semantics. If
+    the platform cannot spawn a pool (restricted sandboxes), the map
+    silently falls back to serial execution.
+    """
+    if jobs is None or jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, PermissionError):  # pragma: no cover - platform specific
+        return [fn(item) for item in items]
+    # Only pool *creation* falls back; worker exceptions propagate so a
+    # failing item cannot silently discard the rest of the pool's work.
+    with pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+
+# -- the sweep runner ------------------------------------------------------
+
+
+@dataclass
+class SweepRunner:
+    """Runs spec grids through a process pool with an on-disk result cache.
+
+    Attributes:
+        jobs: worker processes; ``None`` or <= 1 runs serially.
+        cache_dir: directory for JSON result files (one per spec digest);
+            ``None`` disables caching.
+    """
+
+    jobs: Optional[int] = None
+    cache_dir: Optional[pathlib.Path] = None
+
+    def run(self, specs: Sequence[SweepSpec]) -> List[RunResult]:
+        """Execute ``specs``; results align index-for-index with the input.
+
+        Cached specs are loaded without touching the pool; only misses are
+        dispatched. Fresh results are written back to the cache before
+        returning.
+        """
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        misses: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self._load(spec)
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append(index)
+        if misses:
+            fresh = parallel_map(
+                run_spec, [specs[index] for index in misses], jobs=self.jobs
+            )
+            for index, result in zip(misses, fresh):
+                results[index] = result
+                self._store(specs[index], result)
+        return results  # type: ignore[return-value]
+
+    def run_grid(
+        self,
+        schemes: Sequence[str],
+        seeds: Sequence[int],
+        failures: Sequence[str],
+        **fixed: object,
+    ) -> "SweepReport":
+        """Run the cross product schemes x failures x seeds as one sweep.
+
+        Grid order is deterministic: failures outermost, then schemes, then
+        seeds — the order the report tabulates.
+        """
+        specs = [
+            SweepSpec(scheme=scheme, seed=seed, failure=failure, **fixed)  # type: ignore[arg-type]
+            for failure in failures
+            for scheme in schemes
+            for seed in seeds
+        ]
+        return SweepReport(specs=specs, results=self.run(specs))
+
+    # -- cache ------------------------------------------------------------
+
+    def _path(self, spec: SweepSpec) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return pathlib.Path(self.cache_dir) / f"{spec.digest()}.json"
+
+    def _load(self, spec: SweepSpec) -> Optional[RunResult]:
+        path = self._path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return from_jsonable(payload["result"])
+        except (ValueError, KeyError):  # corrupt cache entry: recompute
+            return None
+
+    def _store(self, spec: SweepSpec, result: RunResult) -> None:
+        path = self._path(spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"spec": asdict(spec), "result": to_jsonable(result)}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+
+
+@dataclass
+class SweepReport:
+    """Specs and results of one sweep, with a renderable summary table."""
+
+    specs: List[SweepSpec]
+    results: List[RunResult]
+
+    def rows(self) -> List[Tuple[SweepSpec, RunResult]]:
+        return list(zip(self.specs, self.results))
+
+    def rms_by_scheme(self) -> Dict[str, List[float]]:
+        """Scheme -> RMS errors in spec order (seeds/failures interleaved)."""
+        series: Dict[str, List[float]] = {}
+        for spec, result in self.rows():
+            series.setdefault(spec.scheme, []).append(result.rms_error())
+        return series
+
+    def render(self) -> str:
+        headers = [
+            "failure",
+            "scheme",
+            "seed",
+            "rms_error",
+            "mean_contributing",
+            "words/epoch",
+        ]
+        table_rows = []
+        for spec, result in self.rows():
+            fraction = result.mean_contributing_fraction(spec.num_sensors)
+            words = (
+                result.energy.total_words / len(result.epochs)
+                if result.epochs
+                else 0.0
+            )
+            table_rows.append(
+                [
+                    spec.failure,
+                    spec.scheme,
+                    str(spec.seed),
+                    f"{result.rms_error():.4f}",
+                    f"{fraction:.3f}",
+                    f"{words:.0f}",
+                ]
+            )
+        return format_table(headers, table_rows)

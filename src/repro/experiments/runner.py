@@ -92,14 +92,19 @@ def converge_td(
     readings: ReadingFn,
     epochs: int = 120,
     seed: int = 0,
+    names: Optional[List[str]] = None,
 ) -> None:
     """Stabilisation phase for the adaptive schemes.
 
     The paper begins data collection "only after the underlying aggregation
     topologies become stable"; during stabilisation we adapt every epoch so
     the delta converges, then measurement uses the paper's 10-epoch cadence.
+
+    ``names`` restricts stabilisation to a subset of the adaptive schemes —
+    the parallel sweep engine runs one scheme per worker and should not pay
+    for converging the others.
     """
-    for name in ("TD-Coarse", "TD"):
+    for name in names if names is not None else ("TD-Coarse", "TD"):
         scheme = comparison.schemes.get(name)
         if scheme is None:
             continue

@@ -19,6 +19,11 @@ future work"). These sweeps are that exploration:
 
 Each sweep returns a :class:`SweepResult` whose ``render()`` emits both a
 numeric table and an ASCII chart, like the per-figure experiment modules.
+
+Every swept point is an independent simulation, so each sweep accepts a
+``jobs`` argument and fans its measurements across the process pool of
+:func:`repro.experiments.parallel.parallel_map`; results are ordered
+deterministically and identical to a serial run.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from repro.core.td_scheme import TributaryDeltaScheme
 from repro.datasets.streams import ConstantReadings, exact_item_counts
 from repro.datasets.synthetic import make_synthetic_scenario
 from repro.errors import ConfigurationError
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import ADAPT_INTERVAL
 from repro.frequent.mp_fi import FMOperator
 from repro.frequent.reporting import false_negative_rate, true_frequent
@@ -114,11 +120,17 @@ def _measure_td(
     return result.rms_error(), delta_fraction, scheme.control_messages
 
 
+def _measure_td_args(args: Tuple) -> Tuple[float, float, int]:
+    """Tuple-argument wrapper over :func:`_measure_td` for the pool map."""
+    return _measure_td(*args)
+
+
 def sweep_threshold(
     values: Sequence[float] = (0.5, 0.7, 0.8, 0.9, 0.95, 0.99),
     loss_rate: float = 0.2,
     quick: bool = False,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """The Section 4.1 accuracy/energy dial: % contributing target.
 
@@ -146,20 +158,26 @@ def sweep_threshold(
             "delta size keeps growing."
         ),
     )
-    result.series["rms_error"] = []
-    result.series["delta_fraction"] = []
-    for threshold in values:
-        rms, delta_fraction, _ = _measure_td(
-            scenario,
-            tree,
-            TDFinePolicy(threshold=threshold),
-            failure,
-            seed,
-            converge,
-            measure,
-        )
-        result.series["rms_error"].append(rms)
-        result.series["delta_fraction"].append(delta_fraction)
+    measurements = parallel_map(
+        _measure_td_args,
+        [
+            (
+                scenario,
+                tree,
+                TDFinePolicy(threshold=threshold),
+                failure,
+                seed,
+                converge,
+                measure,
+            )
+            for threshold in values
+        ],
+        jobs=jobs,
+    )
+    result.series["rms_error"] = [rms for rms, _, _ in measurements]
+    result.series["delta_fraction"] = [
+        delta_fraction for _, delta_fraction, _ in measurements
+    ]
     return result
 
 
@@ -168,6 +186,7 @@ def sweep_adapt_interval(
     loss_rate: float = 0.2,
     quick: bool = False,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Adaptation cadence vs error and control-message overhead.
 
@@ -195,28 +214,61 @@ def sweep_adapt_interval(
             "(Figure 6), which sweep_expansion_heuristic stresses."
         ),
     )
-    result.series["rms_error"] = []
-    result.series["control_messages"] = []
-    for interval in values:
-        rms, _, control = _measure_td(
-            scenario,
-            tree,
-            TDFinePolicy(),
-            failure,
-            seed,
-            converge,
-            measure,
-            adapt_interval=interval,
-        )
-        result.series["rms_error"].append(rms)
-        result.series["control_messages"].append(float(control))
+    measurements = parallel_map(
+        _measure_td_args,
+        [
+            (
+                scenario,
+                tree,
+                TDFinePolicy(),
+                failure,
+                seed,
+                converge,
+                measure,
+                interval,
+            )
+            for interval in values
+        ],
+        jobs=jobs,
+    )
+    result.series["rms_error"] = [rms for rms, _, _ in measurements]
+    result.series["control_messages"] = [
+        float(control) for _, _, control in measurements
+    ]
     return result
+
+
+def _heuristic_measurement(args: Tuple) -> Tuple[float, float]:
+    """(RMS after frozen measurement, switched nodes) for one policy."""
+    scenario, tree, policy, failure, seed, budget, measure = args
+    readings = ConstantReadings(1.0)
+    graph = TDGraph(
+        scenario.rings, tree, initial_modes_by_level(scenario.rings, 0)
+    )
+    scheme = TributaryDeltaScheme(
+        scenario.deployment, graph, CountAggregate(), policy=policy
+    )
+    convergence = EpochSimulator(
+        scenario.deployment, failure, scheme, seed=seed, adapt_interval=1
+    )
+    convergence.run(0, readings, warmup=budget)
+    switched = sum(count for _, _, count in scheme.adaptation_log)
+    measurement = EpochSimulator(
+        scenario.deployment,
+        failure,
+        scheme,
+        seed=seed,
+        adapt_interval=0,  # freeze: measure what the budget achieved
+    )
+    run = measurement.run(measure, readings, start_epoch=1000)
+    return run.rms_error(), float(switched)
 
 
 def sweep_expansion_heuristic(
     loss_rate: float = 0.3,
     quick: bool = False,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """The Section 4.2 heuristics under a convergence deadline.
 
@@ -231,7 +283,6 @@ def sweep_expansion_heuristic(
     scenario = make_synthetic_scenario(num_sensors=sensors, seed=seed)
     tree = build_bushy_tree(scenario.rings, seed=seed)
     failure = GlobalLoss(loss_rate)
-    readings = ConstantReadings(1.0)
     policies = [
         ("top-1 (paper base)", TDFinePolicy(expand_cut=1.0)),
         ("max/2 cut (paper heuristic)", TDFinePolicy(expand_cut=0.5)),
@@ -251,31 +302,55 @@ def sweep_expansion_heuristic(
         + "\nExpect the max/2 cut and large top-k to converge fastest "
         "(lowest RMS within the budget); top-1 to lag.",
     )
-    result.series["rms_error"] = []
-    result.series["switched_nodes"] = []
-    for label, policy in policies:
-        graph = TDGraph(
-            scenario.rings, tree, initial_modes_by_level(scenario.rings, 0)
-        )
-        scheme = TributaryDeltaScheme(
-            scenario.deployment, graph, CountAggregate(), policy=policy
-        )
-        convergence = EpochSimulator(
-            scenario.deployment, failure, scheme, seed=seed, adapt_interval=1
-        )
-        convergence.run(0, readings, warmup=budget)
-        switched = sum(count for _, _, count in scheme.adaptation_log)
-        measurement = EpochSimulator(
-            scenario.deployment,
-            failure,
-            scheme,
-            seed=seed,
-            adapt_interval=0,  # freeze: measure what the budget achieved
-        )
-        run = measurement.run(measure, readings, start_epoch=1000)
-        result.series["rms_error"].append(run.rms_error())
-        result.series["switched_nodes"].append(float(switched))
+    measurements = parallel_map(
+        _heuristic_measurement,
+        [
+            (scenario, tree, policy, failure, seed, budget, measure)
+            for _, policy in policies
+        ],
+        jobs=jobs,
+    )
+    result.series["rms_error"] = [rms for rms, _ in measurements]
+    result.series["switched_nodes"] = [
+        switched for _, switched in measurements
+    ]
     return result
+
+
+def _split_measurement(args: Tuple) -> Tuple[float, float]:
+    """(mean false-negative rate, mean words/node) for one error split."""
+    (
+        scenario,
+        graph,
+        stream,
+        fraction,
+        epsilon,
+        support,
+        failure,
+        seed,
+        epochs,
+    ) = args
+    items_fn = lambda node, epoch: stream.items(node, epoch)
+    sensor_ids = scenario.deployment.sensor_ids
+    fn_rates = []
+    words = []
+    for epoch in range(epochs):
+        truth_counts = exact_item_counts(stream, sensor_ids, epoch)
+        truth = true_frequent(truth_counts, support)
+        total_items = sum(truth_counts.values())
+        scheme = TributaryDeltaFrequentItems(
+            graph,
+            epsilon=epsilon,
+            support=support,
+            total_items_hint=total_items,
+            tree_epsilon=fraction * epsilon,
+            operator=FMOperator(num_bitmaps=8),
+        )
+        channel = Channel(scenario.deployment, failure, seed=seed + 13)
+        outcome = scheme.run_epoch(epoch, channel, items_fn)
+        fn_rates.append(false_negative_rate(truth, outcome.reported))
+        words.append(channel.log.words_sent / scenario.deployment.num_sensors)
+    return sum(fn_rates) / len(fn_rates), sum(words) / len(words)
 
 
 def sweep_epsilon_split(
@@ -285,6 +360,7 @@ def sweep_epsilon_split(
     loss_rate: float = 0.2,
     quick: bool = False,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """The Section 6.3 error split: eps_a (tree) + eps_b (multi-path) = eps.
 
@@ -312,8 +388,6 @@ def sweep_epsilon_split(
     stream = ZipfItemStream(
         items_per_node=400, universe=800, alpha=1.05, seed=seed
     )
-    items_fn = lambda node, epoch: stream.items(node, epoch)
-    sensor_ids = scenario.deployment.sensor_ids
 
     result = SweepResult(
         name=f"TD-FI error split sweep, eps={epsilon}, Global({loss_rate})",
@@ -326,31 +400,26 @@ def sweep_epsilon_split(
             "stay low through the middle."
         ),
     )
-    result.series["false_negative_rate"] = []
-    result.series["words_per_node"] = []
-    for fraction in fractions:
-        fn_rates = []
-        words = []
-        for epoch in range(epochs):
-            truth_counts = exact_item_counts(stream, sensor_ids, epoch)
-            truth = true_frequent(truth_counts, support)
-            total_items = sum(truth_counts.values())
-            scheme = TributaryDeltaFrequentItems(
+    measurements = parallel_map(
+        _split_measurement,
+        [
+            (
+                scenario,
                 graph,
-                epsilon=epsilon,
-                support=support,
-                total_items_hint=total_items,
-                tree_epsilon=fraction * epsilon,
-                operator=FMOperator(num_bitmaps=8),
+                stream,
+                fraction,
+                epsilon,
+                support,
+                failure,
+                seed,
+                epochs,
             )
-            channel = Channel(scenario.deployment, failure, seed=seed + 13)
-            outcome = scheme.run_epoch(epoch, channel, items_fn)
-            fn_rates.append(false_negative_rate(truth, outcome.reported))
-            words.append(
-                channel.log.words_sent / scenario.deployment.num_sensors
-            )
-        result.series["false_negative_rate"].append(
-            sum(fn_rates) / len(fn_rates)
-        )
-        result.series["words_per_node"].append(sum(words) / len(words))
+            for fraction in fractions
+        ],
+        jobs=jobs,
+    )
+    result.series["false_negative_rate"] = [
+        fn_rate for fn_rate, _ in measurements
+    ]
+    result.series["words_per_node"] = [words for _, words in measurements]
     return result

@@ -25,14 +25,26 @@ paper's 40 bitmaps, matching the ~12% approximation error it reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro._hashing import geometric_level, hash_key, stream_rng
+from repro._hashing import (
+    geometric_level_batch,
+    hash_key,
+    hash_key_batch,
+    hash_key_from,
+    splitmix64,
+    stream_rng,
+)
 from repro.errors import ConfigurationError, SketchError
-from repro.network.messages import rle_words_for_bitmaps
+from repro.network.messages import WORD_BYTES
 
 #: Flajolet-Martin's bias-correction constant.
 PHI = 0.77351
+
+#: Default bitmap width (32-bit words, the paper's message convention).
+#: Shared by the schemes' batched sketch constructors so the batch and
+#: scalar paths can never disagree on sketch shape.
+DEFAULT_BITS = 32
 
 #: Scheuermann-Mauve small-range correction exponent.
 _KAPPA = 1.75
@@ -40,16 +52,39 @@ _KAPPA = 1.75
 #: Above this count, ``insert_count`` switches to the sampled fast path.
 _EXACT_INSERT_LIMIT = 512
 
+#: At or below this count the exact path loops in Python; above it, the
+#: vectorized column path wins despite numpy's per-call overhead.
+_SCALAR_INSERT_LIMIT = 48
+
+#: Precomputed hash-chain states for the two insertion substreams. Mixing
+#: continues from these states, so the derived bits are identical to hashing
+#: ("fm-bucket", *key) / ("fm-level", *key) from scratch.
+_BUCKET_STATE = hash_key("fm-bucket")
+_LEVEL_STATE = hash_key("fm-level")
+
+
+def _trailing_zeros_capped(value: int) -> int:
+    """Trailing zero bits of a 64-bit hash, capped at 63 (= geometric level)."""
+    if value == 0:
+        return 63
+    return min(63, (value & -value).bit_length() - 1)
+
 
 class FMSketch:
-    """A PCSA (multi-bitmap Flajolet-Martin) distinct-count sketch."""
+    """A PCSA (multi-bitmap Flajolet-Martin) distinct-count sketch.
 
-    __slots__ = ("num_bitmaps", "bits", "bitmaps")
+    Internally the ``num_bitmaps`` bitmaps are packed into one Python
+    integer (bitmap ``j`` occupies bits ``[j*bits, (j+1)*bits)``): fusion is
+    a single big-int OR and construction allocates no per-bitmap list. The
+    :attr:`bitmaps` property materializes the classic list view.
+    """
+
+    __slots__ = ("num_bitmaps", "bits", "_packed")
 
     def __init__(
         self,
         num_bitmaps: int = 40,
-        bits: int = 32,
+        bits: int = DEFAULT_BITS,
         bitmaps: Optional[Sequence[int]] = None,
     ) -> None:
         if num_bitmaps <= 0:
@@ -59,11 +94,39 @@ class FMSketch:
         self.num_bitmaps = num_bitmaps
         self.bits = bits
         if bitmaps is None:
-            self.bitmaps = [0] * num_bitmaps
+            self._packed = 0
         else:
             if len(bitmaps) != num_bitmaps:
                 raise SketchError("bitmap vector has the wrong length")
-            self.bitmaps = list(bitmaps)
+            packed = 0
+            for index, bitmap in enumerate(bitmaps):
+                if bitmap >> bits:
+                    raise SketchError(
+                        f"bitmap {index} does not fit in {bits} bits"
+                    )
+                packed |= bitmap << (index * bits)
+            self._packed = packed
+
+    @classmethod
+    def from_packed(cls, num_bitmaps: int, bits: int, packed: int) -> "FMSketch":
+        """Build a sketch directly from its packed bitmap integer."""
+        sketch = cls.__new__(cls)
+        sketch.num_bitmaps = num_bitmaps
+        sketch.bits = bits
+        sketch._packed = packed
+        return sketch
+
+    @property
+    def bitmaps(self) -> List[int]:
+        """The bitmaps as a list of ``num_bitmaps`` ints (classic view)."""
+        return list(self._iter_bitmaps())
+
+    def _iter_bitmaps(self) -> Iterator[int]:
+        mask = (1 << self.bits) - 1
+        packed = self._packed
+        for _ in range(self.num_bitmaps):
+            yield packed & mask
+            packed >>= self.bits
 
     # -- insertion ---------------------------------------------------------
 
@@ -73,27 +136,55 @@ class FMSketch:
         The bitmap index and bit level are pure functions of the key, so the
         same item always sets the same bit (duplicate-insensitivity).
         """
-        bucket = hash_key("fm-bucket", *key) % self.num_bitmaps
-        level = min(geometric_level("fm-level", *key), self.bits - 1)
-        self.bitmaps[bucket] |= 1 << level
+        bucket = hash_key_from(_BUCKET_STATE, *key) % self.num_bitmaps
+        level = min(
+            _trailing_zeros_capped(hash_key_from(_LEVEL_STATE, *key)),
+            self.bits - 1,
+        )
+        self._packed |= 1 << (bucket * self.bits + level)
 
     def insert_count(self, count: int, *key: object) -> None:
         """Insert ``count`` distinct virtual items derived from ``key``.
 
         Virtual item ``j`` is the key extended with ``j``. Small counts are
-        inserted exactly; large counts are simulated per bitmap with the
-        binomial-halving recursion of [5] — level l receives a
-        Binomial(remaining, 1/2) share of the bitmap's items — driven by an
-        RNG seeded from the key alone, so the simulation is deterministic and
-        therefore still duplicate-insensitive.
+        inserted exactly (vectorized over the ``j`` column — same hash keys,
+        same bits as ``count`` scalar inserts); large counts are simulated
+        per bitmap with the binomial-halving recursion of [5] — level l
+        receives a Binomial(remaining, 1/2) share of the bitmap's items —
+        driven by an RNG seeded from the key alone, so the simulation is
+        deterministic and therefore still duplicate-insensitive.
         """
         if count < 0:
             raise SketchError("cannot insert a negative count")
         if count == 0:
             return
         if count <= _EXACT_INSERT_LIMIT:
-            for j in range(count):
-                self.insert(*key, j)
+            bits = self.bits
+            cap = bits - 1
+            packed = self._packed
+            bucket_state = hash_key_from(_BUCKET_STATE, *key)
+            level_state = hash_key_from(_LEVEL_STATE, *key)
+            if count <= _SCALAR_INSERT_LIMIT:
+                # Chained-scalar path: numpy's per-call overhead beats its
+                # throughput on the tiny columns typical of conversions.
+                for j in range(count):
+                    bucket = splitmix64(bucket_state ^ j) % self.num_bitmaps
+                    level = min(
+                        _trailing_zeros_capped(splitmix64(level_state ^ j)),
+                        cap,
+                    )
+                    packed |= 1 << (bucket * bits + level)
+                self._packed = packed
+                return
+            column = range(count)
+            buckets = hash_key_batch(bucket_state, column)
+            levels = geometric_level_batch(level_state, column)
+            for bucket, level in zip(buckets, levels):
+                position = int(bucket) % self.num_bitmaps * bits + min(
+                    int(level), cap
+                )
+                packed |= 1 << position
+            self._packed = packed
             return
         rng = stream_rng("fm-bulk", self.num_bitmaps, *key)
         remaining_total = count
@@ -111,7 +202,7 @@ class FMSketch:
                 if level == self.bits - 1:
                     taken = remaining
                 if taken > 0:
-                    self.bitmaps[bucket] |= 1 << level
+                    self._packed |= 1 << (bucket * self.bits + level)
                 remaining -= taken
                 level += 1
 
@@ -121,15 +212,16 @@ class FMSketch:
         """Return the union sketch (bitwise OR). ODI: order/dup insensitive."""
         if (self.num_bitmaps, self.bits) != (other.num_bitmaps, other.bits):
             raise SketchError("cannot fuse sketches with different shapes")
-        fused = [a | b for a, b in zip(self.bitmaps, other.bitmaps)]
-        return FMSketch(self.num_bitmaps, self.bits, fused)
+        return FMSketch.from_packed(
+            self.num_bitmaps, self.bits, self._packed | other._packed
+        )
 
     def __or__(self, other: "FMSketch") -> "FMSketch":
         return self.fuse(other)
 
     def copy(self) -> "FMSketch":
         """An independent copy of this sketch."""
-        return FMSketch(self.num_bitmaps, self.bits, list(self.bitmaps))
+        return FMSketch.from_packed(self.num_bitmaps, self.bits, self._packed)
 
     # -- evaluation ----------------------------------------------------------
 
@@ -149,19 +241,41 @@ class FMSketch:
         """
         if self.is_empty():
             return 0.0
-        mean_r = sum(self._lowest_zero(b) for b in self.bitmaps) / self.num_bitmaps
+        mean_r = (
+            sum(self._lowest_zero(b) for b in self._iter_bitmaps())
+            / self.num_bitmaps
+        )
         corrected = 2.0**mean_r - 2.0 ** (-_KAPPA * mean_r)
         return max(0.0, self.num_bitmaps / PHI * corrected)
 
     def is_empty(self) -> bool:
         """True when no item was ever inserted."""
-        return all(bitmap == 0 for bitmap in self.bitmaps)
+        return self._packed == 0
 
     # -- sizing ----------------------------------------------------------------
 
     def words(self) -> int:
-        """Transmission size in 32-bit words, using the RLE model of [17]."""
-        return max(1, rle_words_for_bitmaps(self.bitmaps, self.bits))
+        """Transmission size in 32-bit words, using the RLE model of [17].
+
+        Inlined equivalent of ``rle_words_for_bitmaps(self.bitmaps, bits)``
+        walking the packed integer directly: every bitmap (zero or not)
+        costs the run-length field; non-zero bitmaps add their fringe
+        (bit_length minus the trailing ones-run).
+        """
+        bits = self.bits
+        length_field = max(1, (bits - 1).bit_length())
+        total_bits = self.num_bitmaps * length_field
+        mask = (1 << bits) - 1
+        packed = self._packed
+        while packed:
+            bitmap = packed & mask
+            if bitmap:
+                run = ((bitmap + 1) & ~bitmap).bit_length() - 1
+                fringe = bitmap.bit_length() - run
+                if fringe > 0:
+                    total_bits += fringe
+            packed >>= bits
+        return max(1, -(-total_bits // (WORD_BYTES * 8)))
 
     def raw_words(self) -> int:
         """Un-encoded size: one word per bitmap."""
@@ -173,7 +287,7 @@ class FMSketch:
         return (
             self.num_bitmaps == other.num_bitmaps
             and self.bits == other.bits
-            and self.bitmaps == other.bitmaps
+            and self._packed == other._packed
         )
 
     def __repr__(self) -> str:
@@ -181,6 +295,34 @@ class FMSketch:
             f"FMSketch(B={self.num_bitmaps}, bits={self.bits}, "
             f"estimate={self.estimate():.1f})"
         )
+
+
+def single_item_sketches(
+    num_bitmaps: int,
+    bits: int,
+    label: Tuple[object, ...],
+    *columns: Sequence[int],
+) -> List[FMSketch]:
+    """Build one single-item sketch per column row, vectorized.
+
+    Row ``i`` is exactly the sketch produced by
+    ``FMSketch(num_bitmaps, bits).insert(*label, columns[0][i], ...)`` —
+    same hash substreams, same bit — but the bucket/level hashes for the
+    whole batch are computed in one vectorized pass. This is the SG hot
+    path of the level-synchronous schemes: every node in a ring level
+    creates its local synopsis at once.
+    """
+    buckets = hash_key_batch(hash_key_from(_BUCKET_STATE, *label), *columns)
+    levels = geometric_level_batch(hash_key_from(_LEVEL_STATE, *label), *columns)
+    cap = bits - 1
+    return [
+        FMSketch.from_packed(
+            num_bitmaps,
+            bits,
+            1 << (int(bucket) % num_bitmaps * bits + min(int(level), cap)),
+        )
+        for bucket, level in zip(buckets, levels)
+    ]
 
 
 def _binomial(rng, n: int, p: float) -> int:

@@ -19,12 +19,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Protocol, Sequence, Tuple
 
+from repro._hashing import HAVE_NUMPY
 from repro.errors import ConfigurationError
 from repro.network.placement import Deployment, NodeId, Point
 
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the container ships numpy
+    _np = None
+
 
 class FailureModel(Protocol):
-    """Resolves the loss probability of a transmission at a given epoch."""
+    """Resolves the loss probability of a transmission at a given epoch.
+
+    Models may additionally expose ``loss_rate_batch(deployment, senders,
+    receivers, epoch) -> ndarray`` returning, for equal-length node
+    sequences, exactly ``[loss_rate(d, s, r, epoch) for s, r in zip(...)]``;
+    the batched channel uses it to skip per-pair Python calls. It is
+    optional — the channel falls back to the scalar method.
+    """
 
     def loss_rate(
         self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
@@ -48,6 +61,17 @@ class NoLoss:
     ) -> float:
         return 0.0
 
+    def loss_rate_batch(
+        self,
+        deployment: Deployment,
+        senders: Sequence[NodeId],
+        receivers: Sequence[NodeId],
+        epoch: int,
+    ):
+        if _np is None:  # pragma: no cover
+            return [0.0] * len(senders)
+        return _np.zeros(len(senders), dtype=_np.float64)
+
 
 @dataclass(frozen=True)
 class GlobalLoss:
@@ -62,6 +86,17 @@ class GlobalLoss:
         self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
     ) -> float:
         return self.rate
+
+    def loss_rate_batch(
+        self,
+        deployment: Deployment,
+        senders: Sequence[NodeId],
+        receivers: Sequence[NodeId],
+        epoch: int,
+    ):
+        if _np is None:  # pragma: no cover
+            return [self.rate] * len(senders)
+        return _np.full(len(senders), self.rate, dtype=_np.float64)
 
 
 @dataclass(frozen=True)
@@ -97,6 +132,37 @@ class RegionalLoss:
         if self.contains(deployment, sender):
             return self.inside_rate
         return self.outside_rate
+
+    def _sender_rates(self, deployment: Deployment):
+        """Dense node-id -> loss-rate lookup table, cached per deployment.
+
+        The cache holds the deployment object itself, so the identity check
+        cannot alias a garbage-collected deployment.
+        """
+        cached = getattr(self, "_rates_cache", None)
+        if cached is not None and cached[0] is deployment:
+            return cached[1]
+        size = max(deployment.node_ids) + 1
+        rates = _np.full(size, self.outside_rate, dtype=_np.float64)
+        for node in deployment.node_ids:
+            if self.contains(deployment, node):
+                rates[node] = self.inside_rate
+        object.__setattr__(self, "_rates_cache", (deployment, rates))
+        return rates
+
+    def loss_rate_batch(
+        self,
+        deployment: Deployment,
+        senders: Sequence[NodeId],
+        receivers: Sequence[NodeId],
+        epoch: int,
+    ):
+        if _np is None:  # pragma: no cover
+            return [
+                self.loss_rate(deployment, sender, receiver, epoch)
+                for sender, receiver in zip(senders, receivers)
+            ]
+        return self._sender_rates(deployment)[_np.asarray(senders)]
 
 
 @dataclass(frozen=True)
@@ -162,6 +228,22 @@ class FailureSchedule:
         self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
     ) -> float:
         return self.model_at(epoch).loss_rate(deployment, sender, receiver, epoch)
+
+    def loss_rate_batch(
+        self,
+        deployment: Deployment,
+        senders: Sequence[NodeId],
+        receivers: Sequence[NodeId],
+        epoch: int,
+    ):
+        model = self.model_at(epoch)
+        batch = getattr(model, "loss_rate_batch", None)
+        if batch is not None:
+            return batch(deployment, senders, receivers, epoch)
+        return [
+            model.loss_rate(deployment, sender, receiver, epoch)
+            for sender, receiver in zip(senders, receivers)
+        ]
 
 
 @dataclass(frozen=True)

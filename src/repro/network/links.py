@@ -16,11 +16,16 @@ noisy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro._hashing import hash_unit
+from repro._hashing import HAVE_NUMPY, hash_unit, hash_unit_batch
 from repro.network.failures import FailureModel
 from repro.network.placement import Deployment, NodeId
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the container ships numpy
+    _np = None
 
 
 @dataclass
@@ -49,6 +54,47 @@ class TransmissionLog:
         self.drops += other.drops
         self.words_sent += other.words_sent
         self.messages_sent += other.messages_sent
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One logical transmission queued for a level-synchronous batch.
+
+    Attributes:
+        sender: transmitting node.
+        receivers: nodes listening for this transmission.
+        words: payload size in 32-bit words.
+        messages: TinyDB messages the payload occupies.
+        attempts: total send attempts (1 = no retransmission).
+    """
+
+    sender: NodeId
+    receivers: Tuple[NodeId, ...]
+    words: int
+    messages: int = 1
+    attempts: int = 1
+
+
+def transmit_sequential(
+    channel: "Channel", transmissions: Sequence[Transmission], epoch: int
+) -> List[List[NodeId]]:
+    """Run a batch through the scalar :meth:`Channel.transmit` path.
+
+    The per-node reference implementation of :meth:`Channel.transmit_batch`;
+    schemes use it when batching is disabled and the equivalence tests use
+    it as the ground truth the batch path must reproduce bit-for-bit.
+    """
+    return [
+        channel.transmit(
+            item.sender,
+            item.receivers,
+            epoch,
+            item.words,
+            item.messages,
+            item.attempts,
+        )
+        for item in transmissions
+    ]
 
 
 class Channel:
@@ -153,13 +199,120 @@ class Channel:
                 self.log.drops += 1
         return sorted(heard)
 
+    def transmit_batch(
+        self, transmissions: Sequence[Transmission], epoch: int
+    ) -> List[List[NodeId]]:
+        """Draw delivery outcomes for a whole level of transmissions at once.
+
+        Bit-identical to calling :meth:`transmit` once per item in order:
+        every (sender, receiver, epoch, attempt) draw uses the same key as
+        the scalar path, and accounting is applied in the same order — only
+        the Bernoulli draws are vectorized (numpy when available). Results
+        are returned in the order the transmissions were given.
+        """
+        log = self.log
+        per_words = self._per_node_words
+        per_messages = self._per_node_messages
+        # Accounting and pair flattening in transmission order (matches the
+        # scalar path's dict insertion and counter order).
+        senders: List[NodeId] = []
+        receivers: List[NodeId] = []
+        attempts_per_pair: List[int] = []
+        spans: List[Tuple[int, int]] = []
+        for item in transmissions:
+            sender = item.sender
+            attempts = item.attempts
+            log.transmissions += attempts
+            log.words_sent += item.words * attempts
+            log.messages_sent += item.messages * attempts
+            per_words[sender] = per_words.get(sender, 0) + item.words * attempts
+            per_messages[sender] = (
+                per_messages.get(sender, 0) + item.messages * attempts
+            )
+            start = len(senders)
+            for receiver in item.receivers:
+                senders.append(sender)
+                receivers.append(receiver)
+                attempts_per_pair.append(attempts)
+            spans.append((start, len(senders)))
+
+        success = self._delivery_outcomes(
+            senders, receivers, attempts_per_pair, epoch
+        )
+
+        heard_lists: List[List[NodeId]] = []
+        for (start, stop) in spans:
+            heard = [receivers[i] for i in range(start, stop) if success[i]]
+            log.deliveries += len(heard)
+            log.drops += (stop - start) - len(heard)
+            heard_lists.append(sorted(heard))
+        return heard_lists
+
+    def _delivery_outcomes(
+        self,
+        senders: Sequence[NodeId],
+        receivers: Sequence[NodeId],
+        attempts_per_pair: Sequence[int],
+        epoch: int,
+    ) -> Sequence[bool]:
+        """Per-pair success flags: any attempt's draw clears the loss rate."""
+        count = len(senders)
+        if count == 0:
+            return []
+        if _np is None:
+            return [
+                any(
+                    self.delivered(senders[i], receivers[i], epoch, attempt)
+                    for attempt in range(attempts_per_pair[i])
+                )
+                for i in range(count)
+            ]
+        batch_rates = getattr(self._failure_model, "loss_rate_batch", None)
+        if batch_rates is not None:
+            loss = batch_rates(self._deployment, senders, receivers, epoch)
+        else:
+            loss = [
+                self.loss_rate(sender, receiver, epoch)
+                for sender, receiver in zip(senders, receivers)
+            ]
+        loss_array = _np.asarray(loss, dtype=_np.float64)
+        # loss <= 0 always delivers; loss >= 1 never does — the comparison
+        # draw >= loss yields exactly those outcomes, so no special cases.
+        success = loss_array <= 0.0
+        if bool(success.all()):
+            return success
+        attempts_array = _np.asarray(attempts_per_pair, dtype=_np.int64)
+        epoch_column = _np.full(count, epoch, dtype=_np.int64)
+        for attempt in range(int(attempts_array.max())):
+            undecided = (~success) & (attempts_array > attempt) & (loss_array < 1.0)
+            if not bool(undecided.any()):
+                break
+            draws = hash_unit_batch(
+                ("channel", self._seed),
+                senders,
+                receivers,
+                epoch_column,
+                _np.full(count, attempt, dtype=_np.int64),
+            )
+            success |= undecided & (draws >= loss_array)
+        return success
+
     def per_node_words(self) -> Dict[NodeId, int]:
-        """Cumulative words transmitted per node (load accounting)."""
-        return dict(self._per_node_words)
+        """Cumulative words transmitted per node (load accounting).
+
+        Deployment-complete: sensors that never transmitted report an
+        explicit zero, so load maps (Figure 8 style) show dead or silent
+        nodes instead of silently dropping them.
+        """
+        complete = {node: 0 for node in self._deployment.sensor_ids}
+        complete.update(self._per_node_words)
+        return complete
 
     def per_node_messages(self) -> Dict[NodeId, int]:
-        """Cumulative messages transmitted per node."""
-        return dict(self._per_node_messages)
+        """Cumulative messages transmitted per node (deployment-complete)."""
+        complete = {node: 0 for node in self._deployment.sensor_ids}
+        complete.update(self._per_node_messages)
+        return complete
 
     def reset_log(self) -> TransmissionLog:
         """Return the current log and start a fresh one."""

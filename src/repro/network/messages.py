@@ -14,7 +14,7 @@ run-length size model used to justify the 40-synopses-per-message figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable
 
 from repro.errors import ConfigurationError
 
@@ -47,6 +47,9 @@ class MessageAccountant:
         if message_bytes < WORD_BYTES:
             raise ConfigurationError("a message must hold at least one word")
         self._words_per_message = message_bytes // WORD_BYTES
+        # Payload sizes repeat constantly (every Count partial is one word,
+        # every sketch a handful); memoize the immutable specs.
+        self._spec_cache: dict[int, MessageSpec] = {}
 
     @property
     def words_per_message(self) -> int:
@@ -59,10 +62,16 @@ class MessageAccountant:
         A zero-word payload still occupies one message (headers must travel
         for the parent to notice the child at all).
         """
+        spec = self._spec_cache.get(words)
+        if spec is not None:
+            return spec
         if words <= 0:
-            return MessageSpec(words=max(words, 0), messages=1)
-        messages = -(-words // self._words_per_message)  # ceil division
-        return MessageSpec(words=words, messages=messages)
+            spec = MessageSpec(words=max(words, 0), messages=1)
+        else:
+            messages = -(-words // self._words_per_message)  # ceil division
+            spec = MessageSpec(words=words, messages=messages)
+        self._spec_cache[words] = spec
+        return spec
 
 
 def rle_encoded_bits(bitmap: int, bitmap_bits: int) -> int:
@@ -74,6 +83,10 @@ def rle_encoded_bits(bitmap: int, bitmap_bits: int) -> int:
     bits) plus the raw fringe between the end of that run and the highest set
     bit. An empty bitmap costs just the run-length field.
 
+    This is the reference size model; the hot path is the equivalent
+    inlined walk in :meth:`repro.multipath.fm.FMSketch.words` (kept in
+    lock-step by ``tests/test_batch_equivalence.py``).
+
     >>> rle_encoded_bits(0b0111, 32)  # pure run, no fringe
     5
     """
@@ -82,17 +95,12 @@ def rle_encoded_bits(bitmap: int, bitmap_bits: int) -> int:
     length_field = max(1, (bitmap_bits - 1).bit_length())
     if bitmap == 0:
         return length_field
-    run = 0
-    probe = bitmap
-    while probe & 1:
-        run += 1
-        probe >>= 1
-    highest = bitmap.bit_length()
-    fringe = max(0, highest - run)
+    run = ((bitmap + 1) & ~bitmap).bit_length() - 1  # trailing ones
+    fringe = max(0, bitmap.bit_length() - run)
     return length_field + fringe
 
 
-def rle_words_for_bitmaps(bitmaps: Sequence[int], bitmap_bits: int) -> int:
+def rle_words_for_bitmaps(bitmaps: Iterable[int], bitmap_bits: int) -> int:
     """Words needed to ship a collection of FM bitmaps with RLE.
 
     This is the size model behind the paper's "40 32-bit Sum synopses fit in

@@ -83,8 +83,14 @@ class TestTransmit:
         channel.transmit(1, [2], epoch=0, words=7)
         channel.transmit(1, [2], epoch=1, words=3)
         channel.transmit(2, [3], epoch=1, words=5)
-        assert channel.per_node_words() == {1: 10, 2: 5}
-        assert channel.per_node_messages() == {1: 2, 2: 1}
+        words = channel.per_node_words()
+        messages = channel.per_node_messages()
+        assert words[1] == 10 and words[2] == 5
+        assert messages[1] == 2 and messages[2] == 1
+        # Deployment-complete: silent nodes report an explicit zero.
+        assert set(words) == set(deployment.sensor_ids)
+        assert set(messages) == set(deployment.sensor_ids)
+        assert words[3] == 0 and messages[4] == 0
 
     def test_reset_log(self, deployment):
         channel = Channel(deployment, NoLoss(), seed=0)
