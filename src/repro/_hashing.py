@@ -124,6 +124,8 @@ if HAVE_NUMPY:
         array = _np.asarray(column)
         if array.shape != (length,):
             raise ValueError("hash columns must share one length")
+        if length == 0:  # empty levels: asarray([]) defaults to float64
+            return _np.zeros(0, dtype=_np.uint64)
         if array.dtype == object:  # arbitrary-precision ints: mask manually
             return _np.array(
                 [int(value) & _MASK64 for value in column], dtype=_np.uint64
@@ -174,6 +176,59 @@ def hash_key_batch(
     return keys
 
 
+def mix_state_batch(
+    states: Sequence[int], *columns: Sequence[int]
+) -> Sequence[int]:
+    """Continue many hash chains at once, one per row.
+
+    Row ``i`` equals ``hash_key_from(states[i], columns[0][i], ...)`` for
+    integer tokens — the per-row-prefix twin of :func:`hash_key_batch`
+    (which shares ONE prefix across all rows). This is the primitive behind
+    vectorized weighted FM insertion: every (item, virtual-index) cell
+    continues its own precomputed key state.
+    """
+    if not columns:
+        raise ValueError("mix_state_batch needs at least one column")
+    length = len(states)
+    if any(len(column) != length for column in columns):
+        raise ValueError("hash columns must share one length")
+    if HAVE_NUMPY:
+        state = _column_u64(states, length)
+        for column in columns:
+            state = _splitmix64_array(state ^ _column_u64(column, length))
+        return state
+    keys: List[int] = []
+    for index, start in enumerate(states):
+        state = int(start) & _MASK64
+        for column in columns:
+            state = splitmix64(state ^ (int(column[index]) & _MASK64))
+        keys.append(state)
+    return keys
+
+
+def levels_from_keys(keys: Sequence[int]) -> Sequence[int]:
+    """Geometric levels (trailing zero bits, capped at 63) of raw hash keys.
+
+    ``geometric_level_batch`` fused hashing and level extraction; this is
+    the extraction half alone, for callers that already hold the keys
+    (e.g. keys produced by :func:`mix_state_batch`).
+    """
+    if HAVE_NUMPY:
+        keys = _np.asarray(keys, dtype=_np.uint64)
+        with _np.errstate(over="ignore"):
+            lowbit = keys & (~keys + _np.uint64(1))
+        return _np.where(
+            keys == 0, 63, _np.log2(lowbit.astype(_np.float64)).astype(_np.int64)
+        )
+    out: List[int] = []
+    for key in keys:
+        if key == 0:
+            out.append(63)
+        else:
+            out.append(min(63, ((key & -key).bit_length() - 1)))
+    return out
+
+
 def hash_unit_batch(
     prefix: Sequence[object], *columns: Sequence[int]
 ) -> Sequence[float]:
@@ -197,23 +252,7 @@ def geometric_level_batch(
 
     Row ``i`` equals ``geometric_level(*prefix, columns[0][i], ...)``.
     """
-    keys = hash_key_batch(prefix, *columns)
-    if HAVE_NUMPY:
-        keys = _np.asarray(keys, dtype=_np.uint64)
-        with _np.errstate(over="ignore"):
-            lowbit = keys & (~keys + _np.uint64(1))
-        # log2 of an exact power of two is exact in float64 up to 2^63.
-        levels = _np.where(
-            keys == 0, 63, _np.log2(lowbit.astype(_np.float64)).astype(_np.int64)
-        )
-        return levels
-    out: List[int] = []
-    for key in keys:
-        if key == 0:
-            out.append(63)
-        else:
-            out.append(min(63, ((key & -key).bit_length() - 1)))
-    return out
+    return levels_from_keys(hash_key_batch(prefix, *columns))
 
 
 def stream_rng(*tokens: object) -> random.Random:

@@ -63,6 +63,26 @@ class Aggregate(ABC, Generic[P, S]):
             for node, reading in zip(nodes, readings)
         ]
 
+    def tree_local_block(
+        self,
+        nodes: Sequence[int],
+        epochs: Sequence[int],
+        reading_rows: Sequence[Sequence[float]],
+    ) -> List[List[P]]:
+        """Tree partials for a whole (level x epoch block) grid.
+
+        ``reading_rows[j]`` holds the level's readings at ``epochs[j]``.
+        Returns one list per epoch; row ``j`` must equal
+        ``tree_local_batch(nodes, epochs[j], reading_rows[j])`` exactly —
+        the epoch-blocked engine interchanges the two freely. The default
+        loops per epoch; aggregates whose local computation vectorizes
+        across epochs may override.
+        """
+        return [
+            self.tree_local_batch(nodes, epoch, row)
+            for epoch, row in zip(epochs, reading_rows)
+        ]
+
     # -- multi-path algorithm ------------------------------------------------
 
     @abstractmethod
@@ -83,6 +103,24 @@ class Aggregate(ABC, Generic[P, S]):
             for node, reading in zip(nodes, readings)
         ]
 
+    def synopsis_local_block(
+        self,
+        nodes: Sequence[int],
+        epochs: Sequence[int],
+        reading_rows: Sequence[Sequence[float]],
+    ) -> List[List[S]]:
+        """SG for a whole (level x epoch block) grid.
+
+        Same contract as :meth:`tree_local_block`: row ``j`` must equal
+        ``synopsis_local_batch(nodes, epochs[j], reading_rows[j])``. Count
+        overrides this with a single vectorized FM pass over every
+        (node, epoch) cell of the block.
+        """
+        return [
+            self.synopsis_local_batch(nodes, epoch, row)
+            for epoch, row in zip(epochs, reading_rows)
+        ]
+
     @abstractmethod
     def synopsis_fuse(self, a: S, b: S) -> S:
         """SF: fuse two synopses (must be ODI)."""
@@ -94,6 +132,15 @@ class Aggregate(ABC, Generic[P, S]):
     @abstractmethod
     def synopsis_words(self, synopsis: S) -> int:
         """Transmission size of a synopsis, in words."""
+
+    def synopsis_words_batch(self, synopses: Sequence[S]) -> List[int]:
+        """Transmission sizes for a whole level's synopses at once.
+
+        Entry ``i`` must equal ``synopsis_words(synopses[i])`` exactly; the
+        FM-backed aggregates override this with one vectorized RLE-sizing
+        pass (:func:`repro.multipath.fm.words_batch`).
+        """
+        return [self.synopsis_words(synopsis) for synopsis in synopses]
 
     # -- conversion ------------------------------------------------------------
 

@@ -13,7 +13,12 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.aggregates.base import Aggregate
-from repro.multipath.fm import FMSketch, single_item_sketches
+from repro.multipath.fm import (
+    FMSketch,
+    single_item_sketches,
+    single_item_sketches_block,
+    words_batch,
+)
 
 
 class CountAggregate(Aggregate[int, FMSketch]):
@@ -37,6 +42,14 @@ class CountAggregate(Aggregate[int, FMSketch]):
         self, nodes: Sequence[int], epoch: int, readings: Sequence[float]
     ) -> List[int]:
         return [1] * len(nodes)
+
+    def tree_local_block(
+        self,
+        nodes: Sequence[int],
+        epochs: Sequence[int],
+        reading_rows: Sequence[Sequence[float]],
+    ) -> List[List[int]]:
+        return [[1] * len(nodes) for _ in epochs]
 
     def tree_merge(self, a: int, b: int) -> int:
         return a + b
@@ -65,6 +78,16 @@ class CountAggregate(Aggregate[int, FMSketch]):
             [epoch] * len(nodes),
         )
 
+    def synopsis_local_block(
+        self,
+        nodes: Sequence[int],
+        epochs: Sequence[int],
+        reading_rows: Sequence[Sequence[float]],
+    ) -> List[List[FMSketch]]:
+        return single_item_sketches_block(
+            self._num_bitmaps, self._bits, ("count",), nodes, epochs
+        )
+
     def synopsis_fuse(self, a: FMSketch, b: FMSketch) -> FMSketch:
         return a.fuse(b)
 
@@ -73,6 +96,9 @@ class CountAggregate(Aggregate[int, FMSketch]):
 
     def synopsis_words(self, synopsis: FMSketch) -> int:
         return synopsis.words()
+
+    def synopsis_words_batch(self, synopses: Sequence[FMSketch]) -> List[int]:
+        return words_batch(synopses)
 
     # -- neutral elements ----------------------------------------------------
 

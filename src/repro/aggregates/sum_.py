@@ -9,11 +9,11 @@ network-wide sum. Conversion inserts the subtree's summed value the same way.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.aggregates.base import Aggregate
 from repro.errors import ConfigurationError
-from repro.multipath.fm import FMSketch
+from repro.multipath.fm import FMSketch, counted_sketches, words_batch
 
 
 class SumAggregate(Aggregate[int, FMSketch]):
@@ -58,6 +58,39 @@ class SumAggregate(Aggregate[int, FMSketch]):
         sketch.insert_count(self._as_int(reading), "sum", node, epoch)
         return sketch
 
+    def synopsis_local_batch(
+        self, nodes: Sequence[int], epoch: int, readings: Sequence[float]
+    ) -> List[FMSketch]:
+        return counted_sketches(
+            self._num_bitmaps,
+            self._bits,
+            ("sum",),
+            [self._as_int(reading) for reading in readings],
+            nodes,
+            [epoch] * len(nodes),
+        )
+
+    def synopsis_local_block(
+        self,
+        nodes: Sequence[int],
+        epochs: Sequence[int],
+        reading_rows: Sequence[Sequence[float]],
+    ) -> List[List[FMSketch]]:
+        # One vectorized weighted-insert pass over every (node, epoch) cell
+        # of the block, epoch-major like the per-epoch batch rows.
+        num = len(nodes)
+        if num == 0:
+            return [[] for _ in epochs]
+        flat = counted_sketches(
+            self._num_bitmaps,
+            self._bits,
+            ("sum",),
+            [self._as_int(reading) for row in reading_rows for reading in row],
+            list(nodes) * len(epochs),
+            [epoch for epoch in epochs for _ in range(num)],
+        )
+        return [flat[j * num : (j + 1) * num] for j in range(len(epochs))]
+
     def synopsis_fuse(self, a: FMSketch, b: FMSketch) -> FMSketch:
         return a.fuse(b)
 
@@ -66,6 +99,9 @@ class SumAggregate(Aggregate[int, FMSketch]):
 
     def synopsis_words(self, synopsis: FMSketch) -> int:
         return synopsis.words()
+
+    def synopsis_words_batch(self, synopses: Sequence[FMSketch]) -> List[int]:
+        return words_batch(synopses)
 
     # -- neutral elements ----------------------------------------------------
 

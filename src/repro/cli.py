@@ -202,7 +202,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=0,
-        help="worker processes; 0 = one per grid cell up to the CPU count",
+        help=(
+            "worker processes, clamped to the CPU count; "
+            "0 = one per grid cell up to the CPU count"
+        ),
     )
     sweep_parser.add_argument(
         "--cache-dir",
@@ -242,7 +245,11 @@ def _run_sweep(args) -> int:
         token.strip() for token in args.failures.split(",") if token.strip()
     ]
     cells = len(schemes) * len(seeds) * len(failures)
-    jobs = args.jobs if args.jobs > 0 else min(cells, os.cpu_count() or 1)
+    # More workers than cores only adds scheduling overhead: clamp explicit
+    # --jobs to the CPU count (parallel_map additionally degrades to serial
+    # on single-CPU hosts, where a pool cannot win wall-clock).
+    cpus = os.cpu_count() or 1
+    jobs = min(args.jobs, cpus) if args.jobs > 0 else min(cells, cpus)
     runner = SweepRunner(jobs=jobs, cache_dir=args.cache_dir)
     started = time.time()
     try:

@@ -19,6 +19,16 @@ from typing import Dict, Generic, Optional, Tuple, TypeVar
 from repro.multipath.fm import FMSketch
 from repro.network.placement import NodeId
 
+
+def missing_stats_words(entries: int) -> int:
+    """Wire cost of ``entries`` missing-statistics: a (node, count) pair each.
+
+    A pure sizing helper so the cost model lives in one place (the heavy
+    sizing — FM RLE — is memoized in :mod:`repro.multipath.fm`; this one is
+    a multiply, which no cache can beat).
+    """
+    return 2 * entries
+
 P = TypeVar("P")
 S = TypeVar("S")
 
@@ -69,7 +79,7 @@ class MultipathPayload(Generic[S]):
         if self.count_sketch is not None:
             words += self.count_sketch.words()
         if self.missing_stats:
-            words += 2 * len(self.missing_stats)
+            words += missing_stats_words(len(self.missing_stats))
         return words
 
 

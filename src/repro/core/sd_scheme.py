@@ -10,17 +10,29 @@ error (~12% for 40-bitmap FM sketches).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
-from repro.core.payloads import MultipathPayload
+from repro.core.payloads import MultipathPayload, missing_stats_words
 from repro.errors import ConfigurationError
-from repro.multipath.fm import DEFAULT_BITS, FMSketch, single_item_sketches
-from repro.network.links import Channel, Transmission, transmit_sequential
+from repro.multipath.fm import (
+    DEFAULT_BITS,
+    FMSketch,
+    single_item_sketches,
+    single_item_sketches_block,
+    words_batch,
+)
+from repro.network.links import (
+    Channel,
+    DeliveryPlan,
+    Transmission,
+    TransmissionLog,
+    transmit_sequential,
+)
 from repro.network.messages import MessageAccountant
 from repro.network.placement import BASE_STATION, Deployment, NodeId
 from repro.network.rings import RingsTopology
-from repro.network.simulator import EpochOutcome, ReadingFn
+from repro.network.simulator import EpochOutcome, ReadingFn, gather_readings
 
 
 class SynopsisDiffusionScheme:
@@ -90,25 +102,127 @@ class SynopsisDiffusionScheme:
             [epoch] * len(nodes),
         )
 
+    def _contrib_sketches_block(
+        self, nodes: Sequence[NodeId], epochs: Sequence[int]
+    ) -> List[List[Optional[FMSketch]]]:
+        """:meth:`_contrib_sketches` for every epoch of a block, one pass.
+
+        Flat row ``j * len(nodes) + i`` hashes ``("contrib", nodes[i],
+        epochs[j])`` — exactly the per-epoch batch rows, stacked
+        epoch-major.
+        """
+        if self._aggregate.synopsis_counts_contributors():
+            return [[None] * len(nodes) for _ in epochs]
+        return single_item_sketches_block(
+            self._count_bitmaps, DEFAULT_BITS, ("contrib",), nodes, epochs
+        )
+
+    def _payload_words(self, payloads: List[MultipathPayload]) -> List[int]:
+        """Wire sizes for a level's payloads, batched.
+
+        Entry ``i`` equals ``synopsis_words(payloads[i].synopsis) +
+        payloads[i].extra_words()`` exactly — only the per-payload RLE
+        walks are fused into vectorized passes.
+        """
+        words = self._aggregate.synopsis_words_batch(
+            [payload.synopsis for payload in payloads]
+        )
+        sketches = [
+            payload.count_sketch
+            for payload in payloads
+            if payload.count_sketch is not None
+        ]
+        if sketches:
+            extra = iter(words_batch(sketches))
+            words = [
+                total + (next(extra) if payload.count_sketch is not None else 0)
+                for total, payload in zip(words, payloads)
+            ]
+        for index, payload in enumerate(payloads):
+            if payload.missing_stats:
+                words[index] += missing_stats_words(len(payload.missing_stats))
+        return words
+
+    def _plan_levels(self) -> List[List[Transmission]]:
+        """The block-constant transmission structure (see TAG's twin)."""
+        return [
+            [
+                Transmission(node, self._upstream[node], 0, 1, self._attempts)
+                for node in nodes
+            ]
+            for nodes in self._level_nodes
+        ]
+
     def run_epoch(
         self, epoch: int, channel: Channel, readings: ReadingFn
     ) -> EpochOutcome:
+        return self._run_wave(epoch, channel, readings, None, None)
+
+    def run_epochs(
+        self, epochs: Sequence[int], channel: Channel, readings: ReadingFn
+    ) -> List[Tuple[EpochOutcome, TransmissionLog]]:
+        """Run a block of epochs against one precomputed delivery plan.
+
+        All the block's local synopses and contributing-count sketches are
+        built in one vectorized pass per level before the first epoch runs;
+        per-epoch (outcome, log) pairs are identical to the per-epoch loop.
+        """
+        epoch_list = [int(epoch) for epoch in epochs]
+        plan = channel.plan_epochs(self._plan_levels(), epoch_list)
+        aggregate = self._aggregate
+        local_blocks = []
+        for nodes in self._level_nodes:
+            synopses_block = aggregate.synopsis_local_block(
+                nodes,
+                epoch_list,
+                [
+                    gather_readings(readings, nodes, epoch)
+                    for epoch in epoch_list
+                ],
+            )
+            sketches_block = self._contrib_sketches_block(nodes, epoch_list)
+            local_blocks.append((synopses_block, sketches_block))
+        results: List[Tuple[EpochOutcome, TransmissionLog]] = []
+        for column, epoch in enumerate(epoch_list):
+            channel.reset_log()
+            outcome = self._run_wave(
+                epoch,
+                channel,
+                readings,
+                [
+                    (synopses[column], sketches[column])
+                    for synopses, sketches in local_blocks
+                ],
+                plan,
+            )
+            results.append((outcome, channel.reset_log()))
+        return results
+
+    def _run_wave(
+        self,
+        epoch: int,
+        channel: Channel,
+        readings: ReadingFn,
+        locals_by_level: Optional[List[Tuple[List, List]]],
+        plan: Optional[DeliveryPlan],
+    ) -> EpochOutcome:
         aggregate = self._aggregate
         inbox: Dict[NodeId, List[MultipathPayload]] = {}
-        for nodes in self._level_nodes:
-            values = [readings(node, epoch) for node in nodes]
-            if self._use_batch:
+        for index, nodes in enumerate(self._level_nodes):
+            if locals_by_level is not None:
+                synopses, count_sketches = locals_by_level[index]
+            elif self._use_batch:
+                values = gather_readings(readings, nodes, epoch)
                 synopses = aggregate.synopsis_local_batch(nodes, epoch, values)
                 count_sketches = self._contrib_sketches(nodes, epoch)
             else:
                 synopses = [
-                    aggregate.synopsis_local(node, epoch, value)
-                    for node, value in zip(nodes, values)
+                    aggregate.synopsis_local(node, epoch, readings(node, epoch))
+                    for node in nodes
                 ]
                 count_sketches = [
                     self._contrib_sketch(node, epoch) for node in nodes
                 ]
-            transmissions: List[Transmission] = []
             outgoing: List[MultipathPayload] = []
             for node, synopsis, count_sketch in zip(
                 nodes, synopses, count_sketches
@@ -119,20 +233,26 @@ class SynopsisDiffusionScheme:
                     if count_sketch is not None and received.count_sketch is not None:
                         count_sketch = count_sketch.fuse(received.count_sketch)
                     contributors |= received.contributors
-                payload = MultipathPayload(synopsis, count_sketch, contributors)
-                words = aggregate.synopsis_words(synopsis) + payload.extra_words()
-                spec = self._accountant.spec_for_words(words)
-                transmissions.append(
-                    Transmission(
-                        node,
-                        self._upstream[node],
-                        words,
-                        spec.messages,
-                        self._attempts,
-                    )
+                outgoing.append(
+                    MultipathPayload(synopsis, count_sketch, contributors)
                 )
-                outgoing.append(payload)
-            if self._use_batch:
+            # Sizing is a pure function of each payload, so the whole level
+            # is sized in one vectorized pass after the fusion loop.
+            transmissions = [
+                Transmission(
+                    node,
+                    self._upstream[node],
+                    words,
+                    self._accountant.spec_for_words(words).messages,
+                    self._attempts,
+                )
+                for node, words in zip(nodes, self._payload_words(outgoing))
+            ]
+            if plan is not None:
+                heard_lists = channel.transmit_epochs(
+                    transmissions, epoch, plan, index
+                )
+            elif self._use_batch:
                 heard_lists = channel.transmit_batch(transmissions, epoch)
             else:
                 heard_lists = transmit_sequential(channel, transmissions, epoch)
@@ -168,7 +288,7 @@ class SynopsisDiffusionScheme:
         )
 
     def exact_answer(self, epoch: int, readings: ReadingFn) -> float:
-        values = [readings(node, epoch) for node in self._deployment.sensor_ids]
+        values = gather_readings(readings, self._deployment.sensor_ids, epoch)
         return self._aggregate.exact(values)
 
     def adapt(self, epoch: int, outcome: EpochOutcome) -> None:

@@ -15,15 +15,21 @@ TinyDB implementation the paper follows, is no retransmission.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
 from repro.core.payloads import TreePayload
 from repro.errors import ConfigurationError
-from repro.network.links import Channel, Transmission, transmit_sequential
+from repro.network.links import (
+    Channel,
+    DeliveryPlan,
+    Transmission,
+    TransmissionLog,
+    transmit_sequential,
+)
 from repro.network.messages import MessageAccountant
 from repro.network.placement import BASE_STATION, Deployment, NodeId
-from repro.network.simulator import EpochOutcome, ReadingFn
+from repro.network.simulator import EpochOutcome, ReadingFn, gather_readings
 from repro.tree.structure import Tree
 
 
@@ -96,19 +102,84 @@ class TagScheme:
             return channel.transmit_batch(transmissions, epoch)
         return transmit_sequential(channel, transmissions, epoch)
 
+    def _plan_levels(self) -> List[List[Transmission]]:
+        """The block-constant transmission structure, one skeleton per level.
+
+        Payload words/messages vary per epoch and are irrelevant to
+        delivery; sender, receivers and attempts are what a
+        :class:`~repro.network.links.DeliveryPlan` draws against.
+        """
+        return [
+            [
+                Transmission(
+                    node, (self._parents.get(node),), 0, 1, self._attempts
+                )
+                for node in level_nodes
+            ]
+            for level_nodes in self._levels
+        ]
+
     def run_epoch(
         self, epoch: int, channel: Channel, readings: ReadingFn
     ) -> EpochOutcome:
+        return self._run_wave(epoch, channel, readings, None, None)
+
+    def run_epochs(
+        self, epochs: Sequence[int], channel: Channel, readings: ReadingFn
+    ) -> List[Tuple[EpochOutcome, TransmissionLog]]:
+        """Run a block of epochs against one precomputed delivery plan.
+
+        Per-epoch results (outcome, channel log) are identical to driving
+        :meth:`run_epoch` under the per-epoch simulator loop; only the
+        channel draws and the local partials are hoisted out of the loop.
+        """
+        epoch_list = [int(epoch) for epoch in epochs]
+        plan = channel.plan_epochs(self._plan_levels(), epoch_list)
+        aggregate = self._aggregate
+        partial_blocks = [
+            aggregate.tree_local_block(
+                level_nodes,
+                epoch_list,
+                [
+                    gather_readings(readings, level_nodes, epoch)
+                    for epoch in epoch_list
+                ],
+            )
+            for level_nodes in self._levels
+        ]
+        results: List[Tuple[EpochOutcome, TransmissionLog]] = []
+        for column, epoch in enumerate(epoch_list):
+            channel.reset_log()
+            outcome = self._run_wave(
+                epoch,
+                channel,
+                readings,
+                [block[column] for block in partial_blocks],
+                plan,
+            )
+            results.append((outcome, channel.reset_log()))
+        return results
+
+    def _run_wave(
+        self,
+        epoch: int,
+        channel: Channel,
+        readings: ReadingFn,
+        partials_by_level: Optional[List[List[object]]],
+        plan: Optional[DeliveryPlan],
+    ) -> EpochOutcome:
         aggregate = self._aggregate
         inbox: Dict[NodeId, List[TreePayload]] = {}
-        for level_nodes in self._levels:
-            values = [readings(node, epoch) for node in level_nodes]
-            if self._use_batch:
+        for index, level_nodes in enumerate(self._levels):
+            if partials_by_level is not None:
+                partials = partials_by_level[index]
+            elif self._use_batch:
+                values = gather_readings(readings, level_nodes, epoch)
                 partials = aggregate.tree_local_batch(level_nodes, epoch, values)
             else:
                 partials = [
-                    aggregate.tree_local(node, epoch, value)
-                    for node, value in zip(level_nodes, values)
+                    aggregate.tree_local(node, epoch, readings(node, epoch))
+                    for node in level_nodes
                 ]
             transmissions: List[Transmission] = []
             outgoing: List[Tuple[NodeId, TreePayload]] = []
@@ -129,7 +200,12 @@ class TagScheme:
                     )
                 )
                 outgoing.append((parent, payload))
-            heard_lists = self._transmit(channel, transmissions, epoch)
+            if plan is not None:
+                heard_lists = channel.transmit_epochs(
+                    transmissions, epoch, plan, index
+                )
+            else:
+                heard_lists = self._transmit(channel, transmissions, epoch)
             for (parent, payload), heard in zip(outgoing, heard_lists):
                 if heard:
                     inbox.setdefault(parent, []).append(payload)
@@ -157,7 +233,7 @@ class TagScheme:
         )
 
     def exact_answer(self, epoch: int, readings: ReadingFn) -> float:
-        values = [readings(node, epoch) for node in self._deployment.sensor_ids]
+        values = gather_readings(readings, self._deployment.sensor_ids, epoch)
         return self._aggregate.exact(values)
 
     def adapt(self, epoch: int, outcome: EpochOutcome) -> None:

@@ -21,18 +21,35 @@ adaptation strategy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
 from repro.core.adaptation import AdaptationAction, AdaptationPolicy
 from repro.core.graph import TDGraph
-from repro.core.payloads import MultipathPayload, TreePayload, combine_stats
+from repro.core.payloads import (
+    MultipathPayload,
+    TreePayload,
+    combine_stats,
+    missing_stats_words,
+)
 from repro.errors import ConfigurationError
-from repro.multipath.fm import DEFAULT_BITS, FMSketch, single_item_sketches
-from repro.network.links import Channel, Transmission, transmit_sequential
+from repro.multipath.fm import (
+    DEFAULT_BITS,
+    FMSketch,
+    single_item_sketches,
+    single_item_sketches_block,
+    words_batch,
+)
+from repro.network.links import (
+    Channel,
+    DeliveryPlan,
+    Transmission,
+    TransmissionLog,
+    transmit_sequential,
+)
 from repro.network.messages import MessageAccountant
 from repro.network.placement import BASE_STATION, Deployment, NodeId
-from repro.network.simulator import EpochOutcome, ReadingFn
+from repro.network.simulator import EpochOutcome, ReadingFn, gather_readings
 
 
 class TributaryDeltaScheme:
@@ -120,6 +137,51 @@ class TributaryDeltaScheme:
             [epoch] * len(nodes),
         )
 
+    def _contrib_sketches_block(
+        self, nodes: Sequence[NodeId], epochs: Sequence[int]
+    ) -> List[List[Optional[FMSketch]]]:
+        """:meth:`_contrib_sketches` for every epoch of a block, one pass."""
+        if self._aggregate.synopsis_counts_contributors():
+            return [[None] * len(nodes) for _ in epochs]
+        return single_item_sketches_block(
+            self._count_bitmaps, DEFAULT_BITS, ("contrib",), nodes, epochs
+        )
+
+    def _plan_levels(self) -> List[List[Transmission]]:
+        """The transmission structure under the graph's *current* modes.
+
+        Valid for one adaptation interval: mode switches (T <-> M) change
+        who unicasts versus broadcasts, so every adaptation invalidates the
+        plan built from this structure.
+        """
+        graph = self._graph
+        levels: List[List[Transmission]] = []
+        for nodes in self._level_nodes:
+            items: List[Transmission] = []
+            for node in nodes:
+                if graph.is_tree(node):
+                    items.append(
+                        Transmission(
+                            node,
+                            (self._tree_parents.get(node),),
+                            0,
+                            1,
+                            self._tree_attempts,
+                        )
+                    )
+                else:
+                    items.append(
+                        Transmission(
+                            node,
+                            self._upstream[node],
+                            0,
+                            1,
+                            self._multipath_attempts,
+                        )
+                    )
+            levels.append(items)
+        return levels
+
     def _tributary_missing(
         self, node: NodeId, tributary_contributing: int
     ) -> Optional[int]:
@@ -151,49 +213,130 @@ class TributaryDeltaScheme:
     def run_epoch(
         self, epoch: int, channel: Channel, readings: ReadingFn
     ) -> EpochOutcome:
+        return self._run_wave(epoch, channel, readings, None, None)
+
+    def run_epochs(
+        self, epochs: Sequence[int], channel: Channel, readings: ReadingFn
+    ) -> List[Tuple[EpochOutcome, TransmissionLog]]:
+        """Run a block of epochs against one precomputed delivery plan.
+
+        Modes are fixed for the whole block (the simulator adapts only at
+        block boundaries), so the M-node SG synopses and contributing-count
+        sketches of every (node, epoch) cell are built in one vectorized
+        pass per level up front. Per-epoch (outcome, log) pairs are
+        identical to the per-epoch loop.
+        """
+        epoch_list = [int(epoch) for epoch in epochs]
+        graph = self._graph
+        plan = channel.plan_epochs(self._plan_levels(), epoch_list)
+        level_m_nodes = []
+        level_t_nodes = []
+        for nodes in self._level_nodes:
+            level_m_nodes.append(
+                [node for node in nodes if not graph.is_tree(node)]
+            )
+            level_t_nodes.append(
+                [node for node in nodes if graph.is_tree(node)]
+            )
+        local_blocks = []
+        for m_nodes, t_nodes in zip(level_m_nodes, level_t_nodes):
+            synopses_block = self._aggregate.synopsis_local_block(
+                m_nodes,
+                epoch_list,
+                [
+                    gather_readings(readings, m_nodes, epoch)
+                    for epoch in epoch_list
+                ],
+            )
+            sketches_block = self._contrib_sketches_block(m_nodes, epoch_list)
+            partials_block = self._aggregate.tree_local_block(
+                t_nodes,
+                epoch_list,
+                [
+                    gather_readings(readings, t_nodes, epoch)
+                    for epoch in epoch_list
+                ],
+            )
+            local_blocks.append((synopses_block, sketches_block, partials_block))
+        results: List[Tuple[EpochOutcome, TransmissionLog]] = []
+        for column, epoch in enumerate(epoch_list):
+            channel.reset_log()
+            locals_by_level = [
+                (
+                    dict(zip(m_nodes, synopses[column])),
+                    dict(zip(m_nodes, sketches[column])),
+                    dict(zip(t_nodes, partials[column])),
+                )
+                for m_nodes, t_nodes, (synopses, sketches, partials) in zip(
+                    level_m_nodes, level_t_nodes, local_blocks
+                )
+            ]
+            outcome = self._run_wave(
+                epoch, channel, readings, locals_by_level, plan
+            )
+            results.append((outcome, channel.reset_log()))
+        return results
+
+    def _run_wave(
+        self,
+        epoch: int,
+        channel: Channel,
+        readings: ReadingFn,
+        locals_by_level: Optional[List[Tuple[Dict, Dict, Dict]]],
+        plan: Optional[DeliveryPlan],
+    ) -> EpochOutcome:
         graph = self._graph
         inbox_tree: Dict[NodeId, List[TreePayload]] = {}
         inbox_syn: Dict[NodeId, List[MultipathPayload]] = {}
 
-        for nodes in self._level_nodes:
+        for index, nodes in enumerate(self._level_nodes):
             # SG for all the level's M nodes in one vectorized pass (tree
             # links point one ring up, so nothing in this level feeds
             # anything else in it — level-synchronous batching is exact).
-            m_nodes = [node for node in nodes if not graph.is_tree(node)]
-            if self._use_batch and m_nodes:
-                synopses = dict(
-                    zip(
-                        m_nodes,
-                        self._aggregate.synopsis_local_batch(
-                            m_nodes,
-                            epoch,
-                            [readings(node, epoch) for node in m_nodes],
-                        ),
-                    )
-                )
-                count_sketches = dict(
-                    zip(m_nodes, self._contrib_sketches(m_nodes, epoch))
-                )
+            # The blocked path hands the whole level's precomputed locals in.
+            precomputed = locals_by_level is not None
+            tree_partials: Dict = {}
+            if precomputed:
+                synopses, count_sketches, tree_partials = locals_by_level[index]
             else:
-                synopses = {}
-                count_sketches = {}
+                m_nodes = [node for node in nodes if not graph.is_tree(node)]
+                if self._use_batch and m_nodes:
+                    synopses = dict(
+                        zip(
+                            m_nodes,
+                            self._aggregate.synopsis_local_batch(
+                                m_nodes,
+                                epoch,
+                                gather_readings(readings, m_nodes, epoch),
+                            ),
+                        )
+                    )
+                    count_sketches = dict(
+                        zip(m_nodes, self._contrib_sketches(m_nodes, epoch))
+                    )
+                else:
+                    synopses = {}
+                    count_sketches = {}
 
-            transmissions: List[Transmission] = []
             outgoing: List[Tuple[bool, object, object]] = []
             for node in nodes:
                 if graph.is_tree(node):
-                    payload, item = self._prepare_tree_node(
-                        node, epoch, readings, inbox_tree
+                    payload = self._prepare_tree_node(
+                        node,
+                        epoch,
+                        readings,
+                        inbox_tree,
+                        tree_partials.get(node) if precomputed else None,
                     )
                     outgoing.append(
                         (True, self._tree_parents.get(node), payload)
                     )
                 else:
-                    if self._use_batch:
+                    if precomputed or self._use_batch:
                         count_sketch = count_sketches.get(node)
                     else:
                         count_sketch = self._contrib_sketch(node, epoch)
-                    payload, item = self._prepare_multipath_node(
+                    payload = self._prepare_multipath_node(
                         node,
                         epoch,
                         readings,
@@ -203,9 +346,13 @@ class TributaryDeltaScheme:
                         count_sketch,
                     )
                     outgoing.append((False, None, payload))
-                transmissions.append(item)
+            transmissions = self._level_transmissions(nodes, outgoing)
 
-            if self._use_batch:
+            if plan is not None:
+                heard_lists = channel.transmit_epochs(
+                    transmissions, epoch, plan, index
+                )
+            elif self._use_batch:
                 heard_lists = channel.transmit_batch(transmissions, epoch)
             else:
                 heard_lists = transmit_sequential(channel, transmissions, epoch)
@@ -228,22 +375,18 @@ class TributaryDeltaScheme:
         epoch: int,
         readings: ReadingFn,
         inbox_tree: Dict[NodeId, List[TreePayload]],
-    ) -> Tuple[TreePayload, Transmission]:
+        partial: Optional[object] = None,
+    ) -> TreePayload:
         aggregate = self._aggregate
-        partial = aggregate.tree_local(node, epoch, readings(node, epoch))
+        if partial is None:
+            partial = aggregate.tree_local(node, epoch, readings(node, epoch))
         count = 1
         contributors = 1 << node
         for received in inbox_tree.pop(node, ()):
             partial = aggregate.tree_merge(partial, received.partial)
             count += received.count
             contributors |= received.contributors
-        payload = TreePayload(partial, count, contributors, sender=node)
-        words = aggregate.tree_words(partial) + payload.extra_words()
-        spec = self._accountant.spec_for_words(words)
-        parent = self._tree_parents.get(node)
-        return payload, Transmission(
-            node, (parent,), words, spec.messages, self._tree_attempts
-        )
+        return TreePayload(partial, count, contributors, sender=node)
 
     def _prepare_multipath_node(
         self,
@@ -254,7 +397,7 @@ class TributaryDeltaScheme:
         inbox_syn: Dict[NodeId, List[MultipathPayload]],
         synopsis: Optional[object] = None,
         count_sketch: Optional[FMSketch] = None,
-    ) -> Tuple[MultipathPayload, Transmission]:
+    ) -> MultipathPayload:
         aggregate = self._aggregate
         if synopsis is None:
             synopsis = aggregate.synopsis_local(
@@ -285,18 +428,73 @@ class TributaryDeltaScheme:
         if missing is not None:
             missing_stats = combine_stats(missing_stats, {node: missing})
 
-        payload = MultipathPayload(
+        return MultipathPayload(
             synopsis, count_sketch, contributors, missing_stats
         )
-        words = aggregate.synopsis_words(synopsis) + payload.extra_words()
-        spec = self._accountant.spec_for_words(words)
-        return payload, Transmission(
-            node,
-            self._upstream[node],
-            words,
-            spec.messages,
-            self._multipath_attempts,
+
+    def _level_transmissions(
+        self,
+        nodes: List[NodeId],
+        outgoing: List[Tuple[bool, object, object]],
+    ) -> List[Transmission]:
+        """Size and queue one level's transmissions, in node order.
+
+        Sizing is a pure function of each payload, so hoisting it out of the
+        per-node fusion loop changes nothing; the level's M synopses and
+        count sketches are each sized in one vectorized RLE pass.
+        """
+        aggregate = self._aggregate
+        m_payloads = [
+            payload for is_tree, _, payload in outgoing if not is_tree
+        ]
+        syn_words = iter(
+            aggregate.synopsis_words_batch(
+                [payload.synopsis for payload in m_payloads]
+            )
         )
+        sketch_words = iter(
+            words_batch(
+                [
+                    payload.count_sketch
+                    for payload in m_payloads
+                    if payload.count_sketch is not None
+                ]
+            )
+        )
+        transmissions: List[Transmission] = []
+        for node, (is_tree, _, payload) in zip(nodes, outgoing):
+            if is_tree:
+                words = (
+                    aggregate.tree_words(payload.partial)
+                    + payload.extra_words()
+                )
+                spec = self._accountant.spec_for_words(words)
+                transmissions.append(
+                    Transmission(
+                        node,
+                        (self._tree_parents.get(node),),
+                        words,
+                        spec.messages,
+                        self._tree_attempts,
+                    )
+                )
+            else:
+                words = next(syn_words)
+                if payload.count_sketch is not None:
+                    words += next(sketch_words)
+                if payload.missing_stats:
+                    words += missing_stats_words(len(payload.missing_stats))
+                spec = self._accountant.spec_for_words(words)
+                transmissions.append(
+                    Transmission(
+                        node,
+                        self._upstream[node],
+                        words,
+                        spec.messages,
+                        self._multipath_attempts,
+                    )
+                )
+        return transmissions
 
     def _evaluate_base_station(
         self,
@@ -382,7 +580,7 @@ class TributaryDeltaScheme:
     # -- simulator interface -----------------------------------------------
 
     def exact_answer(self, epoch: int, readings: ReadingFn) -> float:
-        values = [readings(node, epoch) for node in self._deployment.sensor_ids]
+        values = gather_readings(readings, self._deployment.sensor_ids, epoch)
         return self._aggregate.exact(values)
 
     def adapt(self, epoch: int, outcome: EpochOutcome) -> None:

@@ -27,7 +27,7 @@ import bisect
 import math
 from typing import Callable, Dict, List, Sequence
 
-from repro._hashing import hash_unit, stream_rng
+from repro._hashing import hash_unit, hash_unit_batch, stream_rng
 from repro.errors import ConfigurationError
 from repro.network.placement import NodeId
 
@@ -40,6 +40,10 @@ class ConstantReadings:
 
     def __call__(self, node: NodeId, epoch: int) -> float:
         return self.value
+
+    def batch(self, nodes: Sequence[NodeId], epoch: int) -> List[float]:
+        """One epoch's readings for many nodes (identical to per-node calls)."""
+        return [self.value] * len(nodes)
 
 
 class UniformReadings:
@@ -56,6 +60,19 @@ class UniformReadings:
         span = self.high - self.low + 1
         draw = hash_unit("uniform-reading", self.seed, node, epoch)
         return float(self.low + int(draw * span))
+
+    def batch(self, nodes: Sequence[NodeId], epoch: int) -> List[float]:
+        """One epoch's readings for many nodes, hashed in one pass.
+
+        Bit-identical to per-node ``__call__``: the batch hash helper
+        reproduces the scalar draws exactly, and the scale/truncate
+        arithmetic is the same float64 operations.
+        """
+        span = self.high - self.low + 1
+        draws = hash_unit_batch(
+            ("uniform-reading", self.seed), list(nodes), [epoch] * len(nodes)
+        )
+        return [float(self.low + int(draw * span)) for draw in draws]
 
     def expected_total(self, num_sensors: int) -> float:
         """Expected network-wide sum, for sanity checks."""

@@ -190,13 +190,21 @@ def parallel_map(
 ) -> List[U]:
     """Map ``fn`` over ``items`` with deterministic result ordering.
 
-    ``jobs`` <= 1 (or a single item) runs serially. Otherwise the items are
+    ``jobs`` <= 1 (or a single item) runs serially, as does a single-CPU
+    host — pool workers there only time-slice one core, so the fork and
+    pickle overhead is pure regression (``engine_perf.json`` measured
+    pooled sweeps at 0.95x on a 1-CPU container). Otherwise the items are
     dispatched to a ``ProcessPoolExecutor`` and the results are collected in
     submission order, so callers observe exactly the serial semantics. If
     the platform cannot spawn a pool (restricted sandboxes), the map
     silently falls back to serial execution.
     """
-    if jobs is None or jobs <= 1 or len(items) <= 1:
+    if (
+        jobs is None
+        or jobs <= 1
+        or len(items) <= 1
+        or (os.cpu_count() or 1) <= 1
+    ):
         return [fn(item) for item in items]
     try:
         pool = ProcessPoolExecutor(max_workers=jobs)

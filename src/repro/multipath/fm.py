@@ -25,18 +25,27 @@ paper's 40 bitmaps, matching the ~12% approximation error it reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro._hashing import (
+    HAVE_NUMPY,
     geometric_level_batch,
     hash_key,
     hash_key_batch,
     hash_key_from,
+    levels_from_keys,
+    mix_state_batch,
     splitmix64,
     stream_rng,
 )
 from repro.errors import ConfigurationError, SketchError
 from repro.network.messages import WORD_BYTES
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the container ships numpy
+    _np = None
 
 #: Flajolet-Martin's bias-correction constant.
 PHI = 0.77351
@@ -68,6 +77,52 @@ def _trailing_zeros_capped(value: int) -> int:
     if value == 0:
         return 63
     return min(63, (value & -value).bit_length() - 1)
+
+
+@lru_cache(maxsize=None)
+def _correction_table(num_bitmaps: int, bits: int) -> Tuple[float, ...]:
+    """PCSA estimates indexed by the *total* lowest-zero sum across bitmaps.
+
+    ``estimate()`` reduces a sketch to ``sum(R_j)`` — an integer in
+    [0, num_bitmaps * bits] — so the whole corrected-estimate curve for a
+    sketch shape is a finite table. Entries use exactly the expression the
+    inline computation used (same float operations, same order), so the
+    lookup is byte-identical to computing from scratch.
+    """
+    values = []
+    for total in range(num_bitmaps * bits + 1):
+        mean_r = total / num_bitmaps
+        corrected = 2.0**mean_r - 2.0 ** (-_KAPPA * mean_r)
+        values.append(max(0.0, num_bitmaps / PHI * corrected))
+    return tuple(values)
+
+
+@lru_cache(maxsize=1 << 15)
+def _packed_rle_words(packed: int, num_bitmaps: int, bits: int) -> int:
+    """RLE transmission size of a packed bitmap vector, in words (memoized).
+
+    Sketch payloads repeat heavily within a run — every single-item sketch
+    is one of ``num_bitmaps * bits`` values, and fused synopses recur along
+    stable paths — so the word sizing of a given packed value is computed
+    once and reused.
+    """
+    length_field = max(1, (bits - 1).bit_length())
+    total_bits = num_bitmaps * length_field
+    mask = (1 << bits) - 1
+    while packed:
+        bitmap = packed & mask
+        if bitmap:
+            run = ((bitmap + 1) & ~bitmap).bit_length() - 1
+            fringe = bitmap.bit_length() - run
+            if fringe > 0:
+                total_bits += fringe
+        packed >>= bits
+    return max(1, -(-total_bits // (WORD_BYTES * 8)))
+
+
+# The paper's 40 x 32-bit sketch shape is the hot default: build its
+# estimate table at module load so no epoch pays for it.
+_correction_table(40, DEFAULT_BITS)
 
 
 class FMSketch:
@@ -241,12 +296,8 @@ class FMSketch:
         """
         if self.is_empty():
             return 0.0
-        mean_r = (
-            sum(self._lowest_zero(b) for b in self._iter_bitmaps())
-            / self.num_bitmaps
-        )
-        corrected = 2.0**mean_r - 2.0 ** (-_KAPPA * mean_r)
-        return max(0.0, self.num_bitmaps / PHI * corrected)
+        total = sum(self._lowest_zero(b) for b in self._iter_bitmaps())
+        return _correction_table(self.num_bitmaps, self.bits)[total]
 
     def is_empty(self) -> bool:
         """True when no item was ever inserted."""
@@ -257,25 +308,10 @@ class FMSketch:
     def words(self) -> int:
         """Transmission size in 32-bit words, using the RLE model of [17].
 
-        Inlined equivalent of ``rle_words_for_bitmaps(self.bitmaps, bits)``
-        walking the packed integer directly: every bitmap (zero or not)
-        costs the run-length field; non-zero bitmaps add their fringe
-        (bit_length minus the trailing ones-run).
+        Memoized equivalent of ``rle_words_for_bitmaps(self.bitmaps, bits)``
+        walking the packed integer directly — see :func:`_packed_rle_words`.
         """
-        bits = self.bits
-        length_field = max(1, (bits - 1).bit_length())
-        total_bits = self.num_bitmaps * length_field
-        mask = (1 << bits) - 1
-        packed = self._packed
-        while packed:
-            bitmap = packed & mask
-            if bitmap:
-                run = ((bitmap + 1) & ~bitmap).bit_length() - 1
-                fringe = bitmap.bit_length() - run
-                if fringe > 0:
-                    total_bits += fringe
-            packed >>= bits
-        return max(1, -(-total_bits // (WORD_BYTES * 8)))
+        return _packed_rle_words(self._packed, self.num_bitmaps, self.bits)
 
     def raw_words(self) -> int:
         """Un-encoded size: one word per bitmap."""
@@ -323,6 +359,226 @@ def single_item_sketches(
         )
         for bucket, level in zip(buckets, levels)
     ]
+
+
+def single_item_sketches_block(
+    num_bitmaps: int,
+    bits: int,
+    label: Tuple[object, ...],
+    nodes: Sequence[int],
+    epochs: Sequence[int],
+) -> List[List["FMSketch"]]:
+    """One single-item sketch per (node, epoch) cell, one row per epoch.
+
+    Row ``j`` equals ``single_item_sketches(num_bitmaps, bits, label,
+    nodes, [epochs[j]] * len(nodes))`` — the per-epoch batch rows, built in
+    a single vectorized pass over the whole block. This is the one place
+    that owns the epoch-major stacking convention the blocked engine relies
+    on.
+    """
+    num = len(nodes)
+    if num == 0:
+        return [[] for _ in epochs]
+    flat = single_item_sketches(
+        num_bitmaps,
+        bits,
+        label,
+        list(nodes) * len(epochs),
+        [epoch for epoch in epochs for _ in range(num)],
+    )
+    return [flat[j * num : (j + 1) * num] for j in range(len(epochs))]
+
+
+def words_batch(sketches: Sequence["FMSketch"]) -> List[int]:
+    """RLE transmission sizes for many sketches at once.
+
+    Entry ``i`` equals ``sketches[i].words()`` exactly. For the standard
+    32-bit-bitmap shape the whole batch is sized in one numpy pass over the
+    (sketch x bitmap) word matrix; other shapes (and the no-numpy build)
+    fall back to the scalar walk. This is the payload-sizing hot path of
+    the level-synchronous schemes: one call sizes a whole ring level.
+    """
+    if not sketches:
+        return []
+    first = sketches[0]
+    num_bitmaps, bits = first.num_bitmaps, first.bits
+    if (
+        not HAVE_NUMPY
+        or bits != 32
+        or any(
+            s.num_bitmaps != num_bitmaps or s.bits != bits for s in sketches
+        )
+    ):
+        return [sketch.words() for sketch in sketches]
+    width = num_bitmaps * 4  # bytes per packed vector at 32 bits/bitmap
+    buffer = b"".join(s._packed.to_bytes(width, "little") for s in sketches)
+    matrix = (
+        _np.frombuffer(buffer, dtype="<u4")
+        .reshape(len(sketches), num_bitmaps)
+        .astype(_np.uint64)
+    )
+    nonzero = matrix != 0
+    safe = _np.where(nonzero, matrix, 1)  # keep log2 off zero rows
+    # Trailing ones-run: (b+1) & ~b isolates the bit above the run — an
+    # exact power of two, so log2 is exact in float64.
+    low = (safe + _np.uint64(1)) & ~safe
+    run = _np.where(
+        nonzero, _np.log2(low.astype(_np.float64)).astype(_np.int64), 0
+    )
+    # bit_length(b) = floor(log2(b)) + 1 for b > 0. float64 log2 of a
+    # 32-bit integer carries ~1e-14 absolute error — orders of magnitude
+    # below the distance from log2(2^k - 1) or log2(2^k + 1) to k — so
+    # the floor can never land on the wrong side of an integer.
+    bitlen = _np.where(
+        nonzero,
+        _np.floor(_np.log2(safe.astype(_np.float64))).astype(_np.int64) + 1,
+        0,
+    )
+    fringe = bitlen - run  # >= 0 by construction; 0 for pure runs
+    length_field = max(1, (bits - 1).bit_length())
+    total_bits = num_bitmaps * length_field + fringe.sum(axis=1)
+    words = -(-total_bits // (WORD_BYTES * 8))
+    return [max(1, int(value)) for value in words]
+
+
+#: Virtual-item budget per vectorized slice of :func:`counted_sketches`
+#: (bounds the temporary expansion arrays to a few megabytes).
+_COUNTED_SLICE_ITEMS = 1 << 21
+
+
+def counted_sketches(
+    num_bitmaps: int,
+    bits: int,
+    label: Tuple[object, ...],
+    counts: Sequence[int],
+    *columns: Sequence[int],
+) -> List[FMSketch]:
+    """Build one weighted sketch per row, vectorized across all rows.
+
+    Row ``i`` is exactly the sketch produced by ``FMSketch(num_bitmaps,
+    bits).insert_count(counts[i], *label, columns[0][i], ...)`` — same hash
+    substreams, same bits. The exact-insert regime (``count <=
+    _EXACT_INSERT_LIMIT``) expands every (row, virtual item) cell into flat
+    columns and derives all bucket/level hashes in one pass; larger counts
+    (and the no-numpy fallback) take the scalar ``insert_count`` path per
+    row. This is the Sum SG hot path: a whole ring level (or a whole epoch
+    block of one) builds its local synopses at once.
+    """
+    total = len(counts)
+    if any(len(column) != total for column in columns):
+        raise SketchError("counted_sketches columns must match counts")
+    if not HAVE_NUMPY or total == 0:
+        return _counted_sketches_scalar(num_bitmaps, bits, label, counts, columns)
+    counts_array = _np.asarray(counts, dtype=_np.int64)
+    if bool((counts_array < 0).any()):
+        raise SketchError("cannot insert a negative count")
+    bucket_states = _np.asarray(
+        hash_key_batch(hash_key_from(_BUCKET_STATE, *label), *columns),
+        dtype=_np.uint64,
+    )
+    level_states = _np.asarray(
+        hash_key_batch(hash_key_from(_LEVEL_STATE, *label), *columns),
+        dtype=_np.uint64,
+    )
+    packed: List[int] = [0] * total
+    exact = _np.flatnonzero(
+        (counts_array > 0) & (counts_array <= _EXACT_INSERT_LIMIT)
+    )
+    start = 0
+    while start < len(exact):
+        stop = start + 1
+        budget = int(counts_array[exact[start]])
+        while (
+            stop < len(exact)
+            and budget + int(counts_array[exact[stop]]) <= _COUNTED_SLICE_ITEMS
+        ):
+            budget += int(counts_array[exact[stop]])
+            stop += 1
+        rows = exact[start:stop]
+        _counted_fill(
+            packed,
+            rows,
+            counts_array[rows],
+            bucket_states[rows],
+            level_states[rows],
+            num_bitmaps,
+            bits,
+        )
+        start = stop
+    sketches = [
+        FMSketch.from_packed(num_bitmaps, bits, value) for value in packed
+    ]
+    for index in _np.flatnonzero(counts_array > _EXACT_INSERT_LIMIT):
+        sketches[index].insert_count(
+            int(counts_array[index]),
+            *label,
+            *(int(column[index]) for column in columns),
+        )
+    return sketches
+
+
+def _counted_fill(
+    packed: List[int],
+    rows,
+    counts,
+    bucket_states,
+    level_states,
+    num_bitmaps: int,
+    bits: int,
+) -> None:
+    """Set the exact-insert bits for one slice of rows, in place."""
+    reps = counts.astype(_np.int64)
+    offsets = _np.concatenate(([0], _np.cumsum(reps)[:-1]))
+    cells = int(reps.sum())
+    cell_rows = _np.repeat(_np.arange(len(rows)), reps)
+    virtual = _np.arange(cells, dtype=_np.uint64) - _np.repeat(
+        offsets, reps
+    ).astype(_np.uint64)
+    buckets = (
+        _np.asarray(
+            mix_state_batch(_np.repeat(bucket_states, reps), virtual),
+            dtype=_np.uint64,
+        )
+        % _np.uint64(num_bitmaps)
+    )
+    levels = _np.minimum(
+        _np.asarray(
+            levels_from_keys(mix_state_batch(_np.repeat(level_states, reps), virtual))
+        ),
+        bits - 1,
+    )
+    positions = buckets.astype(_np.int64) * bits + levels
+    if bits == 32:
+        # Pack via the byte layout: bitmap j occupies bits [32j, 32j+32) of
+        # the packed integer, i.e. little-endian uint32 words.
+        words = _np.zeros((len(rows), num_bitmaps), dtype="<u4")
+        _np.bitwise_or.at(
+            words,
+            (cell_rows, buckets.astype(_np.int64)),
+            _np.uint32(1) << (levels.astype(_np.uint32) & _np.uint32(31)),
+        )
+        for slot, row in enumerate(rows):
+            packed[row] |= int.from_bytes(words[slot].tobytes(), "little")
+        return
+    for slot, position in zip(cell_rows, positions):
+        packed[rows[slot]] |= 1 << int(position)
+
+
+def _counted_sketches_scalar(
+    num_bitmaps: int,
+    bits: int,
+    label: Tuple[object, ...],
+    counts: Sequence[int],
+    columns: Tuple[Sequence[int], ...],
+) -> List[FMSketch]:
+    sketches = []
+    for index, count in enumerate(counts):
+        sketch = FMSketch(num_bitmaps, bits)
+        sketch.insert_count(
+            int(count), *label, *(int(column[index]) for column in columns)
+        )
+        sketches.append(sketch)
+    return sketches
 
 
 def _binomial(rng, n: int, p: float) -> int:

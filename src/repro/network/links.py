@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro._hashing import HAVE_NUMPY, hash_unit, hash_unit_batch
+from repro.errors import ConfigurationError
 from repro.network.failures import FailureModel
 from repro.network.placement import Deployment, NodeId
 
@@ -97,6 +98,211 @@ def transmit_sequential(
     ]
 
 
+@dataclass(frozen=True)
+class _PlanLevel:
+    """One level's flattened pair structure plus its outcome table.
+
+    ``success`` is a (pairs x epochs) table: a numpy bool matrix on the
+    vectorized path, a list of per-pair rows on the pure-Python fallback.
+    """
+
+    senders: Tuple[NodeId, ...]
+    receiver_sets: Tuple[Tuple[NodeId, ...], ...]
+    attempts: Tuple[int, ...]
+    spans: Tuple[Tuple[int, int], ...]
+    flat_receivers: Tuple[NodeId, ...]
+    success: object
+
+
+class DeliveryPlan:
+    """Precomputed delivery outcomes for a fixed schedule over an epoch block.
+
+    Within one adaptation interval a scheme's transmission structure — who
+    sends, who listens, how many attempts — is constant; only payload sizes
+    vary by epoch. Delivery draws depend on none of the varying parts, so the
+    whole (edge x epoch) outcome grid of a block can be drawn up front: per
+    level, one vectorized :func:`repro._hashing.hash_unit_batch` pass per
+    attempt over every (pair, epoch) cell, against per-epoch loss-rate
+    columns (a :class:`~repro.network.failures.FailureSchedule` that changes
+    loss mid-block is resolved epoch by epoch, exactly like the per-epoch
+    path).
+
+    A plan is valid only while the level structure and the channel's failure
+    model stay fixed: :meth:`Channel.transmit_epochs` re-validates both and
+    raises if a scheme's schedule (or a ``set_failure_model`` call) diverged
+    from what was planned. Build a fresh plan after every adaptation.
+    """
+
+    def __init__(
+        self,
+        channel: "Channel",
+        levels: Sequence[Sequence[Transmission]],
+        epochs: Sequence[int],
+    ) -> None:
+        epoch_list = [int(epoch) for epoch in epochs]
+        if not epoch_list:
+            raise ConfigurationError("a delivery plan needs at least one epoch")
+        self._epoch_columns = {epoch: j for j, epoch in enumerate(epoch_list)}
+        if len(self._epoch_columns) != len(epoch_list):
+            raise ConfigurationError("plan epochs must be distinct")
+        self._channel = channel
+        self._model_version = channel._model_version
+        self._levels = [
+            self._build_level(channel, level, epoch_list) for level in levels
+        ]
+
+    def outcomes(
+        self,
+        channel: "Channel",
+        level: int,
+        epoch: int,
+        transmissions: Sequence[Transmission],
+    ) -> Tuple[Sequence[bool], Tuple[Tuple[int, int], ...], Tuple[NodeId, ...]]:
+        """The planned (success column, spans, flat receivers) for one level.
+
+        Validates that the caller's transmissions still match the planned
+        structure and that the channel's failure model has not changed since
+        the plan was built — both would silently break byte-identity.
+        """
+        if channel is not self._channel:
+            raise ConfigurationError("delivery plan belongs to another channel")
+        if channel._model_version != self._model_version:
+            raise ConfigurationError(
+                "stale delivery plan: the failure model changed after planning"
+            )
+        column = self._epoch_columns.get(epoch)
+        if column is None:
+            raise ConfigurationError(f"epoch {epoch} is outside the planned block")
+        entry = self._levels[level]
+        if len(transmissions) != len(entry.senders):
+            raise ConfigurationError(
+                "transmission schedule diverged from the delivery plan"
+            )
+        for item, sender, receivers, attempts in zip(
+            transmissions, entry.senders, entry.receiver_sets, entry.attempts
+        ):
+            if (
+                item.sender != sender
+                or item.attempts != attempts
+                or tuple(item.receivers) != receivers
+            ):
+                raise ConfigurationError(
+                    "transmission schedule diverged from the delivery plan"
+                )
+        success = entry.success
+        if _np is not None and isinstance(success, _np.ndarray):
+            column_flags = success[:, column]
+        else:
+            column_flags = [row[column] for row in success]
+        return column_flags, entry.spans, entry.flat_receivers
+
+    @staticmethod
+    def _build_level(
+        channel: "Channel",
+        transmissions: Sequence[Transmission],
+        epochs: List[int],
+    ) -> _PlanLevel:
+        senders: List[NodeId] = []
+        receiver_sets: List[Tuple[NodeId, ...]] = []
+        attempts: List[int] = []
+        flat_senders: List[NodeId] = []
+        flat_receivers: List[NodeId] = []
+        flat_attempts: List[int] = []
+        spans: List[Tuple[int, int]] = []
+        for item in transmissions:
+            receivers = tuple(item.receivers)
+            senders.append(item.sender)
+            receiver_sets.append(receivers)
+            attempts.append(item.attempts)
+            start = len(flat_senders)
+            for receiver in receivers:
+                flat_senders.append(item.sender)
+                flat_receivers.append(receiver)
+                flat_attempts.append(item.attempts)
+            spans.append((start, len(flat_senders)))
+        success = DeliveryPlan._outcome_table(
+            channel, flat_senders, flat_receivers, flat_attempts, epochs
+        )
+        return _PlanLevel(
+            senders=tuple(senders),
+            receiver_sets=tuple(receiver_sets),
+            attempts=tuple(attempts),
+            spans=tuple(spans),
+            flat_receivers=tuple(flat_receivers),
+            success=success,
+        )
+
+    @staticmethod
+    def _outcome_table(
+        channel: "Channel",
+        senders: Sequence[NodeId],
+        receivers: Sequence[NodeId],
+        attempts_per_pair: Sequence[int],
+        epochs: List[int],
+    ):
+        """Success flags for every (pair, epoch) cell of one level.
+
+        Cell (i, j) equals ``any(channel.delivered(senders[i], receivers[i],
+        epochs[j], attempt) for attempt in range(attempts_per_pair[i]))`` —
+        the scalar path's outcome, computed in one vectorized sweep per
+        attempt.
+        """
+        num_pairs = len(senders)
+        num_epochs = len(epochs)
+        if _np is None:
+            return [
+                [
+                    any(
+                        channel.delivered(senders[i], receivers[i], epoch, attempt)
+                        for attempt in range(attempts_per_pair[i])
+                    )
+                    for epoch in epochs
+                ]
+                for i in range(num_pairs)
+            ]
+        if num_pairs == 0:
+            return _np.zeros((0, num_epochs), dtype=bool)
+        model = channel._failure_model
+        batch_rates = getattr(model, "loss_rate_batch", None)
+        loss = _np.empty((num_pairs, num_epochs), dtype=_np.float64)
+        for column, epoch in enumerate(epochs):
+            if batch_rates is not None:
+                loss[:, column] = batch_rates(
+                    channel._deployment, senders, receivers, epoch
+                )
+            else:
+                loss[:, column] = [
+                    channel.loss_rate(sender, receiver, epoch)
+                    for sender, receiver in zip(senders, receivers)
+                ]
+        success = loss <= 0.0
+        if bool(success.all()):
+            return success
+        attempts_column = _np.asarray(attempts_per_pair, dtype=_np.int64)[:, None]
+        cells = num_pairs * num_epochs
+        sender_grid = _np.repeat(_np.asarray(senders, dtype=_np.int64), num_epochs)
+        receiver_grid = _np.repeat(
+            _np.asarray(receivers, dtype=_np.int64), num_epochs
+        )
+        epoch_grid = _np.tile(_np.asarray(epochs, dtype=_np.int64), num_pairs)
+        prefix = ("channel", channel._seed)
+        for attempt in range(int(attempts_column.max())):
+            undecided = (~success) & (attempts_column > attempt) & (loss < 1.0)
+            if not bool(undecided.any()):
+                break
+            draws = _np.asarray(
+                hash_unit_batch(
+                    prefix,
+                    sender_grid,
+                    receiver_grid,
+                    epoch_grid,
+                    _np.full(cells, attempt, dtype=_np.int64),
+                )
+            ).reshape(num_pairs, num_epochs)
+            success |= undecided & (draws >= loss)
+        return success
+
+
 class Channel:
     """Draws delivery outcomes for transmissions under a failure model."""
 
@@ -109,6 +315,7 @@ class Channel:
         self._deployment = deployment
         self._failure_model = failure_model
         self._seed = seed
+        self._model_version = 0
         self.log = TransmissionLog()
         self._per_node_words: Dict[NodeId, int] = {}
         self._per_node_messages: Dict[NodeId, int] = {}
@@ -124,8 +331,13 @@ class Channel:
         return self._failure_model
 
     def set_failure_model(self, model: FailureModel) -> None:
-        """Swap the failure model (used by scheduled/timeline experiments)."""
+        """Swap the failure model (used by scheduled/timeline experiments).
+
+        Invalidates every outstanding :class:`DeliveryPlan`: planned
+        outcomes were drawn against the old model's loss rates.
+        """
         self._failure_model = model
+        self._model_version += 1
 
     def loss_rate(self, sender: NodeId, receiver: NodeId, epoch: int) -> float:
         """The loss probability for one (sender -> receiver) attempt."""
@@ -243,6 +455,60 @@ class Channel:
         heard_lists: List[List[NodeId]] = []
         for (start, stop) in spans:
             heard = [receivers[i] for i in range(start, stop) if success[i]]
+            log.deliveries += len(heard)
+            log.drops += (stop - start) - len(heard)
+            heard_lists.append(sorted(heard))
+        return heard_lists
+
+    def plan_epochs(
+        self,
+        levels: Sequence[Sequence[Transmission]],
+        epochs: Sequence[int],
+    ) -> DeliveryPlan:
+        """Precompute every delivery outcome for a block of epochs.
+
+        ``levels`` lists, per transmission level, the transmissions that
+        will be queued each epoch of the block; only sender, receivers and
+        attempts matter (payload words/messages vary per epoch and do not
+        affect delivery). The returned plan backs
+        :meth:`transmit_epochs` and stays valid until the level structure
+        or the failure model changes.
+        """
+        return DeliveryPlan(self, levels, epochs)
+
+    def transmit_epochs(
+        self,
+        transmissions: Sequence[Transmission],
+        epoch: int,
+        plan: DeliveryPlan,
+        level: int,
+    ) -> List[List[NodeId]]:
+        """:meth:`transmit_batch` against outcomes precomputed by ``plan``.
+
+        Bit-identical to ``transmit_batch(transmissions, epoch)``:
+        accounting runs in the same transmission order and the success
+        flags were drawn from the same keyed hashes — only *when* the draws
+        happened differs (once per block instead of once per epoch).
+        """
+        success, spans, flat_receivers = plan.outcomes(
+            self, level, epoch, transmissions
+        )
+        log = self.log
+        per_words = self._per_node_words
+        per_messages = self._per_node_messages
+        for item in transmissions:
+            sender = item.sender
+            attempts = item.attempts
+            log.transmissions += attempts
+            log.words_sent += item.words * attempts
+            log.messages_sent += item.messages * attempts
+            per_words[sender] = per_words.get(sender, 0) + item.words * attempts
+            per_messages[sender] = (
+                per_messages.get(sender, 0) + item.messages * attempts
+            )
+        heard_lists: List[List[NodeId]] = []
+        for (start, stop) in spans:
+            heard = [flat_receivers[i] for i in range(start, stop) if success[i]]
             log.deliveries += len(heard)
             log.drops += (stop - start) - len(heard)
             heard_lists.append(sorted(heard))

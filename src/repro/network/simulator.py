@@ -29,6 +29,24 @@ from repro.network.placement import Deployment, NodeId
 ReadingFn = Callable[[NodeId, int], float]
 
 
+def gather_readings(
+    readings: ReadingFn, nodes: Sequence[NodeId], epoch: int
+) -> List[float]:
+    """One epoch's readings for many nodes, via the workload's fast path.
+
+    Workloads may expose ``batch(nodes, epoch)`` returning exactly
+    ``[readings(node, epoch) for node in nodes]`` (the built-in constant and
+    uniform workloads hash the whole row in one vectorized pass); plain
+    callables fall back to the per-node loop. Schemes use this everywhere
+    they gather a level or a truth row, so batch and scalar runs see
+    identical values by construction.
+    """
+    batch = getattr(readings, "batch", None)
+    if batch is not None:
+        return batch(nodes, epoch)
+    return [readings(node, epoch) for node in nodes]
+
+
 @dataclass
 class EpochOutcome:
     """What a scheme reports for one epoch.
@@ -49,7 +67,16 @@ class EpochOutcome:
 
 
 class AggregationScheme(Protocol):
-    """The interface every aggregation scheme implements."""
+    """The interface every aggregation scheme implements.
+
+    Schemes may additionally implement ``run_epochs(epochs, channel,
+    readings) -> List[Tuple[EpochOutcome, TransmissionLog]]``: an
+    epoch-blocked fast path that executes a whole adaptation interval
+    against one precomputed :class:`~repro.network.links.DeliveryPlan`,
+    returning per-epoch (outcome, log) pairs byte-identical to driving
+    ``run_epoch`` under the per-epoch loop. The simulator uses it when
+    blocking is enabled; schemes without it always run per-epoch.
+    """
 
     name: str
 
@@ -146,8 +173,19 @@ class EpochSimulator:
         on_epoch: optional hook called with (epoch, channel) after every
             epoch (warm-up included) — the attachment point for topology
             maintenance (link probing, parent switching) that the paper
-            runs "less frequently than aggregation".
+            runs "less frequently than aggregation". Setting it disables
+            epoch blocking: the hook may change topology or failure model
+            mid-interval, which invalidates a delivery plan.
+        use_blocked: execute in adaptation-interval blocks through the
+            scheme's ``run_epochs`` fast path when available (byte-identical
+            results, pinned by ``tests/test_blocked_equivalence.py``);
+            ``False`` keeps the per-epoch loop.
     """
+
+    #: Upper bound on one block's epoch span (bounds the delivery-plan
+    #: outcome tables when ``adapt_interval`` is 0); block splits never
+    #: change results, only when draws happen.
+    MAX_BLOCK_EPOCHS = 128
 
     def __init__(
         self,
@@ -158,6 +196,7 @@ class EpochSimulator:
         energy_model: Optional[EnergyModel] = None,
         adapt_interval: int = 10,
         on_epoch: Optional[Callable[[int, Channel], None]] = None,
+        use_blocked: bool = True,
     ) -> None:
         if adapt_interval < 0:
             raise ConfigurationError("adapt_interval cannot be negative")
@@ -167,6 +206,7 @@ class EpochSimulator:
         self._energy_model = energy_model or EnergyModel()
         self._adapt_interval = adapt_interval
         self._on_epoch = on_epoch
+        self._use_blocked = use_blocked
 
     @property
     def channel(self) -> Channel:
@@ -196,30 +236,110 @@ class EpochSimulator:
         results: List[EpochResult] = []
         energy = EnergyReport()
         total = warmup + num_epochs
+        if self._blocked_capable():
+            self._run_blocked(total, warmup, start_epoch, readings, results, energy)
+        else:
+            self._run_per_epoch(
+                total, warmup, start_epoch, readings, results, energy
+            )
+        energy.add_node_words(self._channel.per_node_words(), self._energy_model)
+        return RunResult(
+            scheme_name=self._scheme.name, epochs=results, energy=energy
+        )
+
+    def _blocked_capable(self) -> bool:
+        """Whether the epoch-blocked fast path applies to this run.
+
+        ``on_epoch`` hooks may mutate topology or the failure model between
+        epochs, which would invalidate a mid-block delivery plan — they
+        force the per-epoch loop, as does a scheme without ``run_epochs``.
+        ``adapt_interval == 1`` caps every block at a single epoch, where a
+        plan amortizes nothing and only adds build overhead (convergence
+        phases adapt every epoch), so it also keeps the per-epoch loop. A
+        scheme built with ``use_batch=False`` asked for the scalar reference
+        path — blocking would silently re-vectorize it, so it too runs
+        per-epoch (this is what lets the equivalence suites drive the
+        scalar path through the simulator).
+        """
+        return (
+            self._use_blocked
+            and self._adapt_interval != 1
+            and self._on_epoch is None
+            and getattr(self._scheme, "_use_batch", True)
+            and callable(getattr(self._scheme, "run_epochs", None))
+        )
+
+    def _run_per_epoch(
+        self,
+        total: int,
+        warmup: int,
+        start_epoch: int,
+        readings: ReadingFn,
+        results: List[EpochResult],
+        energy: EnergyReport,
+    ) -> None:
         for offset in range(total):
             epoch = start_epoch + offset
             self._channel.reset_log()
             outcome = self._scheme.run_epoch(epoch, self._channel, readings)
             log = self._channel.reset_log()
-            recording = offset >= warmup
-            if recording:
-                energy.add_log(log, self._energy_model)
-                results.append(
-                    EpochResult(
-                        epoch=epoch,
-                        estimate=outcome.estimate,
-                        true_value=self._scheme.exact_answer(epoch, readings),
-                        contributing=outcome.contributing,
-                        contributing_estimate=outcome.contributing_estimate,
-                        log=log,
-                        extra=dict(outcome.extra),
-                    )
-                )
+            if offset >= warmup:
+                self._record(results, energy, epoch, outcome, log, readings)
             if self._adapt_interval and (offset + 1) % self._adapt_interval == 0:
                 self._scheme.adapt(epoch, outcome)
             if self._on_epoch is not None:
                 self._on_epoch(epoch, self._channel)
-        energy.add_node_words(self._channel.per_node_words(), self._energy_model)
-        return RunResult(
-            scheme_name=self._scheme.name, epochs=results, energy=energy
+
+    def _run_blocked(
+        self,
+        total: int,
+        warmup: int,
+        start_epoch: int,
+        readings: ReadingFn,
+        results: List[EpochResult],
+        energy: EnergyReport,
+    ) -> None:
+        """Execute in adaptation-interval blocks via ``scheme.run_epochs``.
+
+        A block never crosses an adaptation boundary (the plan's lifetime is
+        one adaptation interval) and is capped at :attr:`MAX_BLOCK_EPOCHS`;
+        per-epoch records, adaptation cadence and epochs are exactly those of
+        the per-epoch loop.
+        """
+        interval = self._adapt_interval
+        offset = 0
+        while offset < total:
+            span = interval - (offset % interval) if interval else total - offset
+            span = min(span, total - offset, self.MAX_BLOCK_EPOCHS)
+            epochs = [start_epoch + offset + i for i in range(span)]
+            pairs = self._scheme.run_epochs(epochs, self._channel, readings)
+            for i, (outcome, log) in enumerate(pairs):
+                if offset + i >= warmup:
+                    self._record(
+                        results, energy, epochs[i], outcome, log, readings
+                    )
+            offset += span
+            if interval and offset % interval == 0:
+                self._scheme.adapt(epochs[-1], pairs[-1][0])
+
+    def _record(
+        self,
+        results: List[EpochResult],
+        energy: EnergyReport,
+        epoch: int,
+        outcome: EpochOutcome,
+        log: TransmissionLog,
+        readings: ReadingFn,
+    ) -> None:
+        energy.add_log(log, self._energy_model)
+        results.append(
+            EpochResult(
+                epoch=epoch,
+                estimate=outcome.estimate,
+                true_value=self._scheme.exact_answer(epoch, readings),
+                contributing=outcome.contributing,
+                contributing_estimate=outcome.contributing_estimate,
+                log=log,
+                extra=dict(outcome.extra),
+            )
         )
