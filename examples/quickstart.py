@@ -1,77 +1,46 @@
 #!/usr/bin/env python
 """Quickstart: compare TAG, SD and Tributary-Delta on a lossy network.
 
-Builds a 200-sensor deployment, runs a continuous Count query under 20%
-message loss with each aggregation scheme, and prints the RMS error and the
-fraction of sensors accounted for — the Figure 2 story in miniature.
+One declarative config describes the run — topology, workload, failure
+model, scheme, engine knobs — and one Session executes it; sweeping the
+scheme axis reproduces the Figure 2 story in miniature. Every name in the
+config resolves through the registries in ``repro.registry``, so a
+``register_scheme``/``register_aggregate`` decorator is all it takes to
+make a new component sweepable here too.
+
+(The underlying building blocks remain importable for hand-wiring — see
+``examples/adaptive_monitoring.py`` — and produce byte-identical results.)
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    ConstantReadings,
-    CountAggregate,
-    EpochSimulator,
-    GlobalLoss,
-    SynopsisDiffusionScheme,
-    TDGraph,
-    TagScheme,
-    TributaryDeltaScheme,
-    build_bushy_tree,
-    initial_modes_by_level,
-    make_synthetic_scenario,
-)
-from repro.core.adaptation import TDFinePolicy
+from repro import RunConfig, Session
 
-LOSS_RATE = 0.2
-EPOCHS = 40
+BASE = RunConfig(
+    scheme="TAG",              # swept below
+    failure="global:0.2",      # 20% message loss everywhere
+    aggregate="count",         # a continuous Count query
+    num_sensors=200,
+    scenario_seed=42,
+    seed=2,
+    epochs=40,
+    converge_epochs=100,
+)
 
 
 def main() -> None:
-    scenario = make_synthetic_scenario(num_sensors=200, seed=42)
-    tree = build_bushy_tree(scenario.rings, seed=42)
-    failure = GlobalLoss(LOSS_RATE)
-    readings = ConstantReadings(1.0)
-    sensors = scenario.deployment.num_sensors
-    print(f"deployment: {sensors} sensors, {scenario.rings.depth} rings deep")
-    print(f"failure model: Global({LOSS_RATE})\n")
-
-    # The tree baseline (TAG) and the multi-path baseline (SD).
-    schemes = {
-        "TAG (tree)": TagScheme(scenario.deployment, tree, CountAggregate()),
-        "SD (multi-path)": SynopsisDiffusionScheme(
-            scenario.deployment, scenario.rings, CountAggregate()
-        ),
-    }
-
-    # Tributary-Delta: start with a minimal delta and let the TD strategy
-    # grow it until ~90% of sensors are accounted for.
-    graph = TDGraph(
-        scenario.rings, tree, initial_modes_by_level(scenario.rings, 0)
+    print(f"deployment: {BASE.num_sensors} sensors")
+    print(f"failure model: {BASE.failure}\n")
+    report = Session().sweep(
+        {"scheme": ["TAG", "SD", "TD-Coarse", "TD"]}, base=BASE
     )
-    td = TributaryDeltaScheme(
-        scenario.deployment, graph, CountAggregate(), policy=TDFinePolicy()
-    )
-    # Stabilisation phase: adapt every epoch until the delta converges.
-    EpochSimulator(
-        scenario.deployment, failure, td, seed=1, adapt_interval=1
-    ).run(0, readings, warmup=100)
-    schemes["Tributary-Delta"] = td
+    print(report.render())
 
-    print(f"{'scheme':18s} {'RMS error':>10s} {'contributing':>13s}")
-    for name, scheme in schemes.items():
-        interval = 10 if name == "Tributary-Delta" else 0
-        simulator = EpochSimulator(
-            scenario.deployment, failure, scheme, seed=2, adapt_interval=interval
-        )
-        run = simulator.run(EPOCHS, readings, start_epoch=100)
-        contributing = run.mean_contributing_fraction(sensors)
-        print(f"{name:18s} {run.rms_error():>10.3f} {contributing:>12.1%}")
-
-    print(f"\nTributary-Delta delta region: {len(graph.delta_region())} nodes "
-          f"of {sensors + 1}")
+    # The same config round-trips through JSON — `repro run-config` runs it.
+    print("\nthis sweep's base config:")
+    print(BASE.to_json(indent=2))
 
 
 if __name__ == "__main__":

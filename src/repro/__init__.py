@@ -6,24 +6,27 @@ into the adaptive Tributary-Delta scheme, plus the paper's frequent-items
 algorithms (Min Total-load, Min Max-load, Hybrid, the multi-path class-based
 algorithm, and their Tributary-Delta combination).
 
-Quickstart::
+Quickstart — one declarative config, one session::
 
-    from repro import (
-        make_synthetic_scenario, GlobalLoss, CountAggregate,
-        TagScheme, SynopsisDiffusionScheme, TributaryDeltaScheme,
-        TDGraph, TDFinePolicy, initial_modes_by_level,
-        build_bushy_tree, EpochSimulator, ConstantReadings,
-    )
+    from repro import RunConfig, Session
 
-    scenario = make_synthetic_scenario(num_sensors=200)
-    tree = build_bushy_tree(scenario.rings)
-    graph = TDGraph(scenario.rings, tree, initial_modes_by_level(scenario.rings, 0))
-    scheme = TributaryDeltaScheme(
-        scenario.deployment, graph, CountAggregate(), policy=TDFinePolicy()
-    )
-    simulator = EpochSimulator(scenario.deployment, GlobalLoss(0.2), scheme)
-    result = simulator.run(50, ConstantReadings(), warmup=30)
-    print(result.rms_error())
+    config = RunConfig(scheme="TD", failure="global:0.2",
+                       num_sensors=200, epochs=50)
+    report = Session().run(config)
+    print(report.rms_error())
+
+Every name in a config (scheme, aggregate, failure model, topology,
+workload) resolves through the string-keyed registries of
+:mod:`repro.registry`; ``register_scheme`` / ``register_aggregate`` /
+``register_failure_model`` / ``register_topology`` / ``register_dataset``
+extend the system, and ``available()`` lists what's installed. Configs
+round-trip through JSON (``RunConfig.from_json(config.to_json())``), sweep
+as grids (``Session.sweep``), and back the CLI (``repro run-config``,
+``repro describe``) — one schema behind every entry point.
+
+The underlying building blocks (schemes, simulator, topologies, sketches)
+remain importable for hand-wiring; ``Session.run`` is byte-identical to
+assembling the same run manually, by test.
 """
 
 from repro.aggregates import (
@@ -61,9 +64,27 @@ from repro.datasets import (
     ZipfItemStream,
     make_synthetic_scenario,
 )
+from repro.api import (
+    RunConfig,
+    RunReport,
+    Session,
+    SweepReport,
+    config_digest,
+    describe_experiment,
+    expand_grid,
+    run_config_result,
+)
 from repro.frequent import TributaryDeltaQuantiles
 from repro.query import ContinuousQuery, parse_query
 from repro.multipath import FMSketch, KMVSketch
+from repro.registry import (
+    available,
+    register_aggregate,
+    register_dataset,
+    register_failure_model,
+    register_scheme,
+    register_topology,
+)
 from repro.network import (
     Channel,
     CrashWindow,
@@ -92,6 +113,20 @@ from repro.tree import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "RunConfig",
+    "RunReport",
+    "Session",
+    "SweepReport",
+    "config_digest",
+    "describe_experiment",
+    "expand_grid",
+    "run_config_result",
+    "available",
+    "register_aggregate",
+    "register_dataset",
+    "register_failure_model",
+    "register_scheme",
+    "register_topology",
     "Aggregate",
     "AverageAggregate",
     "CompositeAggregate",

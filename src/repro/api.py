@@ -1,0 +1,707 @@
+"""The unified declarative Session API: one config, every entry point.
+
+Any simulator run in this repository — a quickstart, a figure experiment,
+a sweep-grid cell, a CLI invocation — is fully described by one frozen,
+JSON-round-trippable :class:`RunConfig` and executed by one
+:class:`Session`::
+
+    >>> from repro.api import RunConfig, Session
+    >>> config = RunConfig(scheme="TAG", num_sensors=40, epochs=3,
+    ...                    converge_epochs=0, failure="none")
+    >>> report = Session().run(config)
+    >>> report.result.estimates
+    [40.0, 40.0, 40.0]
+
+Every name in a config (``scheme``, ``aggregate``, ``failure``,
+``topology``, ``reading``) resolves through the string-keyed registries of
+:mod:`repro.registry`, so registering a component makes it reachable from
+every entry point at once. Configs round-trip through JSON exactly::
+
+    >>> RunConfig.from_json(config.to_json()) == config
+    True
+
+and hash stably (:func:`config_digest`), which keys the on-disk result
+cache shared with the sweep engine. :data:`EXPERIMENT_CONFIGS` maps each
+named figure experiment onto its resolved canonical config — the CLI's
+``repro describe`` / ``repro run-config`` pair round-trips them.
+
+Determinism contract: a config fully determines its result. Construction
+draws no randomness (all channel/sketch draws are keyed hashes), so
+:meth:`Session.run` is byte-identical to hand-wiring the same scenario,
+scheme and simulator — pinned by ``tests/test_api.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.network.failures import ComposedLoss
+from repro.network.simulator import EpochSimulator, RunResult
+from repro.query import parse_query
+from repro.registry import (
+    AGGREGATES,
+    SCHEMES,
+    TOPOLOGIES,
+    SchemeContext,
+    available,
+    build_failure_model,
+    build_reading,
+)
+from repro.tree.construction import build_bushy_tree
+
+#: Version of the RunConfig JSON schema; bump on breaking field changes.
+CONFIG_SCHEMA_VERSION = 1
+
+#: Version of the run-result cache keyed by :func:`config_digest`. Bumped
+#: to 2 when cache keys moved from the ad-hoc SweepSpec encoding to the
+#: canonical ``RunConfig.to_json()`` payload — old cache entries are
+#: simply never hit again.
+RUN_CACHE_VERSION = 2
+
+_CONFIG_TAG = "run-config"
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One simulator run, declaratively: every knob, nothing hidden.
+
+    Attributes:
+        scheme: registered scheme name (``TAG``/``SD``/``TD-Coarse``/``TD``
+            or anything added via ``register_scheme``).
+        seed: channel seed of the measurement run. Configs sharing a seed
+            are *paired*: identical loss draws (the paper's comparison
+            methodology).
+        failure: failure-model spec string (``none``, ``global:P``,
+            ``regional:P1:P2``, ``timeline``, ...).
+        topology: registered topology name (``synthetic``, ``labdata``).
+        num_sensors: deployment size (topologies with fixed floor plans
+            ignore it).
+        scenario_seed: seed of deployment/tree construction and of the
+            stabilisation phase's channel.
+        aggregate: registered aggregate name; ignored when ``query`` is
+            given.
+        reading: workload spec string (``constant:V``,
+            ``uniform:LO:HI:SEED``, ``diurnal:SEED``, ...).
+        query: optional ``SELECT ...`` continuous-query string; its SELECT
+            target, WHERE predicate and WINDOW wrap the workload and
+            replace ``aggregate``.
+        epochs: measured epochs.
+        warmup: epochs executed-but-unrecorded before measurement.
+        start_epoch: measurement epoch offset (keeps measurement draws
+            disjoint from stabilisation draws; the runner's convention is
+            1000).
+        adapt_interval: adaptation cadence during measurement for adaptive
+            schemes (the paper's is 10); non-adaptive schemes never adapt.
+        converge_epochs: stabilisation epochs for adaptive schemes (adapting
+            every epoch, per the paper's "until the topologies are stable").
+        threshold: contributing-percentage target driving adaptation.
+        tree_attempts: tree-edge (re)transmission attempts.
+        use_batch: vectorized level-batched channel path (``False`` forces
+            the scalar reference path).
+        use_blocked: epoch-blocked execution (``False`` forces the
+            per-epoch loop). Both paths are byte-identical by invariant.
+    """
+
+    scheme: str
+    seed: int = 1
+    failure: str = "none"
+    topology: str = "synthetic"
+    num_sensors: int = 600
+    scenario_seed: int = 0
+    aggregate: str = "count"
+    reading: str = "constant:1.0"
+    query: Optional[str] = None
+    epochs: int = 100
+    warmup: int = 0
+    start_epoch: int = 1000
+    adapt_interval: int = 10
+    converge_epochs: int = 120
+    threshold: float = 0.9
+    tree_attempts: int = 1
+    use_batch: bool = True
+    use_blocked: bool = True
+
+    def __post_init__(self) -> None:
+        SCHEMES.resolve(self.scheme)
+        TOPOLOGIES.resolve(self.topology)
+        build_failure_model(self.failure)  # validate eagerly
+        build_reading(self.reading)
+        if self.query is not None:
+            parse_query(self.query)
+        else:
+            AGGREGATES.resolve(self.aggregate)
+        if self.num_sensors < 1:
+            raise ConfigurationError("num_sensors must be at least 1")
+        if min(self.epochs, self.warmup, self.converge_epochs) < 0:
+            raise ConfigurationError("epoch counts cannot be negative")
+        if self.adapt_interval < 0:
+            raise ConfigurationError("adapt_interval cannot be negative")
+        if not 0.0 < self.threshold <= 1.0:
+            raise ConfigurationError("threshold must be in (0, 1]")
+        if self.tree_attempts < 1:
+            raise ConfigurationError("tree_attempts must be at least 1")
+
+    # -- codec ------------------------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """Plain-dict form with the schema's type/version envelope."""
+        payload: Dict[str, object] = {
+            "type": _CONFIG_TAG,
+            "version": CONFIG_SCHEMA_VERSION,
+        }
+        payload.update(dataclasses.asdict(self))
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, object]) -> "RunConfig":
+        """Decode (and validate) a dict produced by :meth:`to_jsonable`.
+
+        Unknown keys are configuration mistakes (a typo'd knob silently
+        ignored is a wrong experiment), so they raise with the offending
+        and the expected names; missing keys take the schema's defaults.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"run config must be a JSON object, got {type(data).__name__}"
+            )
+        tag = data.get("type", _CONFIG_TAG)
+        if tag != _CONFIG_TAG:
+            raise ConfigurationError(
+                f"payload type {tag!r} is not a {_CONFIG_TAG}"
+            )
+        version = data.get("version", CONFIG_SCHEMA_VERSION)
+        if not isinstance(version, int) or version > CONFIG_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"run-config schema version {version!r} is newer than this "
+                f"reader ({CONFIG_SCHEMA_VERSION})"
+            )
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names - {"type", "version"})
+        if unknown:
+            raise ConfigurationError(
+                "unknown run-config keys: "
+                + ", ".join(repr(key) for key in unknown)
+                + "; expected keys: "
+                + ", ".join(sorted(names))
+            )
+        if "scheme" not in data:
+            raise ConfigurationError("run config needs a 'scheme' key")
+        kwargs = {
+            key: _check_field_type(key, data[key])
+            for key in names
+            if key in data
+        }
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON encoding (sorted keys — stable for hashing)."""
+        return json.dumps(self.to_jsonable(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"run config is not valid JSON: {error}"
+            ) from error
+        return cls.from_jsonable(data)
+
+    def replace(self, **changes: object) -> "RunConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+def _check_field_type(name: str, value: object) -> object:
+    """Validate a decoded JSON value against its config field's type.
+
+    Keeps wrongly-typed payloads (``"epochs": "2"``) on the
+    ConfigurationError path instead of leaking ``TypeError`` from the
+    dataclass validators. Driven by the annotation strings on
+    :class:`RunConfig`, so new fields are covered automatically.
+    """
+    annotation = _FIELD_ANNOTATIONS[name]
+    if annotation == "bool":
+        ok = isinstance(value, bool)
+    elif annotation == "int":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif annotation == "float":
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        if ok:
+            value = float(value)
+    elif annotation == "Optional[str]":
+        ok = value is None or isinstance(value, str)
+    else:  # "str"
+        ok = isinstance(value, str)
+    if not ok:
+        raise ConfigurationError(
+            f"run-config key {name!r} expects {annotation}, "
+            f"got {value!r} ({type(value).__name__})"
+        )
+    return value
+
+
+_FIELD_ANNOTATIONS: Dict[str, str] = {
+    field.name: str(field.type) for field in dataclasses.fields(RunConfig)
+}
+
+
+def config_digest(config: RunConfig) -> str:
+    """Stable SHA-256 over the canonical config JSON: the cache key.
+
+    Derived from :meth:`RunConfig.to_json` plus :data:`RUN_CACHE_VERSION`,
+    so a schema or semantics bump invalidates every cached result at once.
+    """
+    payload = dict(config.to_jsonable(), cache_version=RUN_CACHE_VERSION)
+    encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+# -- execution -------------------------------------------------------------
+
+
+def run_config_result(config: RunConfig) -> RunResult:
+    """Execute one config end-to-end and return the raw :class:`RunResult`.
+
+    Module-level (not a method) so process pools can pickle it. The
+    sequence is exactly the paper's per-run methodology, and exactly what
+    the hand-wired quickstart does: build topology and tree from
+    ``scenario_seed``, stabilise adaptive schemes (adapting every epoch,
+    channel seeded by ``scenario_seed``), then measure ``epochs`` epochs
+    from ``start_epoch`` under the measurement ``seed``.
+    """
+    topology = TOPOLOGIES.resolve(config.topology)(
+        num_sensors=config.num_sensors, seed=config.scenario_seed
+    )
+    tree = build_bushy_tree(topology.rings, seed=config.scenario_seed)
+    readings = build_reading(config.reading)
+    if config.query is not None:
+        aggregate, readings = parse_query(config.query).build(readings)
+    else:
+        aggregate = AGGREGATES.resolve(config.aggregate)()
+    entry = SCHEMES.resolve(config.scheme)
+    scheme = entry.builder(
+        SchemeContext(
+            deployment=topology.deployment,
+            rings=topology.rings,
+            tree=tree,
+            aggregate=aggregate,
+            threshold=config.threshold,
+            tree_attempts=config.tree_attempts,
+            use_batch=config.use_batch,
+        )
+    )
+    failure = build_failure_model(config.failure)
+    base_loss = getattr(topology, "base_loss", None)
+    if base_loss:
+        failure = ComposedLoss(base_rates=base_loss, failure=failure)
+    if entry.adaptive and config.converge_epochs:
+        EpochSimulator(
+            topology.deployment,
+            failure,
+            scheme,
+            seed=config.scenario_seed,
+            adapt_interval=1,
+            use_blocked=config.use_blocked,
+        ).run(0, readings, warmup=config.converge_epochs)
+    simulator = EpochSimulator(
+        topology.deployment,
+        failure,
+        scheme,
+        seed=config.seed,
+        adapt_interval=config.adapt_interval if entry.adaptive else 0,
+        use_blocked=config.use_blocked,
+    )
+    return simulator.run(
+        config.epochs,
+        readings,
+        start_epoch=config.start_epoch,
+        warmup=config.warmup,
+    )
+
+
+# -- reports ---------------------------------------------------------------
+
+
+@dataclass
+class RunReport:
+    """One executed config with its result and a renderable summary."""
+
+    config: RunConfig
+    result: RunResult
+
+    def rms_error(self) -> float:
+        return self.result.rms_error()
+
+    def num_sensors(self) -> int:
+        """The executed deployment's sensor count.
+
+        Read off the deployment-complete per-node energy map (silent
+        sensors report an explicit zero, the base station never
+        transmits), because fixed-floor-plan topologies like ``labdata``
+        ignore ``config.num_sensors`` — which is only the fallback here.
+        """
+        return len(self.result.energy.per_node_uj) or self.config.num_sensors
+
+    def mean_contributing_fraction(self) -> float:
+        return self.result.mean_contributing_fraction(self.num_sensors())
+
+    def words_per_epoch(self) -> float:
+        if not self.result.epochs:
+            return 0.0
+        return self.result.energy.total_words / len(self.result.epochs)
+
+    def render(self) -> str:
+        lines = [
+            f"scheme={self.config.scheme} failure={self.config.failure} "
+            f"seed={self.config.seed} epochs={self.config.epochs} "
+            f"aggregate="
+            + (
+                self.config.query
+                if self.config.query is not None
+                else self.config.aggregate
+            ),
+            f"rms_error={self.rms_error():.4f} "
+            f"mean_contributing={self.mean_contributing_fraction():.3f} "
+            f"words/epoch={self.words_per_epoch():.0f}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepReport:
+    """Configs and results of one sweep, with a renderable summary table."""
+
+    configs: List[RunConfig]
+    results: List[RunResult]
+
+    def rows(self) -> List[Tuple[RunConfig, RunResult]]:
+        return list(zip(self.configs, self.results))
+
+    def rms_by_scheme(self) -> Dict[str, List[float]]:
+        """Scheme -> RMS errors in config order."""
+        series: Dict[str, List[float]] = {}
+        for config, result in self.rows():
+            series.setdefault(config.scheme, []).append(result.rms_error())
+        return series
+
+    def render(self) -> str:
+        # Deferred import: the experiments package imports this module
+        # (via parallel.py), so the table renderer resolves at call time.
+        from repro.experiments.metrics import format_table
+
+        headers = [
+            "failure",
+            "scheme",
+            "seed",
+            "rms_error",
+            "mean_contributing",
+            "words/epoch",
+        ]
+        table_rows = []
+        for config, result in self.rows():
+            report = RunReport(config, result)
+            table_rows.append(
+                [
+                    config.failure,
+                    config.scheme,
+                    str(config.seed),
+                    f"{result.rms_error():.4f}",
+                    f"{report.mean_contributing_fraction():.3f}",
+                    f"{report.words_per_epoch():.0f}",
+                ]
+            )
+        return format_table(headers, table_rows)
+
+
+def expand_grid(
+    base: RunConfig, **axes: Sequence[object]
+) -> List[RunConfig]:
+    """The cross product of ``axes`` applied over a base config.
+
+    Axes vary in keyword order, last axis fastest — deterministic, so grid
+    results align index-for-index across runs and caches.
+
+    >>> base = RunConfig(scheme="TAG", num_sensors=40, epochs=2)
+    >>> grid = expand_grid(base, scheme=["TAG", "SD"],
+    ...                    failure=["none", "global:0.3"])
+    >>> [(c.scheme, c.failure) for c in grid]
+    [('TAG', 'none'), ('TAG', 'global:0.3'), ('SD', 'none'), ('SD', 'global:0.3')]
+    """
+    names = list(axes)
+    for name in names:
+        if not isinstance(axes[name], (list, tuple)):
+            raise ConfigurationError(
+                f"grid axis {name!r} must be a list/tuple of values"
+            )
+    return [
+        base.replace(**dict(zip(names, values)))
+        for values in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+# -- the session -----------------------------------------------------------
+
+
+@dataclass
+class Session:
+    """Executes configs — serially, pooled, and/or against a result cache.
+
+    Attributes:
+        jobs: worker processes for multi-config calls; ``None``/<= 1 runs
+            serially (single-CPU hosts always do).
+        cache_dir: directory of JSON result files keyed by
+            :func:`config_digest`; ``None`` disables caching. Cached and
+            fresh executions of a config are byte-identical.
+    """
+
+    jobs: Optional[int] = None
+    cache_dir: Optional[Union[str, pathlib.Path]] = None
+
+    def run(self, config: RunConfig) -> RunReport:
+        """Execute one config (through the cache, when configured)."""
+        [result] = self.run_many([config])
+        return RunReport(config=config, result=result)
+
+    def sweep(
+        self,
+        grid: Union[Sequence[RunConfig], Mapping[str, Sequence[object]]],
+        base: Optional[RunConfig] = None,
+    ) -> SweepReport:
+        """Execute a grid of configs with deterministic result ordering.
+
+        ``grid`` is either an explicit config sequence or a mapping of
+        field name -> values, expanded over ``base`` via
+        :func:`expand_grid`.
+        """
+        if isinstance(grid, Mapping):
+            if base is None:
+                raise ConfigurationError(
+                    "sweeping a {field: values} grid needs a base config"
+                )
+            configs = expand_grid(base, **grid)
+        else:
+            configs = list(grid)
+            for config in configs:
+                if not isinstance(config, RunConfig):
+                    raise ConfigurationError(
+                        "sweep grids hold RunConfig instances, got "
+                        f"{type(config).__name__}"
+                    )
+        return SweepReport(configs=configs, results=self.run_many(configs))
+
+    def run_many(self, configs: Sequence[RunConfig]) -> List[RunResult]:
+        """Execute configs; results align index-for-index with the input.
+
+        Cached configs load without touching the pool; only misses are
+        dispatched, and fresh results are written back before returning.
+        This is the one result cache in the system — the sweep engine's
+        :class:`~repro.experiments.parallel.SweepRunner` delegates here.
+        """
+        # Deferred import: experiments.parallel imports this module for the
+        # RunConfig-derived spec digests, so the pool map is resolved at
+        # call time, not import time.
+        from repro.experiments.parallel import parallel_map
+
+        results: List[Optional[RunResult]] = [None] * len(configs)
+        misses: List[int] = []
+        for index, config in enumerate(configs):
+            cached = self._load(config)
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append(index)
+        if misses:
+            fresh = parallel_map(
+                run_config_result,
+                [configs[index] for index in misses],
+                jobs=self.jobs,
+            )
+            for index, result in zip(misses, fresh):
+                results[index] = result
+                self._store(configs[index], result)
+        return results  # type: ignore[return-value]
+
+    # -- internals --------------------------------------------------------
+
+    def _path(self, config: RunConfig) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return pathlib.Path(self.cache_dir) / f"{config_digest(config)}.json"
+
+    def _load(self, config: RunConfig) -> Optional[RunResult]:
+        path = self._path(config)
+        if path is None or not path.exists():
+            return None
+        from repro.errors import ReproError
+        from repro.serialization import from_jsonable
+
+        # Any unusable entry — corrupt JSON, missing keys, a payload from
+        # a newer format, an unreadable file — means recompute, never
+        # crash: the cache is an accelerator, not a source of truth.
+        try:
+            payload = json.loads(path.read_text())
+            return from_jsonable(payload["result"])
+        except (ValueError, KeyError, OSError, ReproError):
+            return None
+
+    def _store(self, config: RunConfig, result: RunResult) -> None:
+        path = self._path(config)
+        if path is None:
+            return
+        from repro.serialization import to_jsonable
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "config": config.to_jsonable(),
+            "result": to_jsonable(result),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+
+
+# -- named figure experiments ---------------------------------------------
+
+#: Canonical configs of the paper's figure experiments, resolved through
+#: the registries. Multi-scheme figures describe their headline scheme
+#: (TD); sweep a grid over ``scheme``/``failure`` to regenerate the full
+#: figure. Experiments whose shape is not one scalar-aggregate run (the
+#: domination-factor geometry sweeps, frequent-items figures, latency and
+#: lifetime accounting) have no config form and are absent here.
+EXPERIMENT_CONFIGS: Dict[str, RunConfig] = {
+    "table1": RunConfig(
+        scheme="TD",
+        failure="global:0.2",
+        aggregate="count",
+        reading="constant:1.0",
+        epochs=30,
+        converge_epochs=100,
+    ),
+    "fig2": RunConfig(
+        scheme="TD",
+        failure="global:0.3",
+        aggregate="count",
+        reading="constant:1.0",
+        epochs=100,
+        converge_epochs=150,
+    ),
+    "fig4": RunConfig(
+        scheme="TD",
+        failure="regional:0.3:0.05",
+        aggregate="sum",
+        reading="uniform:10:100:0",
+        epochs=100,
+        converge_epochs=150,
+    ),
+    "fig5a": RunConfig(
+        scheme="TD",
+        failure="global:0.3",
+        aggregate="sum",
+        reading="uniform:10:100:0",
+        epochs=100,
+        converge_epochs=150,
+    ),
+    "fig5b": RunConfig(
+        scheme="TD",
+        failure="regional:0.3:0.05",
+        aggregate="sum",
+        reading="uniform:10:100:0",
+        epochs=100,
+        converge_epochs=150,
+    ),
+    "fig6": RunConfig(
+        scheme="TD",
+        failure="timeline",
+        aggregate="sum",
+        reading="uniform:10:100:0",
+        epochs=400,
+        start_epoch=0,
+        converge_epochs=0,
+        seed=0,
+    ),
+    "labdata": RunConfig(
+        scheme="TD",
+        topology="labdata",
+        num_sensors=54,
+        scenario_seed=7,
+        failure="none",
+        aggregate="sum",
+        reading="diurnal:7",
+        epochs=100,
+        converge_epochs=160,
+    ),
+}
+
+
+def describe_experiment(name: str) -> RunConfig:
+    """The resolved canonical config of a named figure experiment.
+
+    >>> describe_experiment("fig2").failure
+    'global:0.3'
+    """
+    try:
+        return EXPERIMENT_CONFIGS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no config form for experiment {name!r}; describable: "
+            + ", ".join(sorted(EXPERIMENT_CONFIGS))
+            + " (other experiments are not single scalar-aggregate runs; "
+            "use 'repro run')"
+        ) from None
+
+
+def _register_codecs() -> None:
+    """Join the wire format: ``run-config`` and ``run-report`` payloads.
+
+    Registered here (rather than in :mod:`repro.serialization`) so the
+    codec lives next to the schema; serialization bootstraps this module
+    on demand when it meets one of these tags first.
+    """
+    from repro import serialization
+
+    serialization.register_codec(
+        RunConfig,
+        _CONFIG_TAG,
+        lambda config: dict(config.to_jsonable()),
+        RunConfig.from_jsonable,
+    )
+    serialization.register_codec(
+        RunReport,
+        "run-report",
+        lambda report: {
+            "config": report.config.to_jsonable(),
+            "result": serialization.to_jsonable(report.result),
+        },
+        lambda data: RunReport(
+            config=RunConfig.from_jsonable(data["config"]),
+            result=serialization.from_jsonable(data["result"]),
+        ),
+    )
+
+
+_register_codecs()
+
+
+__all__ = [
+    "CONFIG_SCHEMA_VERSION",
+    "RUN_CACHE_VERSION",
+    "EXPERIMENT_CONFIGS",
+    "RunConfig",
+    "RunReport",
+    "Session",
+    "SweepReport",
+    "available",
+    "config_digest",
+    "describe_experiment",
+    "expand_grid",
+    "run_config_result",
+]

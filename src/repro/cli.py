@@ -7,23 +7,37 @@ Usage::
     python -m repro.cli run all --out results/
     python -m repro.cli sweep --schemes TAG,SD,TD --seeds 1,2,3 \
         --failures global:0.0,global:0.3 --jobs 4 --cache-dir .sweep-cache
+    python -m repro.cli describe fig2 > fig2.json
+    python -m repro.cli run-config fig2.json --epochs 10
 
 ``run`` regenerates a figure/table; each experiment prints (and optionally
 writes) the same rows/series the paper reports, with ``--full`` switching
 from the quick configurations to the paper-scale ones. ``sweep`` fans a
 (scheme x failure x seed) grid across the parallel sweep engine with an
-optional on-disk result cache.
+optional on-disk result cache. ``describe`` dumps the resolved
+:class:`~repro.api.RunConfig` of a named figure experiment as JSON, and
+``run-config`` executes any config file through the unified
+:class:`~repro.api.Session` — so ``repro describe fig2 | repro run-config
+/dev/stdin`` regenerates the figure's headline run from its declarative
+form alone.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import pathlib
 import sys
 import time
 from typing import Callable, Dict, Tuple
 
+from repro.api import (
+    EXPERIMENT_CONFIGS,
+    RunConfig,
+    Session,
+    describe_experiment,
+)
 from repro.errors import ConfigurationError
 from repro.experiments.parallel import SweepRunner
 
@@ -216,6 +230,56 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--out", type=pathlib.Path, default=None, help="file for the table"
     )
+    describe_parser = subparsers.add_parser(
+        "describe",
+        help="dump the resolved RunConfig of a named experiment as JSON",
+    )
+    describe_parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment name (see 'describe --list')",
+    )
+    describe_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_names",
+        help="print the describable experiment names, one per line",
+    )
+    config_parser = subparsers.add_parser(
+        "run-config",
+        help="execute a RunConfig JSON file through the Session API",
+    )
+    config_parser.add_argument(
+        "config", help="path to a RunConfig JSON file ('-' for stdin)"
+    )
+    config_parser.add_argument(
+        "--epochs", type=int, default=None, help="override measured epochs"
+    )
+    config_parser.add_argument(
+        "--seed", type=int, default=None, help="override the channel seed"
+    )
+    config_parser.add_argument(
+        "--scheme", default=None, help="override the scheme name"
+    )
+    config_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help="override any config field (repeatable), e.g. "
+        "--set num_sensors=60 --set converge_epochs=8",
+    )
+    config_parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="directory for cached results",
+    )
+    config_parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="file for the report"
+    )
     return parser
 
 
@@ -278,6 +342,91 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _coerce_field(name: str, raw: str) -> object:
+    """Parse a ``--set`` value according to the config field's type."""
+    fields = {field.name: field for field in dataclasses.fields(RunConfig)}
+    if name not in fields:
+        raise ConfigurationError(
+            f"unknown config field {name!r}; expected one of "
+            + ", ".join(sorted(fields))
+        )
+    default = fields[name].default
+    if isinstance(default, bool):
+        if raw.lower() in ("true", "1", "yes"):
+            return True
+        if raw.lower() in ("false", "0", "no"):
+            return False
+        raise ConfigurationError(f"{name} expects true/false, got {raw!r}")
+    try:
+        if isinstance(default, int):
+            return int(raw)
+        if isinstance(default, float):
+            return float(raw)
+    except ValueError as error:
+        raise ConfigurationError(
+            f"{name} expects a number, got {raw!r}"
+        ) from error
+    return raw
+
+
+def _describe(args) -> int:
+    if args.list_names:
+        for name in EXPERIMENT_CONFIGS:
+            print(name)
+        return 0
+    if args.experiment is None:
+        print("describe needs an experiment name (or --list)", file=sys.stderr)
+        return 2
+    try:
+        config = describe_experiment(args.experiment)
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(config.to_json(indent=2))
+    return 0
+
+
+def _run_config(args) -> int:
+    try:
+        if args.config == "-":
+            text = sys.stdin.read()
+        else:
+            text = pathlib.Path(args.config).read_text()
+    except OSError as error:
+        print(f"cannot read config: {error}", file=sys.stderr)
+        return 2
+    try:
+        config = RunConfig.from_json(text)
+        overrides: Dict[str, object] = {}
+        for item in args.overrides:
+            key, separator, raw = item.partition("=")
+            if not separator:
+                raise ConfigurationError(
+                    f"--set expects KEY=VALUE, got {item!r}"
+                )
+            overrides[key] = _coerce_field(key, raw)
+        for name in ("epochs", "seed", "scheme"):
+            value = getattr(args, name)
+            if value is not None:
+                overrides[name] = value
+        if overrides:
+            config = config.replace(**overrides)
+        session = Session(cache_dir=args.cache_dir)
+        started = time.time()
+        report = session.run(config)
+    except ConfigurationError as error:
+        print(f"invalid run config: {error}", file=sys.stderr)
+        return 2
+    text = report.render()
+    elapsed = time.time() - started
+    print(f"== run-config [{elapsed:.1f}s]")
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -286,6 +435,10 @@ def main(argv=None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "describe":
+        return _describe(args)
+    if args.command == "run-config":
+        return _run_config(args)
     quick = not args.full
     if args.experiment == "all":
         for name in EXPERIMENTS:
@@ -299,4 +452,8 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:  # e.g. `repro describe fig2 | head`
+        code = 0
+    raise SystemExit(code)

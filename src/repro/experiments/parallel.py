@@ -6,12 +6,14 @@ and the paired-comparison methodology (identical channel seeds across
 schemes) couples runs only through their *specs*, never through shared
 state. This module exploits that:
 
-* :class:`SweepSpec` — a frozen, JSON-able description of one run. Its
-  :meth:`SweepSpec.digest` hashes the canonical encoding, which keys the
-  result cache.
+* :class:`SweepSpec` — a frozen, JSON-able description of one run; a thin
+  alias over :class:`repro.api.RunConfig`. :meth:`SweepSpec.digest` hashes
+  the canonical ``RunConfig.to_json()`` payload, which keys the result
+  cache.
 * :func:`run_spec` — executes one spec (scenario assembly, TD convergence,
-  measurement) and returns the :class:`~repro.network.simulator.RunResult`.
-  Module-level so process pools can pickle it.
+  measurement) via :func:`repro.api.run_config_result` and returns the
+  :class:`~repro.network.simulator.RunResult`. Module-level so process
+  pools can pickle it.
 * :class:`SweepRunner` — maps specs to results through a
   ``concurrent.futures`` process pool with **deterministic result
   ordering** (results come back in spec order regardless of completion
@@ -27,32 +29,33 @@ grid return identical estimates — asserted by ``tests/test_parallel.py``.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 import pathlib
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.aggregates.count import CountAggregate
-from repro.aggregates.sum_ import SumAggregate
-from repro.datasets.streams import ConstantReadings, UniformReadings
-from repro.errors import ConfigurationError
+from repro.api import (
+    RUN_CACHE_VERSION,
+    RunConfig,
+    config_digest,
+    run_config_result,
+)
 from repro.experiments.metrics import format_table
-from repro.experiments.runner import build_schemes, converge_td, run_scheme
-from repro.network.failures import GlobalLoss, NoLoss, RegionalLoss
 from repro.network.simulator import RunResult
-from repro.serialization import from_jsonable, to_jsonable
+from repro.registry import SCHEMES, build_failure_model, build_reading
 
 T = TypeVar("T")
 U = TypeVar("U")
 
-#: Bump when run semantics change; invalidates every cached result.
-CACHE_VERSION = 1
+#: The run-result cache version (see :data:`repro.api.RUN_CACHE_VERSION`);
+#: cache keys are derived from the canonical ``RunConfig.to_json()``.
+CACHE_VERSION = RUN_CACHE_VERSION
 
-_ADAPTIVE_SCHEMES = ("TD-Coarse", "TD")
-KNOWN_SCHEMES = ("TAG", "SD") + _ADAPTIVE_SCHEMES
+#: Snapshot of the built-in scheme names (the sweepable set at import
+#: time); validation resolves the *live* registry, so schemes registered
+#: later are sweepable too.
+KNOWN_SCHEMES = SCHEMES.available()
 
 
 # -- spec -----------------------------------------------------------------
@@ -62,18 +65,24 @@ KNOWN_SCHEMES = ("TAG", "SD") + _ADAPTIVE_SCHEMES
 class SweepSpec:
     """One independent simulator run, fully described by plain values.
 
+    A thin alias over :class:`repro.api.RunConfig`: the spec keeps the
+    sweep engine's historical field set, :meth:`to_run_config` maps it onto
+    the unified schema, and both execution (:func:`run_spec`) and the cache
+    key (:meth:`digest`) are delegated to the config form.
+
     Attributes:
-        scheme: one of ``TAG``, ``SD``, ``TD-Coarse``, ``TD``.
+        scheme: a registered scheme name (``TAG``, ``SD``, ``TD-Coarse``,
+            ``TD`` built in).
         seed: channel seed of the measurement run (specs sharing a seed are
             paired: identical loss draws).
-        failure: failure-model spec string — ``none``, ``global:P`` or
-            ``regional:P1:P2``.
+        failure: failure-model spec string — ``none``, ``global:P``,
+            ``regional:P1:P2``, ...
         num_sensors: deployment size (the paper's Synthetic is 600).
         epochs: measured epochs.
         scenario_seed: seed of the deployment/tree construction.
-        aggregate: ``count`` or ``sum``.
-        reading: workload spec string — ``constant:V`` or
-            ``uniform:LO:HI:SEED``.
+        aggregate: a registered aggregate name (``count``, ``sum``, ...).
+        reading: workload spec string — ``constant:V``,
+            ``uniform:LO:HI:SEED``, ...
         converge_epochs: stabilisation epochs for the adaptive schemes.
         threshold: contributing-percentage target driving adaptation.
     """
@@ -90,94 +99,48 @@ class SweepSpec:
     threshold: float = 0.9
 
     def __post_init__(self) -> None:
-        if self.scheme not in KNOWN_SCHEMES:
-            raise ConfigurationError(
-                f"unknown scheme {self.scheme!r}; expected one of {KNOWN_SCHEMES}"
-            )
-        failure_model(self.failure)  # validate eagerly
-        reading_fn(self.reading)
-        if self.aggregate not in ("count", "sum"):
-            raise ConfigurationError("aggregate must be 'count' or 'sum'")
-        if self.epochs < 0 or self.converge_epochs < 0:
-            raise ConfigurationError("epoch counts cannot be negative")
+        # Validation is RunConfig's: one schema, one set of error messages.
+        self.to_run_config()
+
+    def to_run_config(self) -> RunConfig:
+        """The unified config this spec denotes (measurement defaults)."""
+        return RunConfig(
+            scheme=self.scheme,
+            seed=self.seed,
+            failure=self.failure,
+            num_sensors=self.num_sensors,
+            scenario_seed=self.scenario_seed,
+            aggregate=self.aggregate,
+            reading=self.reading,
+            epochs=self.epochs,
+            converge_epochs=self.converge_epochs,
+            threshold=self.threshold,
+        )
 
     def digest(self) -> str:
-        """A stable hash of the spec (plus cache version): the cache key."""
-        payload = dict(asdict(self), cache_version=CACHE_VERSION)
-        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
-        return hashlib.sha256(encoded).hexdigest()
+        """The cache key: hashed canonical ``RunConfig.to_json()`` payload."""
+        return config_digest(self.to_run_config())
 
 
 def failure_model(spec: str):
-    """Parse a failure spec string into a failure model."""
-    parts = spec.split(":")
-    kind = parts[0]
-    try:
-        if kind == "none" and len(parts) == 1:
-            return NoLoss()
-        if kind == "global" and len(parts) == 2:
-            return GlobalLoss(float(parts[1]))
-        if kind == "regional" and len(parts) == 3:
-            return RegionalLoss(float(parts[1]), float(parts[2]))
-    except ValueError as error:
-        raise ConfigurationError(f"bad failure spec {spec!r}: {error}") from error
-    raise ConfigurationError(
-        f"unknown failure spec {spec!r}; expected none, global:P or regional:P1:P2"
-    )
+    """Parse a failure spec string through the failure-model registry."""
+    return build_failure_model(spec)
 
 
 def reading_fn(spec: str):
-    """Parse a workload spec string into a ReadingFn."""
-    parts = spec.split(":")
-    kind = parts[0]
-    try:
-        if kind == "constant" and len(parts) == 2:
-            return ConstantReadings(float(parts[1]))
-        if kind == "uniform" and len(parts) == 4:
-            return UniformReadings(
-                int(parts[1]), int(parts[2]), seed=int(parts[3])
-            )
-    except ValueError as error:
-        raise ConfigurationError(f"bad reading spec {spec!r}: {error}") from error
-    raise ConfigurationError(
-        f"unknown reading spec {spec!r}; expected constant:V or uniform:LO:HI:SEED"
-    )
+    """Parse a workload spec string through the dataset registry."""
+    return build_reading(spec)
 
 
 def run_spec(spec: SweepSpec) -> RunResult:
     """Execute one spec: the paper's per-run methodology, self-contained.
 
-    Builds the shared scenario, converges the adaptive scheme (only the one
-    named — a worker should not pay for the others), then measures with the
-    channel seed offset exactly as :func:`repro.experiments.runner.run_scheme`
-    prescribes.
+    Delegates to :func:`repro.api.run_config_result` — scenario assembly,
+    TD convergence (only the scheme named; a worker should not pay for the
+    others), then measurement with the channel-seed offset — so sweep
+    cells and ``Session.run`` are the same code path by construction.
     """
-    factory = CountAggregate if spec.aggregate == "count" else SumAggregate
-    comparison = build_schemes(
-        factory,
-        num_sensors=spec.num_sensors,
-        seed=spec.scenario_seed,
-        threshold=spec.threshold,
-    )
-    failure = failure_model(spec.failure)
-    readings = reading_fn(spec.reading)
-    if spec.scheme in _ADAPTIVE_SCHEMES and spec.converge_epochs:
-        converge_td(
-            comparison,
-            failure,
-            readings,
-            epochs=spec.converge_epochs,
-            seed=spec.scenario_seed,
-            names=[spec.scheme],
-        )
-    return run_scheme(
-        comparison,
-        spec.scheme,
-        failure,
-        readings,
-        epochs=spec.epochs,
-        seed=spec.seed,
-    )
+    return run_config_result(spec.to_run_config())
 
 
 # -- generic deterministic pool map ---------------------------------------
@@ -224,9 +187,14 @@ def parallel_map(
 class SweepRunner:
     """Runs spec grids through a process pool with an on-disk result cache.
 
+    A thin adapter over :meth:`repro.api.Session.run_many` — pool
+    dispatch, deterministic ordering and the ``config_digest``-keyed JSON
+    cache are the Session's, so sweeps and ``Session.run`` share one cache
+    and one execution path.
+
     Attributes:
         jobs: worker processes; ``None`` or <= 1 runs serially.
-        cache_dir: directory for JSON result files (one per spec digest);
+        cache_dir: directory for JSON result files (one per config digest);
             ``None`` disables caching.
     """
 
@@ -240,22 +208,10 @@ class SweepRunner:
         dispatched. Fresh results are written back to the cache before
         returning.
         """
-        results: List[Optional[RunResult]] = [None] * len(specs)
-        misses: List[int] = []
-        for index, spec in enumerate(specs):
-            cached = self._load(spec)
-            if cached is not None:
-                results[index] = cached
-            else:
-                misses.append(index)
-        if misses:
-            fresh = parallel_map(
-                run_spec, [specs[index] for index in misses], jobs=self.jobs
-            )
-            for index, result in zip(misses, fresh):
-                results[index] = result
-                self._store(specs[index], result)
-        return results  # type: ignore[return-value]
+        from repro.api import Session
+
+        session = Session(jobs=self.jobs, cache_dir=self.cache_dir)
+        return session.run_many([spec.to_run_config() for spec in specs])
 
     def run_grid(
         self,
@@ -276,33 +232,6 @@ class SweepRunner:
             for seed in seeds
         ]
         return SweepReport(specs=specs, results=self.run(specs))
-
-    # -- cache ------------------------------------------------------------
-
-    def _path(self, spec: SweepSpec) -> Optional[pathlib.Path]:
-        if self.cache_dir is None:
-            return None
-        return pathlib.Path(self.cache_dir) / f"{spec.digest()}.json"
-
-    def _load(self, spec: SweepSpec) -> Optional[RunResult]:
-        path = self._path(spec)
-        if path is None or not path.exists():
-            return None
-        try:
-            payload = json.loads(path.read_text())
-            return from_jsonable(payload["result"])
-        except (ValueError, KeyError):  # corrupt cache entry: recompute
-            return None
-
-    def _store(self, spec: SweepSpec, result: RunResult) -> None:
-        path = self._path(spec)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"spec": asdict(spec), "result": to_jsonable(result)}
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
 
 
 @dataclass

@@ -6,22 +6,28 @@ collection only after the topologies are stable, adapt every 10 epochs with
 a 90% contributing threshold, 48-byte messages, no retransmissions unless
 stated. ``build_schemes``/``run_scheme``/``converge_td`` encode exactly
 that, so the per-figure modules stay declarative.
+
+Scheme construction and adaptivity resolve through the scheme registry
+(:mod:`repro.registry`): registering a scheme makes it comparable in every
+figure experiment with no changes here. The same construction path backs
+:meth:`repro.api.Session.run`, whose results are byte-identical by test.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.aggregates.base import Aggregate
-from repro.core.adaptation import DampedPolicy, TDCoarsePolicy, TDFinePolicy
-from repro.core.graph import TDGraph, initial_modes_by_level
-from repro.core.sd_scheme import SynopsisDiffusionScheme
-from repro.core.tag_scheme import TagScheme
-from repro.core.td_scheme import TributaryDeltaScheme
 from repro.datasets.synthetic import SyntheticScenario, make_synthetic_scenario
 from repro.network.failures import FailureModel
 from repro.network.simulator import EpochSimulator, ReadingFn, RunResult
+from repro.registry import (
+    SCHEMES,
+    SchemeContext,
+    adaptive_schemes,
+    is_adaptive,
+)
 from repro.tree.construction import build_bushy_tree
 from repro.tree.structure import Tree
 
@@ -48,12 +54,15 @@ def build_schemes(
     tree_attempts: int = 1,
     scenario: Optional[SyntheticScenario] = None,
     tree: Optional[Tree] = None,
+    names: Optional[Sequence[str]] = None,
 ) -> SchemeComparison:
-    """Assemble TAG, SD, TD-Coarse and TD over a shared scenario.
+    """Assemble registered schemes over a shared scenario.
 
-    All four schemes share the deployment, the rings, and (for the tree
-    parts) the same bushy tree, so differences in results come only from the
-    aggregation strategy.
+    All schemes share the deployment, the rings, and (for the tree parts)
+    the same bushy tree, so differences in results come only from the
+    aggregation strategy. Schemes are built through the scheme registry
+    (:mod:`repro.registry`) in registration order — TAG, SD, TD-Coarse, TD
+    for the built-ins — or restricted to ``names``.
     """
     if scenario is None:
         scenario = make_synthetic_scenario(num_sensors=num_sensors, seed=seed)
@@ -61,28 +70,21 @@ def build_schemes(
         tree = build_bushy_tree(scenario.rings, seed=seed)
     comparison = SchemeComparison(scenario=scenario, tree=tree)
 
-    comparison.schemes["TAG"] = TagScheme(
-        scenario.deployment, tree, aggregate_factory(), attempts=tree_attempts
-    )
-    comparison.schemes["SD"] = SynopsisDiffusionScheme(
-        scenario.deployment, scenario.rings, aggregate_factory()
-    )
-    for name, policy in (
-        ("TD-Coarse", DampedPolicy(TDCoarsePolicy(threshold=threshold))),
-        ("TD", TDFinePolicy(threshold=threshold)),
-    ):
-        graph = TDGraph(
-            scenario.rings, tree, initial_modes_by_level(scenario.rings, 0)
+    for name in names if names is not None else SCHEMES.available():
+        scheme = SCHEMES.resolve(name).builder(
+            SchemeContext(
+                deployment=scenario.deployment,
+                rings=scenario.rings,
+                tree=tree,
+                aggregate=aggregate_factory(),
+                threshold=threshold,
+                tree_attempts=tree_attempts,
+            )
         )
-        comparison.graphs[name] = graph
-        comparison.schemes[name] = TributaryDeltaScheme(
-            scenario.deployment,
-            graph,
-            aggregate_factory(),
-            policy=policy,
-            tree_attempts=tree_attempts,
-            name=name,
-        )
+        comparison.schemes[name] = scheme
+        graph = getattr(scheme, "graph", None)
+        if graph is not None:
+            comparison.graphs[name] = graph
     return comparison
 
 
@@ -102,9 +104,10 @@ def converge_td(
 
     ``names`` restricts stabilisation to a subset of the adaptive schemes —
     the parallel sweep engine runs one scheme per worker and should not pay
-    for converging the others.
+    for converging the others. The default is every scheme registered as
+    adaptive (the Tributary-Delta family, for the built-ins).
     """
-    for name in names if names is not None else ("TD-Coarse", "TD"):
+    for name in names if names is not None else adaptive_schemes():
         scheme = comparison.schemes.get(name)
         if scheme is None:
             continue
@@ -168,7 +171,7 @@ def run_scheme(
     loss patterns (paired comparison).
     """
     scheme = comparison.schemes[name]
-    interval = adapt_interval if name in ("TD-Coarse", "TD") else 0
+    interval = adapt_interval if is_adaptive(name) else 0
     simulator = EpochSimulator(
         comparison.scenario.deployment,
         failure,

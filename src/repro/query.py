@@ -23,28 +23,32 @@ This module supplies that query layer over the aggregation schemes:
 
 Compile a query against a readings source with :meth:`ContinuousQuery.build`
 and hand the results to any scheme (TAG / SD / Tributary-Delta).
+
+SELECT targets resolve through the aggregate registry
+(:mod:`repro.registry`), so every registered aggregate — the built-in
+``count``/``sum``/``avg``/``min``/``max``/``sample``/``distinct``/
+``moments`` and anything added via ``register_aggregate`` — is queryable
+with no changes here.
 """
 
 from __future__ import annotations
 
 import operator
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.aggregates.average import AverageAggregate
 from repro.aggregates.base import Aggregate
-from repro.aggregates.count import CountAggregate
-from repro.aggregates.minmax import MaxAggregate, MinAggregate
-from repro.aggregates.sample import UniformSampleAggregate
-from repro.aggregates.sum_ import SumAggregate
 from repro.errors import ConfigurationError
 from repro.network.simulator import ReadingFn
+from repro.registry import AGGREGATES
 
 #: value predicate applied at each sensor.
 Predicate = Callable[[float], bool]
 
-#: window reduction names -> implementations over a non-empty list.
-_WINDOW_OPS: Dict[str, Callable[[List[float]], float]] = {
+#: window reduction names -> implementations over a non-empty sequence
+#: (oldest reading first).
+_WINDOW_OPS: Dict[str, Callable[[Sequence[float]], float]] = {
     "MEAN": lambda values: sum(values) / len(values),
     "SUM": lambda values: float(sum(values)),
     "MIN": lambda values: float(min(values)),
@@ -52,15 +56,8 @@ _WINDOW_OPS: Dict[str, Callable[[List[float]], float]] = {
     "LAST": lambda values: float(values[-1]),
 }
 
-#: SELECT targets -> aggregate factories.
-AGGREGATE_FACTORIES: Dict[str, Callable[[], Aggregate]] = {
-    "count": CountAggregate,
-    "sum": SumAggregate,
-    "avg": AverageAggregate,
-    "min": MinAggregate,
-    "max": MaxAggregate,
-    "sample": UniformSampleAggregate,
-}
+#: SELECT targets: a live read-only view of the aggregate registry.
+AGGREGATE_FACTORIES = AGGREGATES.view()
 
 _COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
     ">": operator.gt,
@@ -79,6 +76,18 @@ class WindowedReadings:
     The windowed value at epoch e reduces the source readings at epochs
     ``max(0, e - size + 1) .. e`` — early epochs use the available prefix,
     so the window "fills up" like a real deployment's would.
+
+    Each node keeps a rolling deque of its window, so the epoch-advancing
+    access pattern every scheme produces costs O(1) amortised source
+    evaluations per call (one new reading per node per epoch; repeated
+    queries at the same epoch are served from the cached reduction) instead
+    of re-evaluating the whole window. Results are *identical* to the naive
+    re-reduction — the deque holds the same values in the same order and
+    the reduction arithmetic is unchanged (pinned by
+    ``tests/test_query.py``). Sources are pure functions of
+    ``(node, epoch)`` — the workload contract — so caching their values is
+    observationally free; random access (backward jumps, gaps wider than
+    the window) falls back to rebuilding that node's window.
     """
 
     def __init__(
@@ -95,11 +104,26 @@ class WindowedReadings:
         self.size = size
         self.op = op
         self._reduce = _WINDOW_OPS[op]
+        #: node -> (epoch, window values oldest-first, reduced value)
+        self._windows: Dict[int, Tuple[int, Deque[float], float]] = {}
 
     def __call__(self, node: int, epoch: int) -> float:
-        start = max(0, epoch - self.size + 1)
-        values = [self._source(node, e) for e in range(start, epoch + 1)]
-        return self._reduce(values)
+        state = self._windows.get(node)
+        if state is not None and state[0] == epoch:
+            return state[2]
+        if state is not None and state[0] < epoch < state[0] + self.size:
+            buffer = state[1]
+            for e in range(state[0] + 1, epoch + 1):
+                buffer.append(self._source(node, e))
+        else:
+            start = max(0, epoch - self.size + 1)
+            buffer = deque(
+                (self._source(node, e) for e in range(start, epoch + 1)),
+                maxlen=self.size,
+            )
+        value = self._reduce(buffer)
+        self._windows[node] = (epoch, buffer, value)
+        return value
 
 
 class FilteredAggregate(Aggregate):
@@ -213,8 +237,9 @@ class ContinuousQuery:
     """A declarative continuous aggregation query.
 
     Attributes:
-        select: aggregate name (``count``/``sum``/``avg``/``min``/``max``/
-            ``sample``).
+        select: a registered aggregate name (``count``/``sum``/``avg``/
+            ``min``/``max``/``sample``/``distinct``/``moments`` out of the
+            box; anything added via ``register_aggregate`` also works).
         where: optional predicate on the (windowed) sensor value.
         window: optional window size (epochs); 1 or None = latest reading.
         window_op: window reduction (MEAN/SUM/MIN/MAX/LAST).

@@ -1,0 +1,471 @@
+"""String-keyed component registries behind the declarative Session API.
+
+The paper presents TAG, synopsis diffusion and Tributary-Delta as
+*interchangeable strategies under one query model*; this module is where
+that interchangeability lives in code. Every pluggable component family
+gets a registry keyed by a short stable name:
+
+==============  ===================================  =======================
+registry        entry                                built-ins
+==============  ===================================  =======================
+schemes         ``SchemeEntry`` (builder, adaptive)  TAG, SD, TD-Coarse, TD
+aggregates      zero-argument ``Aggregate`` factory  count, sum, avg, min,
+                                                     max, sample, distinct,
+                                                     moments
+failure models  spec-string constructor              none, global, regional,
+                                                     timeline
+topologies      ``(num_sensors, seed) -> topology``  synthetic, labdata
+datasets        spec-string constructor              constant, uniform,
+                                                     diurnal
+==============  ===================================  =======================
+
+Extending the system is one decorator::
+
+    from repro.registry import register_aggregate
+
+    @register_aggregate("median")
+    class MedianAggregate(Aggregate):
+        ...
+
+and the new name immediately works everywhere a name is accepted: the
+query layer's ``SELECT`` targets, :class:`repro.api.RunConfig`, the sweep
+engine's specs, and the CLI. Discovery is ``available()``.
+
+Failure models and datasets are constructed from *spec strings* — the
+colon-separated idiom the sweep engine established (``global:0.3``,
+``uniform:10:100:0``). The head token selects the registered constructor;
+the remaining tokens are its positional string arguments.
+
+Registries resolve lazily (at build time, not at registration time), and
+unknown names raise :class:`~repro.errors.ConfigurationError` listing what
+*is* available — configuration mistakes fail loudly and actionably.
+
+Process-pool caveat: worker processes re-import this module, so built-ins
+are always present in workers, but components registered dynamically (e.g.
+inside a test function) exist only in the registering process. Register
+custom components at module import time if they must survive ``jobs > 1``.
+"""
+
+from __future__ import annotations
+
+import types
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
+
+from repro.aggregates.average import AverageAggregate
+from repro.aggregates.base import Aggregate
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.distinct import DistinctCountAggregate
+from repro.aggregates.minmax import MaxAggregate, MinAggregate
+from repro.aggregates.moments import MomentsAggregate
+from repro.aggregates.sample import UniformSampleAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.core.adaptation import DampedPolicy, TDCoarsePolicy, TDFinePolicy
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.sd_scheme import SynopsisDiffusionScheme
+from repro.core.tag_scheme import TagScheme
+from repro.core.td_scheme import TributaryDeltaScheme
+from repro.datasets.labdata import LabDataScenario
+from repro.datasets.streams import (
+    ConstantReadings,
+    DiurnalLightReadings,
+    UniformReadings,
+)
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.errors import ConfigurationError
+from repro.network.failures import (
+    FailureSchedule,
+    GlobalLoss,
+    NoLoss,
+    RegionalLoss,
+)
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A named table of components with actionable resolution errors.
+
+    Entries keep registration order (which fixes, for example, the order
+    ``build_schemes`` assembles scheme comparisons in). Re-registering a
+    name replaces the entry — tests and notebooks can shadow a built-in.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, entry: T) -> T:
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"{self.kind} names must be non-empty strings, got {name!r}"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (tests shadowing built-ins clean up with this)."""
+        self._entries.pop(name, None)
+
+    def resolve(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; "
+                f"available: {', '.join(self.available())}"
+            ) from None
+
+    def available(self) -> Tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._entries)
+
+    def view(self) -> types.MappingProxyType:
+        """A live read-only mapping view (name -> entry)."""
+        return types.MappingProxyType(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# -- scheme registry -------------------------------------------------------
+
+
+@dataclass
+class SchemeContext:
+    """Everything a scheme builder may draw on, resolved from a config.
+
+    Builders receive one fully-assembled context: the shared deployment and
+    rings, the shared bushy tree, a *fresh* aggregate instance, and the
+    construction knobs. They must not draw randomness — construction is
+    deterministic, only channel draws are random.
+    """
+
+    deployment: object
+    rings: object
+    tree: object
+    aggregate: Aggregate
+    threshold: float = 0.9
+    tree_attempts: int = 1
+    use_batch: bool = True
+
+
+@dataclass(frozen=True)
+class SchemeEntry:
+    """A registered scheme: its builder plus behavioural metadata.
+
+    ``adaptive`` marks schemes whose topology reacts to feedback (the
+    Tributary-Delta family): the runner stabilises them before measurement
+    and calls ``adapt`` on the paper's cadence during it.
+    """
+
+    builder: Callable[[SchemeContext], object]
+    adaptive: bool = False
+
+
+SCHEMES: Registry[SchemeEntry] = Registry("scheme")
+AGGREGATES: Registry[Callable[[], Aggregate]] = Registry("aggregate")
+FAILURE_MODELS: Registry[Callable[..., object]] = Registry("failure model")
+TOPOLOGIES: Registry[Callable[..., object]] = Registry("topology")
+DATASETS: Registry[Callable[..., object]] = Registry("dataset")
+
+
+def register_scheme(name: str, adaptive: bool = False):
+    """Class decorator-style registration of a scheme builder.
+
+    The builder maps a :class:`SchemeContext` to a ready
+    ``AggregationScheme``. ``adaptive=True`` opts the scheme into the
+    stabilise-then-adapt driving the Tributary-Delta schemes get.
+    """
+
+    def decorator(builder: Callable[[SchemeContext], object]):
+        SCHEMES.register(name, SchemeEntry(builder=builder, adaptive=adaptive))
+        return builder
+
+    return decorator
+
+
+def register_aggregate(name: str):
+    """Register a zero-argument aggregate factory (usually the class)."""
+
+    def decorator(factory: Callable[[], Aggregate]):
+        AGGREGATES.register(name, factory)
+        return factory
+
+    return decorator
+
+
+def register_failure_model(name: str):
+    """Register a failure-model constructor for ``name[:arg[:arg...]]`` specs.
+
+    The constructor receives the spec's remaining tokens as positional
+    strings and returns a ``FailureModel``.
+    """
+
+    def decorator(constructor: Callable[..., object]):
+        FAILURE_MODELS.register(name, constructor)
+        return constructor
+
+    return decorator
+
+
+def register_topology(name: str):
+    """Register a topology builder: ``(num_sensors, seed) -> topology``.
+
+    The builder returns any object with ``deployment`` and ``rings``
+    attributes; an optional ``base_loss`` dict (per-link loss rates) is
+    composed under the configured failure model, which is how measured-link
+    scenarios like LabData plug into the same config schema.
+    """
+
+    def decorator(builder: Callable[..., object]):
+        TOPOLOGIES.register(name, builder)
+        return builder
+
+    return decorator
+
+
+def register_dataset(name: str):
+    """Register a workload constructor for ``name[:arg[:arg...]]`` specs."""
+
+    def decorator(constructor: Callable[..., object]):
+        DATASETS.register(name, constructor)
+        return constructor
+
+    return decorator
+
+
+def available() -> Dict[str, Tuple[str, ...]]:
+    """Every registry's names: the discovery surface of the component system.
+
+    >>> sorted(available())
+    ['aggregates', 'datasets', 'failure_models', 'schemes', 'topologies']
+    >>> available()['schemes']
+    ('TAG', 'SD', 'TD-Coarse', 'TD')
+    """
+    return {
+        "schemes": SCHEMES.available(),
+        "aggregates": AGGREGATES.available(),
+        "failure_models": FAILURE_MODELS.available(),
+        "topologies": TOPOLOGIES.available(),
+        "datasets": DATASETS.available(),
+    }
+
+
+def adaptive_schemes() -> Tuple[str, ...]:
+    """Names of the registered adaptive schemes, in registration order."""
+    return tuple(
+        name for name in SCHEMES if SCHEMES.resolve(name).adaptive
+    )
+
+
+def is_adaptive(name: str) -> bool:
+    """Whether a scheme name is registered as adaptive (False if unknown)."""
+    return name in SCHEMES and SCHEMES.resolve(name).adaptive
+
+
+# -- spec strings ----------------------------------------------------------
+
+
+def _spec_parts(spec: str, kind: str) -> Tuple[str, Tuple[str, ...]]:
+    if not isinstance(spec, str) or not spec:
+        raise ConfigurationError(f"{kind} spec must be a non-empty string")
+    head, *args = spec.split(":")
+    return head, tuple(args)
+
+
+def build_failure_model(spec: str):
+    """Construct a failure model from a ``name[:arg...]`` spec string.
+
+    >>> build_failure_model("global:0.3")
+    GlobalLoss(rate=0.3)
+    """
+    head, args = _spec_parts(spec, "failure")
+    constructor = FAILURE_MODELS.resolve(head)
+    try:
+        return constructor(*args)
+    except ConfigurationError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"bad failure spec {spec!r}: {error}"
+        ) from error
+
+
+def build_reading(spec: str):
+    """Construct a reading workload from a ``name[:arg...]`` spec string.
+
+    >>> build_reading("constant:2.5")(node=1, epoch=0)
+    2.5
+    """
+    head, args = _spec_parts(spec, "reading")
+    constructor = DATASETS.resolve(head)
+    try:
+        return constructor(*args)
+    except ConfigurationError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"bad reading spec {spec!r}: {error}"
+        ) from error
+
+
+# -- built-in schemes ------------------------------------------------------
+# Registration order is the canonical comparison order of every
+# multi-scheme figure: TAG, SD, TD-Coarse, TD.
+
+
+@register_scheme("TAG")
+def _build_tag(context: SchemeContext) -> TagScheme:
+    return TagScheme(
+        context.deployment,
+        context.tree,
+        context.aggregate,
+        attempts=context.tree_attempts,
+        use_batch=context.use_batch,
+    )
+
+
+@register_scheme("SD")
+def _build_sd(context: SchemeContext) -> SynopsisDiffusionScheme:
+    return SynopsisDiffusionScheme(
+        context.deployment,
+        context.rings,
+        context.aggregate,
+        use_batch=context.use_batch,
+    )
+
+
+def _build_td(context: SchemeContext, policy, name: str) -> TributaryDeltaScheme:
+    graph = TDGraph(
+        context.rings, context.tree, initial_modes_by_level(context.rings, 0)
+    )
+    return TributaryDeltaScheme(
+        context.deployment,
+        graph,
+        context.aggregate,
+        policy=policy,
+        tree_attempts=context.tree_attempts,
+        name=name,
+        use_batch=context.use_batch,
+    )
+
+
+@register_scheme("TD-Coarse", adaptive=True)
+def _build_td_coarse(context: SchemeContext) -> TributaryDeltaScheme:
+    return _build_td(
+        context,
+        DampedPolicy(TDCoarsePolicy(threshold=context.threshold)),
+        "TD-Coarse",
+    )
+
+
+@register_scheme("TD", adaptive=True)
+def _build_td_fine(context: SchemeContext) -> TributaryDeltaScheme:
+    return _build_td(
+        context, TDFinePolicy(threshold=context.threshold), "TD"
+    )
+
+
+# -- built-in aggregates ---------------------------------------------------
+
+register_aggregate("count")(CountAggregate)
+register_aggregate("sum")(SumAggregate)
+register_aggregate("avg")(AverageAggregate)
+register_aggregate("min")(MinAggregate)
+register_aggregate("max")(MaxAggregate)
+register_aggregate("sample")(UniformSampleAggregate)
+register_aggregate("distinct")(DistinctCountAggregate)
+register_aggregate("moments")(MomentsAggregate)
+
+
+# -- built-in failure models -----------------------------------------------
+
+
+@register_failure_model("none")
+def _build_no_loss() -> NoLoss:
+    return NoLoss()
+
+
+@register_failure_model("global")
+def _build_global_loss(rate: str) -> GlobalLoss:
+    return GlobalLoss(float(rate))
+
+
+@register_failure_model("regional")
+def _build_regional_loss(inside: str, outside: str) -> RegionalLoss:
+    return RegionalLoss(float(inside), float(outside))
+
+
+@register_failure_model("timeline")
+def _build_timeline() -> FailureSchedule:
+    """The paper's Figure 6 failure timeline (quiet / regional / global /
+    quiet, 100 epochs per phase)."""
+    return FailureSchedule(
+        [
+            (0, GlobalLoss(0.0)),
+            (100, RegionalLoss(0.3, 0.0)),
+            (200, GlobalLoss(0.3)),
+            (300, GlobalLoss(0.0)),
+        ]
+    )
+
+
+# -- built-in topologies ---------------------------------------------------
+
+
+@dataclass
+class ResolvedTopology:
+    """What a topology builder hands the session: placement + routing.
+
+    ``base_loss`` (optional) carries measured per-link loss rates that the
+    session composes under the configured failure model — the LabData
+    pattern, where link quality belongs to the *scenario*, not the failure
+    spec.
+    """
+
+    deployment: object
+    rings: object
+    base_loss: Optional[Dict] = field(default=None)
+
+
+@register_topology("synthetic")
+def _build_synthetic(num_sensors: int, seed: int) -> ResolvedTopology:
+    scenario = make_synthetic_scenario(num_sensors=num_sensors, seed=seed)
+    return ResolvedTopology(
+        deployment=scenario.deployment, rings=scenario.rings
+    )
+
+
+@register_topology("labdata")
+def _build_labdata(num_sensors: int, seed: int) -> ResolvedTopology:
+    # The lab deployment is a fixed 54-mote floor plan; num_sensors is
+    # accepted for signature uniformity but does not apply.
+    lab = LabDataScenario.build(seed=seed)
+    return ResolvedTopology(
+        deployment=lab.deployment, rings=lab.rings, base_loss=lab.base_loss
+    )
+
+
+# -- built-in datasets -----------------------------------------------------
+
+
+@register_dataset("constant")
+def _build_constant(value: str = "1.0") -> ConstantReadings:
+    return ConstantReadings(float(value))
+
+
+@register_dataset("uniform")
+def _build_uniform(low: str, high: str, seed: str = "0") -> UniformReadings:
+    return UniformReadings(int(low), int(high), seed=int(seed))
+
+
+@register_dataset("diurnal")
+def _build_diurnal(seed: str = "0") -> DiurnalLightReadings:
+    return DiurnalLightReadings(seed=int(seed))

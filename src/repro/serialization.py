@@ -19,6 +19,8 @@ TransmissionLog         ``transmission-log``
 EnergyReport            ``energy-report``
 EpochResult             ``epoch-result``
 RunResult               ``run-result``
+RunConfig               ``run-config``
+RunReport               ``run-report``
 ======================  =======================================
 
 The format is versioned; :func:`loads` refuses payloads from a newer format
@@ -26,6 +28,14 @@ so stale readers fail loudly instead of mis-parsing. Round-tripping is
 exact for every sketch/summary type (``loads(dumps(x)) == x``); experiment
 results round-trip all numeric fields and a JSON-safe projection of their
 free-form ``extra`` diagnostics.
+
+:func:`register_codec` is the extension point: :mod:`repro.api` registers
+the ``run-config``/``run-report`` codecs through it at import (the config
+payload additionally carries its own schema version and rejects unknown
+keys with an actionable :class:`~repro.errors.ConfigurationError` — see
+:meth:`repro.api.RunConfig.from_jsonable`). Decoding one of those tags
+bootstraps :mod:`repro.api` on demand, so ``loads`` works regardless of
+import order.
 """
 
 from __future__ import annotations
@@ -47,6 +57,10 @@ from repro.network.simulator import EpochResult, RunResult
 
 #: Format version; bump on breaking changes to any encoding below.
 FORMAT_VERSION = 1
+
+#: Tags whose decoders validate their own schema version (populated by
+#: :func:`register_codec`).
+_SELF_VERSIONED_TAGS: set = set()
 
 _SCALARS = (str, int, float, bool, type(None))
 
@@ -304,14 +318,50 @@ _DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
 }
 
 
+def register_codec(
+    klass: type,
+    tag: str,
+    encoder: Callable[[Any], Dict[str, Any]],
+    decoder: Callable[[Dict[str, Any]], Any],
+) -> None:
+    """Add (or replace) a wire codec for ``klass`` under ``tag``.
+
+    The extension point other layers use to join the serialisation format
+    without this module importing them (:mod:`repro.api` registers its
+    config codec this way). Encoders return a plain dict; the ``type`` and
+    ``version`` envelope is stamped by :func:`to_jsonable`.
+    """
+    for index, (existing, existing_tag, _) in enumerate(_ENCODERS):
+        if existing is klass or existing_tag == tag:
+            _ENCODERS[index] = (klass, tag, encoder)
+            break
+    else:
+        _ENCODERS.append((klass, tag, encoder))
+    _DECODERS[tag] = decoder
+    # Registered codecs own their payload's schema version (e.g. the
+    # run-config codec validates CONFIG_SCHEMA_VERSION itself), so the
+    # global FORMAT_VERSION gate does not apply to them.
+    _SELF_VERSIONED_TAGS.add(tag)
+
+
+def _bootstrap_api() -> None:
+    """Load :mod:`repro.api` so its codecs self-register (idempotent)."""
+    import repro.api  # noqa: F401  (import-for-side-effect)
+
+
 def to_jsonable(obj: Any) -> Dict[str, Any]:
     """Encode any supported object to a plain JSON-serialisable dict."""
-    for klass, tag, encoder in _ENCODERS:
-        if isinstance(obj, klass):
-            payload = encoder(obj)
-            payload["type"] = tag
-            payload["version"] = FORMAT_VERSION
-            return payload
+    for attempt in range(2):
+        for klass, tag, encoder in _ENCODERS:
+            if isinstance(obj, klass):
+                payload = encoder(obj)
+                payload["type"] = tag
+                # Self-versioned payloads (run-config) keep their own
+                # schema version; everything else gets the format's.
+                payload.setdefault("version", FORMAT_VERSION)
+                return payload
+        if attempt == 0:
+            _bootstrap_api()
     raise ConfigurationError(
         f"don't know how to serialise {type(obj).__name__}"
     )
@@ -321,16 +371,19 @@ def from_jsonable(data: Dict[str, Any]) -> Any:
     """Decode a dict produced by :func:`to_jsonable`."""
     if "type" not in data:
         raise ConfigurationError("payload has no 'type' tag")
+    tag = data["type"]
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        _bootstrap_api()
+        decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise ConfigurationError(f"unknown payload type {tag!r}")
     version = data.get("version", 0)
-    if version > FORMAT_VERSION:
+    if tag not in _SELF_VERSIONED_TAGS and version > FORMAT_VERSION:
         raise ConfigurationError(
             f"payload format version {version} is newer than this reader "
             f"({FORMAT_VERSION})"
         )
-    tag = data["type"]
-    decoder = _DECODERS.get(tag)
-    if decoder is None:
-        raise ConfigurationError(f"unknown payload type {tag!r}")
     return decoder(data)
 
 

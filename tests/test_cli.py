@@ -62,3 +62,80 @@ class TestRun:
         output = capsys.readouterr().out
         assert "footnote 6" in output
         assert "tree (count)" in output
+
+
+class TestDescribeAndRunConfig:
+    def test_describe_list(self, capsys):
+        from repro.api import EXPERIMENT_CONFIGS
+
+        assert main(["describe", "--list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert printed == list(EXPERIMENT_CONFIGS)
+
+    def test_describe_round_trips(self, capsys):
+        from repro.api import EXPERIMENT_CONFIGS, RunConfig
+
+        assert main(["describe", "fig2"]) == 0
+        printed = capsys.readouterr().out
+        assert RunConfig.from_json(printed) == EXPERIMENT_CONFIGS["fig2"]
+
+    def test_describe_unknown_is_actionable(self, capsys):
+        assert main(["describe", "fig99"]) == 2
+        assert "describable" in capsys.readouterr().err
+
+    def test_describe_needs_a_name(self, capsys):
+        assert main(["describe"]) == 2
+
+    def test_run_config_executes_with_overrides(self, tmp_path, capsys):
+        from repro.api import RunConfig
+
+        config = RunConfig(
+            scheme="TAG", num_sensors=40, epochs=3, converge_epochs=0,
+            failure="none", scenario_seed=4,
+        )
+        path = tmp_path / "config.json"
+        path.write_text(config.to_json())
+        out = tmp_path / "report.txt"
+        code = main(
+            [
+                "run-config",
+                str(path),
+                "--epochs",
+                "2",
+                "--set",
+                "failure=global:0.2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "rms_error" in printed
+        assert "epochs=2" in printed
+        assert out.exists()
+
+    def test_run_config_rejects_bad_payloads(self, tmp_path, capsys):
+        path = tmp_path / "config.json"
+        path.write_text('{"scheme": "TAG", "epocks": 3}')
+        assert main(["run-config", str(path)]) == 2
+        assert "epocks" in capsys.readouterr().err
+        path.write_text("{not json")
+        assert main(["run-config", str(path)]) == 2
+        assert main(["run-config", str(tmp_path / "missing.json")]) == 2
+
+    def test_run_config_rejects_bad_overrides(self, tmp_path, capsys):
+        from repro.api import RunConfig
+
+        path = tmp_path / "config.json"
+        path.write_text(
+            RunConfig(
+                scheme="TAG", num_sensors=40, epochs=2, converge_epochs=0
+            ).to_json()
+        )
+        assert main(["run-config", str(path), "--set", "bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+        assert main(["run-config", str(path), "--set", "nonsense"]) == 2
+        capsys.readouterr()
+        assert main(["run-config", str(path), "--set", "epochs=abc"]) == 2
+        assert "epochs" in capsys.readouterr().err
+        assert main(["run-config", str(path), "--set", "use_batch=maybe"]) == 2

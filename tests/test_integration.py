@@ -211,5 +211,5 @@ class TestDocstringExample:
         code = textwrap.dedent("\n".join(lines[start : end + 1]))
         namespace = {}
         exec(code, namespace)  # noqa: S102 - doc-sync check
-        assert "result" in namespace
-        assert namespace["result"].rms_error() >= 0.0
+        assert "report" in namespace
+        assert namespace["report"].rms_error() >= 0.0

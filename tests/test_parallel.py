@@ -47,6 +47,36 @@ class TestSweepSpec:
         assert reading_fn("constant:2.0")(1, 0) == 2.0
         assert reading_fn("uniform:1:9:3")(1, 0) >= 1
 
+    def test_digest_is_derived_from_run_config_json(self):
+        from repro.api import config_digest
+
+        spec = SweepSpec(scheme="TAG", seed=1, failure="global:0.2", **QUICK)
+        assert spec.digest() == config_digest(spec.to_run_config())
+
+    def test_run_spec_matches_session(self):
+        from repro.api import Session
+
+        spec = SweepSpec(scheme="TD", seed=2, failure="global:0.25", **QUICK)
+        via_spec = run_spec(spec)
+        via_session = Session().run(spec.to_run_config())
+        assert via_spec.estimates == via_session.result.estimates
+
+    def test_sweep_cache_is_shared_with_session(self, tmp_path):
+        from repro.api import Session
+
+        spec = SweepSpec(scheme="TAG", seed=1, failure="global:0.2", **QUICK)
+        [from_runner] = SweepRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        # The Session must *hit* the runner's entry: poison the executor.
+        import repro.api as api_module
+
+        original = api_module.run_config_result
+        api_module.run_config_result = None
+        try:
+            report = Session(cache_dir=tmp_path).run(spec.to_run_config())
+        finally:
+            api_module.run_config_result = original
+        assert report.result.estimates == from_runner.estimates
+
 
 class TestParallelMap:
     def test_serial_fallback_and_order(self):
@@ -155,4 +185,5 @@ class TestCliSweep:
         cached = list((tmp_path / "cache").glob("*.json"))
         assert len(cached) == 2
         payload = json.loads(cached[0].read_text())
-        assert "spec" in payload and "result" in payload
+        # One cache format for sweeps and Session.run alike.
+        assert "config" in payload and "result" in payload

@@ -66,6 +66,53 @@ class TestWindowedReadings:
         window = WindowedReadings(sawtooth, size=size, op="MEAN")
         assert 0.0 <= window(5, epoch) < 10.0
 
+    @staticmethod
+    def _naive(size, op, node, epoch):
+        """The pre-deque reference: re-reduce the whole window."""
+        from repro.query import _WINDOW_OPS
+
+        start = max(0, epoch - size + 1)
+        values = [sawtooth(node, e) for e in range(start, epoch + 1)]
+        return _WINDOW_OPS[op](values)
+
+    @pytest.mark.parametrize("op", ["MEAN", "SUM", "MIN", "MAX", "LAST"])
+    def test_rolling_deque_identical_to_naive(self, op):
+        """The O(1) rolling window must match naive re-reduction exactly
+        across sequential, repeated, gapped, and backward accesses."""
+        window = WindowedReadings(sawtooth, size=4, op=op)
+        pattern = [0, 1, 1, 2, 3, 4, 4, 7, 8, 2, 3, 20, 21, 5, 6, 6, 7]
+        for epoch in pattern:
+            for node in (1, 2, 9):
+                assert window(node, epoch) == self._naive(4, op, node, epoch), (
+                    f"{op} diverged at node={node} epoch={epoch}"
+                )
+
+    @given(
+        size=st.integers(min_value=1, max_value=6),
+        epochs=st.lists(
+            st.integers(min_value=0, max_value=25), min_size=1, max_size=30
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rolling_deque_identical_under_random_access(self, size, epochs):
+        window = WindowedReadings(sawtooth, size=size, op="MEAN")
+        for epoch in epochs:
+            assert window(3, epoch) == self._naive(size, "MEAN", 3, epoch)
+
+    def test_rolling_is_constant_source_calls_per_epoch(self):
+        calls = []
+
+        def counting(node, epoch):
+            calls.append((node, epoch))
+            return sawtooth(node, epoch)
+
+        window = WindowedReadings(counting, size=10, op="SUM")
+        for epoch in range(50):
+            window(2, epoch)
+            window(2, epoch)  # same-epoch re-query: served from cache
+        # One new source reading per epoch, not one window per call.
+        assert len(calls) == 50
+
 
 class TestFilteredAggregate:
     def test_non_matching_contributes_neutral(self):
@@ -148,6 +195,15 @@ class TestParseQuery:
         for name in AGGREGATE_FACTORIES:
             assert parse_query(f"SELECT {name}").select == name
 
+    def test_select_targets_cover_aggregate_registry(self):
+        """The SELECT surface *is* the aggregate registry — including the
+        holistic aggregates (distinct, moments)."""
+        from repro.registry import AGGREGATES
+
+        assert set(AGGREGATE_FACTORIES) == set(AGGREGATES.available())
+        for name in ("distinct", "moments"):
+            assert parse_query(f"SELECT {name}").select == name
+
 
 class TestQueriesOverSchemes:
     def test_filtered_count_over_tag(self, small_scenario, small_tree):
@@ -203,6 +259,41 @@ class TestQueriesOverSchemes:
         mean_estimate = sum(estimates) / len(estimates)
         mean_truth = sum(truths) / len(truths)
         assert mean_estimate == pytest.approx(mean_truth, rel=0.4)
+
+    def test_distinct_query_over_tag(self, small_scenario, small_tree):
+        aggregate, readings = parse_query("SELECT distinct").build(sawtooth)
+        scheme = TagScheme(small_scenario.deployment, small_tree, aggregate)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        outcome = scheme.run_epoch(0, channel, readings)
+        truth = aggregate.exact(
+            [sawtooth(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        # The tree side of distinct-count is exact under no loss.
+        assert outcome.estimate == truth
+        assert truth <= 10  # sawtooth readings live in [0, 10)
+
+    def test_moments_query_over_tag(self, small_scenario, small_tree):
+        aggregate, readings = parse_query("SELECT moments").build(sawtooth)
+        scheme = TagScheme(small_scenario.deployment, small_tree, aggregate)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        outcome = scheme.run_epoch(0, channel, readings)
+        truth = aggregate.exact(
+            [sawtooth(n, 0) for n in small_scenario.deployment.sensor_ids]
+        )
+        assert outcome.estimate == pytest.approx(truth)
+        assert truth > 0  # the sawtooth is not constant
+
+    def test_filtered_windowed_distinct_composes(self, small_scenario, small_tree):
+        aggregate, readings = parse_query(
+            "SELECT distinct WHERE value >= 2 WINDOW 3 MAX"
+        ).build(sawtooth)
+        scheme = TagScheme(small_scenario.deployment, small_tree, aggregate)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        outcome = scheme.run_epoch(5, channel, readings)
+        truth = aggregate.exact(
+            [readings(n, 5) for n in small_scenario.deployment.sensor_ids]
+        )
+        assert outcome.estimate == truth
 
     def test_adaptation_feedback_counts_all_relays(self, small_scenario, small_tree):
         """A highly selective query must not shrink the %-contributing
