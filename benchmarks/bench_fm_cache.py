@@ -1,0 +1,119 @@
+"""FM cache micro-benchmark: the warm-repeat win, before/after bounding.
+
+PR-2 added ``functools.lru_cache`` memoization to the FM hot paths:
+``_packed_rle_words`` (RLE wire sizing, bounded at ``1 << 15`` entries)
+and ``_correction_table`` (the PCSA estimate curve per sketch shape),
+giving a ~19x warm-repeat speedup on sizing-heavy loops. This PR bounds
+the previously unbounded ``_correction_table`` cache (``maxsize=64``)
+so long-running sweep processes cannot grow memory without limit.
+
+This benchmark records that the warm-repeat win survives the bound:
+it times cold (``cache_clear`` before every repeat) versus warm repeats
+of the estimate and sizing paths and writes a JSON record to
+``benchmarks/results/fm_cache.json``::
+
+    PYTHONPATH=src python benchmarks/bench_fm_cache.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.multipath.fm import (
+    DEFAULT_BITS,
+    FMSketch,
+    _correction_table,
+    _packed_rle_words,
+    words_batch,
+)
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "fm_cache.json"
+
+
+def _build_sketches(count: int = 200):
+    sketches = []
+    for index in range(count):
+        sketch = FMSketch(40)
+        sketch.insert_count(50 + index * 37, "bench", index)
+        sketches.append(sketch)
+    return sketches
+
+
+def _time(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run(rounds: int = 5) -> dict:
+    sketches = _build_sketches()
+
+    def estimates():
+        for sketch in sketches:
+            sketch.estimate()
+
+    def sizing():
+        # The scalar sizing path is what the lru_cache memoizes; a run
+        # re-sizes the same payloads epoch after epoch.
+        for sketch in sketches:
+            sketch.words()
+
+    def cold_estimates():
+        _correction_table.cache_clear()
+        estimates()
+
+    def cold_sizing():
+        _packed_rle_words.cache_clear()
+        sizing()
+
+    # Warm both caches once, then time warm repeats vs forced-cold repeats.
+    estimates()
+    sizing()
+    warm_estimate = _time(estimates, rounds)
+    warm_sizing = _time(sizing, rounds)
+    cold_estimate = _time(cold_estimates, rounds)
+    cold_sizing = _time(cold_sizing, rounds)
+    # Restore the baked-in default-shape table for subsequent users.
+    _correction_table(40, DEFAULT_BITS)
+    return {
+        "benchmark": "fm-cache",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "correction_table_maxsize": _correction_table.cache_info().maxsize,
+        "packed_rle_words_maxsize": _packed_rle_words.cache_info().maxsize,
+        "estimate": {
+            "cold_s": cold_estimate,
+            "warm_s": warm_estimate,
+            "warm_speedup": cold_estimate / warm_estimate
+            if warm_estimate
+            else float("inf"),
+        },
+        "rle_sizing": {
+            "cold_s": cold_sizing,
+            "warm_s": warm_sizing,
+            "warm_speedup": cold_sizing / warm_sizing
+            if warm_sizing
+            else float("inf"),
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--out", type=pathlib.Path, default=RESULTS)
+    args = parser.parse_args()
+    record = run(rounds=args.rounds)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,10 +16,13 @@ Quickstart — one declarative config, one session::
     print(report.rms_error())
 
 Every name in a config (scheme, aggregate, failure model, topology,
-workload) resolves through the string-keyed registries of
+workload, churn model) resolves through the string-keyed registries of
 :mod:`repro.registry`; ``register_scheme`` / ``register_aggregate`` /
 ``register_failure_model`` / ``register_topology`` / ``register_dataset``
-extend the system, and ``available()`` lists what's installed. Configs
+/ ``register_churn`` extend the system, and ``available()`` lists what's
+installed. Node churn is one more config knob — ``RunConfig(...,
+churn="blackout:100:0:0:10:10:300")`` kills the paper's regional quadrant
+mid-run and lets tree repair and re-ringing absorb it. Configs
 round-trip through JSON (``RunConfig.from_json(config.to_json())``), sweep
 as grids (``Session.sweep``), and back the CLI (``repro run-config``,
 ``repro describe``) — one schema behind every entry point.
@@ -80,6 +83,7 @@ from repro.multipath import FMSketch, KMVSketch
 from repro.registry import (
     available,
     register_aggregate,
+    register_churn,
     register_dataset,
     register_failure_model,
     register_scheme,
@@ -90,8 +94,13 @@ from repro.network import (
     CrashWindow,
     Deployment,
     DiscRadio,
+    DynamicMembership,
     EpochSimulator,
     FailureSchedule,
+    LifetimeChurn,
+    RandomDeaths,
+    RegionalBlackout,
+    ScheduledChurn,
     GilbertElliottLoss,
     GlobalLoss,
     LatencyModel,
@@ -123,10 +132,16 @@ __all__ = [
     "run_config_result",
     "available",
     "register_aggregate",
+    "register_churn",
     "register_dataset",
     "register_failure_model",
     "register_scheme",
     "register_topology",
+    "DynamicMembership",
+    "LifetimeChurn",
+    "RandomDeaths",
+    "RegionalBlackout",
+    "ScheduledChurn",
     "Aggregate",
     "AverageAggregate",
     "CompositeAggregate",

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.network.churn import DynamicMembership
 from repro.network.failures import ComposedLoss
 from repro.network.simulator import EpochSimulator, RunResult
 from repro.query import parse_query
@@ -52,13 +53,15 @@ from repro.registry import (
     TOPOLOGIES,
     SchemeContext,
     available,
+    build_churn_model,
     build_failure_model,
     build_reading,
 )
 from repro.tree.construction import build_bushy_tree
 
 #: Version of the RunConfig JSON schema; bump on breaking field changes.
-CONFIG_SCHEMA_VERSION = 1
+#: v2 added the dynamic-topology fields (``churn``, ``churn_interval``).
+CONFIG_SCHEMA_VERSION = 2
 
 #: Version of the run-result cache keyed by :func:`config_digest`. Bumped
 #: to 2 when cache keys moved from the ad-hoc SweepSpec encoding to the
@@ -108,6 +111,17 @@ class RunConfig:
             the scalar reference path).
         use_blocked: epoch-blocked execution (``False`` forces the
             per-epoch loop). Both paths are byte-identical by invariant.
+        churn: churn-model spec string (``none``, ``deaths:E:K[:SEED]``,
+            ``blackout:E[:X1:Y1:X2:Y2[:REJOIN]]``, ``lifetime:J``,
+            ``at:E:N1+N2``). Applies to the measurement run only (the
+            stabilisation phase models a healthy network); ``none`` is
+            byte-identical to a build without the feature. Churn epochs
+            are **absolute**, like ``FailureSchedule`` phases: with the
+            default ``start_epoch=1000`` an event at epoch 100 is already
+            due at the first boundary — timeline-style scenarios set
+            ``start_epoch=0`` (as ``churn_timeline`` does).
+        churn_interval: boundary cadence churn events apply at; 0 follows
+            the adaptation cadence (or 10 when adaptation is off).
     """
 
     scheme: str
@@ -128,12 +142,15 @@ class RunConfig:
     tree_attempts: int = 1
     use_batch: bool = True
     use_blocked: bool = True
+    churn: str = "none"
+    churn_interval: int = 0
 
     def __post_init__(self) -> None:
         SCHEMES.resolve(self.scheme)
         TOPOLOGIES.resolve(self.topology)
         build_failure_model(self.failure)  # validate eagerly
         build_reading(self.reading)
+        build_churn_model(self.churn)
         if self.query is not None:
             parse_query(self.query)
         else:
@@ -144,6 +161,8 @@ class RunConfig:
             raise ConfigurationError("epoch counts cannot be negative")
         if self.adapt_interval < 0:
             raise ConfigurationError("adapt_interval cannot be negative")
+        if self.churn_interval < 0:
+            raise ConfigurationError("churn_interval cannot be negative")
         if not 0.0 < self.threshold <= 1.0:
             raise ConfigurationError("threshold must be in (0, 1]")
         if self.tree_attempts < 1:
@@ -312,6 +331,14 @@ def run_config_result(config: RunConfig) -> RunResult:
             adapt_interval=1,
             use_blocked=config.use_blocked,
         ).run(0, readings, warmup=config.converge_epochs)
+    # Churn applies to the measurement run only: the paper stabilises
+    # topologies over a healthy network, then the scenario perturbs it.
+    churn_model = build_churn_model(config.churn)
+    membership = None
+    if churn_model is not None:
+        membership = DynamicMembership(
+            churn_model, topology.deployment, topology.rings, tree
+        )
     simulator = EpochSimulator(
         topology.deployment,
         failure,
@@ -319,6 +346,8 @@ def run_config_result(config: RunConfig) -> RunResult:
         seed=config.seed,
         adapt_interval=config.adapt_interval if entry.adaptive else 0,
         use_blocked=config.use_blocked,
+        membership=membership,
+        churn_interval=config.churn_interval or None,
     )
     return simulator.run(
         config.epochs,
@@ -638,6 +667,22 @@ EXPERIMENT_CONFIGS: Dict[str, RunConfig] = {
         reading="diurnal:7",
         epochs=100,
         converge_epochs=160,
+    ),
+    # Figure-6-style timeline with *node* churn instead of link loss: the
+    # paper's regional quadrant goes dark mid-run (every node in it dies at
+    # epoch 100) and comes back at epoch 300, under a mild global loss.
+    # Orphaned subtrees reattach through tree repair; re-ringing and the
+    # delta adaptation absorb the membership change.
+    "churn_timeline": RunConfig(
+        scheme="TD",
+        failure="global:0.1",
+        aggregate="sum",
+        reading="uniform:10:100:0",
+        epochs=400,
+        start_epoch=0,
+        converge_epochs=0,
+        seed=0,
+        churn="blackout:100:0:0:10:10:300",
     ),
 }
 

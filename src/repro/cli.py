@@ -48,6 +48,7 @@ from repro.experiments.fig_fi_loss import run_figure9
 from repro.experiments.fig_latency import run_latency
 from repro.experiments.fig_lifetime import run_lifetime
 from repro.experiments.fig_regional import run_figure5b
+from repro.experiments.fig_churn import run_churn_timeline
 from repro.experiments.fig_timeline import run_figure6
 from repro.experiments.fig_topology import run_figure4
 from repro.experiments.labdata_rms import run_labdata_rms
@@ -92,6 +93,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "labdata": (
         "Sum RMS on the LabData scenario (Section 7.3)",
         lambda quick, seed: run_labdata_rms(quick=quick, seed=seed),
+    ),
+    "churn-timeline": (
+        "Figure-6-style timeline with node deaths and tree repair",
+        lambda quick, seed: run_churn_timeline(quick=quick, seed=seed),
     ),
     "fig7a": (
         "domination factor vs density (Figure 7a)",
@@ -213,6 +218,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--threshold", type=float, default=0.9)
     sweep_parser.add_argument(
+        "--churn",
+        default="none",
+        help=(
+            "churn spec applied to every grid cell (none, deaths:E:K[:S], "
+            "blackout:E[:X1:Y1:X2:Y2[:REJOIN]], lifetime:J, at:E:N1+N2); "
+            "epochs are absolute and measurement starts at epoch 1000"
+        ),
+    )
+    sweep_parser.add_argument(
         "--jobs",
         type=int,
         default=0,
@@ -328,6 +342,7 @@ def _run_sweep(args) -> int:
             aggregate=args.aggregate,
             reading=args.reading,
             threshold=args.threshold,
+            churn=args.churn,
         )
     except ConfigurationError as error:
         print(f"invalid sweep configuration: {error}", file=sys.stderr)

@@ -59,8 +59,14 @@ class SynopsisDiffusionScheme:
         self._accountant = accountant or MessageAccountant()
         self._use_batch = use_batch
         self.name = name
-        # Rings are static for the scheme's lifetime: precompute the
+        # Rings are static between membership changes: precompute the
         # per-level schedule and each node's broadcast audience.
+        self._rebuild_schedule()
+        # Ground-truth population; shrinks/grows under node churn.
+        self._alive_sensors = list(deployment.sensor_ids)
+
+    def _rebuild_schedule(self) -> None:
+        """Recompute the per-level schedule and broadcast audiences."""
         self._level_nodes = [
             self._rings.nodes_at_level(level)
             for level in self._rings.levels_descending()
@@ -70,6 +76,18 @@ class SynopsisDiffusionScheme:
             for nodes in self._level_nodes
             for node in nodes
         }
+
+    def on_membership_change(self, update) -> None:
+        """Re-ring after node churn: adopt the recomputed BFS levels.
+
+        Synopsis diffusion has no tree to repair — its robustness *is* the
+        ring redundancy — so churn handling is exactly the paper's ring
+        construction re-run over the survivors, plus a new ground-truth
+        population.
+        """
+        self._rings = update.rings
+        self._rebuild_schedule()
+        self._alive_sensors = update.alive_sensors()
 
     @property
     def rings(self) -> RingsTopology:
@@ -288,7 +306,7 @@ class SynopsisDiffusionScheme:
         )
 
     def exact_answer(self, epoch: int, readings: ReadingFn) -> float:
-        values = gather_readings(readings, self._deployment.sensor_ids, epoch)
+        values = gather_readings(readings, self._alive_sensors, epoch)
         return self._aggregate.exact(values)
 
     def adapt(self, epoch: int, outcome: EpochOutcome) -> None:

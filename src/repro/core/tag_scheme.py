@@ -72,6 +72,8 @@ class TagScheme:
         self._levels = _level_groups(levels)
         self._depth = max(levels.values(), default=0)
         self._parents = dict(tree.parents)
+        # Ground-truth population; shrinks/grows under node churn.
+        self._alive_sensors = list(deployment.sensor_ids)
 
     @property
     def tree(self) -> Tree:
@@ -89,6 +91,17 @@ class TagScheme:
         self._levels = _level_groups(levels)
         self._depth = max(levels.values(), default=0)
         self._parents = dict(tree.parents)
+
+    def on_membership_change(self, update) -> None:
+        """Adopt the repaired tree and live population after node churn.
+
+        TAG aggregation is stateless between epochs, so churn repair is
+        just :meth:`replace_tree` over the repaired routing tree plus a new
+        ground-truth population (dead sensors produce no readings; stranded
+        ones still count in the truth but are gone from the tree).
+        """
+        self.replace_tree(update.tree)
+        self._alive_sensors = update.alive_sensors()
 
     @property
     def latency_epochs(self) -> int:
@@ -233,7 +246,7 @@ class TagScheme:
         )
 
     def exact_answer(self, epoch: int, readings: ReadingFn) -> float:
-        values = gather_readings(readings, self._deployment.sensor_ids, epoch)
+        values = gather_readings(readings, self._alive_sensors, epoch)
         return self._aggregate.exact(values)
 
     def adapt(self, epoch: int, outcome: EpochOutcome) -> None:

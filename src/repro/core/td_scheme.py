@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.aggregates.base import Aggregate
 from repro.core.adaptation import AdaptationAction, AdaptationPolicy
 from repro.core.graph import TDGraph
+from repro.core.modes import Mode
 from repro.core.payloads import (
     MultipathPayload,
     TreePayload,
@@ -80,9 +81,20 @@ class TributaryDeltaScheme:
         self._accountant = accountant or MessageAccountant()
         self._use_batch = use_batch
         self.name = name
-        # Rings are static even as modes adapt: precompute the per-level
-        # schedule and each node's broadcast audience.
-        rings = graph.rings
+        # Rings are static between membership changes (only modes adapt
+        # within one): precompute the per-level schedule, each node's
+        # broadcast audience, and the flattened parent lookup.
+        self._rebuild_schedule()
+        # Ground-truth population; shrinks/grows under node churn.
+        self._alive_sensors = list(deployment.sensor_ids)
+        #: (epoch, action kind, number of nodes switched) per adaptation call.
+        self.adaptation_log: List[Tuple[int, str, int]] = []
+        #: Cumulative base-station control messages spent on adaptation.
+        self.control_messages = 0
+
+    def _rebuild_schedule(self) -> None:
+        """Recompute level schedule, audiences and parents from the graph."""
+        rings = self._graph.rings
         self._level_nodes = [
             rings.nodes_at_level(level) for level in rings.levels_descending()
         ]
@@ -91,13 +103,33 @@ class TributaryDeltaScheme:
             for nodes in self._level_nodes
             for node in nodes
         }
-        # The routing tree never changes (only modes adapt); flatten the
-        # parent lookup out of the per-node hot path.
-        self._tree_parents = dict(graph.tree.parents)
-        #: (epoch, action kind, number of nodes switched) per adaptation call.
-        self.adaptation_log: List[Tuple[int, str, int]] = []
-        #: Cumulative base-station control messages spent on adaptation.
-        self.control_messages = 0
+        self._tree_parents = dict(self._graph.tree.parents)
+
+    def on_membership_change(self, update) -> None:
+        """Rebuild the T/M graph over the repaired topology after churn.
+
+        Surviving nodes keep their mode wherever edge correctness allows:
+        walking the new rings top-down (level order), a node stays M only
+        while its repaired tree parent is M — a T-parented survivor (its
+        old M parent died, or repair moved it under a tributary) is demoted
+        to T, which keeps the delta tree-ancestor-closed (Property 1) by
+        construction. Joining nodes come back as T leaves; the adaptation
+        policy re-expands the delta over them if loss warrants it.
+        """
+        rings = update.rings
+        tree = update.tree
+        old_modes = self._graph.modes()
+        new_modes: Dict[NodeId, Mode] = {}
+        for node in sorted(rings.levels, key=lambda n: (rings.level(n), n)):
+            mode = old_modes.get(node, Mode.TREE)
+            if mode.is_multipath and node != tree.root:
+                parent = tree.parent(node)
+                if parent is None or not new_modes[parent].is_multipath:
+                    mode = Mode.TREE
+            new_modes[node] = mode
+        self._graph = TDGraph(rings, tree, new_modes)
+        self._rebuild_schedule()
+        self._alive_sensors = update.alive_sensors()
 
     @property
     def graph(self) -> TDGraph:
@@ -580,7 +612,7 @@ class TributaryDeltaScheme:
     # -- simulator interface -----------------------------------------------
 
     def exact_answer(self, epoch: int, readings: ReadingFn) -> float:
-        values = gather_readings(readings, self._deployment.sensor_ids, epoch)
+        values = gather_readings(readings, self._alive_sensors, epoch)
         return self._aggregate.exact(values)
 
     def adapt(self, epoch: int, outcome: EpochOutcome) -> None:

@@ -1,0 +1,144 @@
+"""Churn timeline: a Figure-6-style run where *nodes* fail, not links.
+
+The paper's Figure 6 perturbs link loss over time while the membership
+stays fixed. This experiment is its dynamic-topology twin: under a mild
+``Global(0.1)`` loss, every node in the {(0,0),(10,10)} quadrant dies at
+one quarter of the run and rejoins at three quarters (a regional power
+cut). Between those boundaries the network runs on the survivors: rings
+are recomputed, orphaned subtrees reattach through tree repair, and the
+Tributary-Delta schemes re-adapt their delta over the repaired topology.
+
+Reproduction targets: every scheme's truth follows the live population
+down and back up (the error stays bounded through both transitions —
+nothing aggregates ghosts); TAG pays a visible error spike right after
+each membership change (one repaired tree, still single-path), while the
+multi-path delta absorbs it; tree repair reattaches every orphaned live
+node at both boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.aggregates.sum_ import SumAggregate
+from repro.datasets.streams import UniformReadings
+from repro.experiments.metrics import format_table, mean
+from repro.experiments.runner import build_schemes
+from repro.network.churn import DynamicMembership, RegionalBlackout
+from repro.network.failures import GlobalLoss
+from repro.network.simulator import EpochSimulator
+from repro.registry import is_adaptive
+
+
+@dataclass
+class ChurnTimelineResult:
+    """Per-scheme error series plus membership diagnostics."""
+
+    epochs: List[int]
+    #: Epochs at which the blackout hits and lifts.
+    blackout_epoch: int
+    rejoin_epoch: int
+    relative_errors: Dict[str, List[float]] = field(default_factory=dict)
+    alive_series: Dict[str, List[int]] = field(default_factory=dict)
+    #: scheme -> total nodes reattached by tree repair across the run.
+    reattached: Dict[str, int] = field(default_factory=dict)
+    #: scheme -> number of applied membership updates.
+    updates: Dict[str, int] = field(default_factory=dict)
+
+    def phase_means(self) -> Dict[str, List[float]]:
+        """Mean relative error in the healthy / dark / recovered phases."""
+        output: Dict[str, List[float]] = {}
+        boundaries = (
+            self.epochs[0],
+            self.blackout_epoch,
+            self.rejoin_epoch,
+            self.epochs[-1] + 1,
+        )
+        for name, series in self.relative_errors.items():
+            phases: List[float] = []
+            for start, end in zip(boundaries, boundaries[1:]):
+                window = [
+                    error
+                    for epoch, error in zip(self.epochs, series)
+                    if start <= epoch < end
+                ]
+                phases.append(mean(window))
+            output[name] = phases
+        return output
+
+    def render(self) -> str:
+        phases = self.phase_means()
+        headers = [
+            "scheme",
+            "healthy",
+            "blackout",
+            "recovered",
+            "min alive",
+            "reattached",
+        ]
+        rows = []
+        for name, values in phases.items():
+            rows.append(
+                [name]
+                + [f"{value:.3f}" for value in values]
+                + [
+                    str(min(self.alive_series[name])),
+                    str(self.reattached[name]),
+                ]
+            )
+        return format_table(headers, rows)
+
+
+def run_churn_timeline(
+    quick: bool = False,
+    seed: int = 0,
+    adapt_interval: int = 10,
+) -> ChurnTimelineResult:
+    """Run the blackout/rejoin timeline for TAG, SD, TD-Coarse and TD."""
+    num_sensors = 150 if quick else 600
+    scale = 0.25 if quick else 1.0
+    total_epochs = int(400 * scale)
+    blackout_epoch = int(100 * scale)
+    rejoin_epoch = int(300 * scale)
+    readings = UniformReadings(10, 100, seed=seed)
+    comparison = build_schemes(SumAggregate, num_sensors=num_sensors, seed=seed)
+
+    result = ChurnTimelineResult(
+        epochs=list(range(total_epochs)),
+        blackout_epoch=blackout_epoch,
+        rejoin_epoch=rejoin_epoch,
+    )
+    for name, scheme in comparison.schemes.items():
+        # One membership runtime per scheme: churn history is per-run state.
+        membership = DynamicMembership(
+            RegionalBlackout(
+                blackout_epoch,
+                lower=(0.0, 0.0),
+                upper=(10.0, 10.0),
+                rejoin_epoch=rejoin_epoch,
+            ),
+            comparison.scenario.deployment,
+            comparison.scenario.rings,
+            comparison.tree,
+        )
+        simulator = EpochSimulator(
+            comparison.scenario.deployment,
+            GlobalLoss(0.1),
+            scheme,
+            seed=seed,
+            adapt_interval=adapt_interval if is_adaptive(name) else 0,
+            membership=membership,
+            churn_interval=adapt_interval,
+        )
+        run = simulator.run(total_epochs, readings)
+        result.relative_errors[name] = run.relative_errors
+        result.alive_series[name] = [
+            int(epoch.extra.get("alive_sensors", num_sensors))
+            for epoch in run.epochs
+        ]
+        result.reattached[name] = sum(
+            update.repair.num_reattached for update in membership.updates
+        )
+        result.updates[name] = len(membership.updates)
+    return result

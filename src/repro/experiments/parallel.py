@@ -85,6 +85,7 @@ class SweepSpec:
             ``uniform:LO:HI:SEED``, ...
         converge_epochs: stabilisation epochs for the adaptive schemes.
         threshold: contributing-percentage target driving adaptation.
+        churn: churn-model spec string (``none`` = static membership).
     """
 
     scheme: str
@@ -97,6 +98,7 @@ class SweepSpec:
     reading: str = "constant:1.0"
     converge_epochs: int = 120
     threshold: float = 0.9
+    churn: str = "none"
 
     def __post_init__(self) -> None:
         # Validation is RunConfig's: one schema, one set of error messages.
@@ -115,6 +117,7 @@ class SweepSpec:
             epochs=self.epochs,
             converge_epochs=self.converge_epochs,
             threshold=self.threshold,
+            churn=self.churn,
         )
 
     def digest(self) -> str:

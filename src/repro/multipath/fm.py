@@ -79,7 +79,7 @@ def _trailing_zeros_capped(value: int) -> int:
     return min(63, (value & -value).bit_length() - 1)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=64)
 def _correction_table(num_bitmaps: int, bits: int) -> Tuple[float, ...]:
     """PCSA estimates indexed by the *total* lowest-zero sum across bitmaps.
 
@@ -88,6 +88,12 @@ def _correction_table(num_bitmaps: int, bits: int) -> Tuple[float, ...]:
     sketch shape is a finite table. Entries use exactly the expression the
     inline computation used (same float operations, same order), so the
     lookup is byte-identical to computing from scratch.
+
+    The cache is bounded: one entry per *sketch shape*, and a long-running
+    sweep process that cycles through exotic shapes evicts rather than
+    growing without limit (each 40x32 table is ~1300 floats). The hot
+    default shape is precomputed at import and, being constantly hit,
+    never falls out of a 64-entry LRU.
     """
     values = []
     for total in range(num_bitmaps * bits + 1):

@@ -13,6 +13,7 @@ This package replaces the TAG simulator used in the paper's evaluation
 * :mod:`repro.network.latency` — epoch-schedule latency model (footnote 6).
 * :mod:`repro.network.lifetime` — battery-lifetime prediction.
 * :mod:`repro.network.burst` — bursty (Gilbert-Elliott) and crash failures.
+* :mod:`repro.network.churn` — node churn models and dynamic membership.
 * :mod:`repro.network.linkquality` — link monitoring and maintenance [24].
 * :mod:`repro.network.simulator` — the epoch-driven execution engine.
 """
@@ -24,6 +25,16 @@ from repro.network.burst import (
     GilbertElliottLoss,
     NodeCrashLoss,
     matched_gilbert_elliott,
+)
+from repro.network.churn import (
+    ChurnBatch,
+    ChurnContext,
+    DynamicMembership,
+    LifetimeChurn,
+    MembershipUpdate,
+    RandomDeaths,
+    RegionalBlackout,
+    ScheduledChurn,
 )
 from repro.network.failures import (
     FailureSchedule,
@@ -66,6 +77,14 @@ __all__ = [
     "GilbertElliottLoss",
     "NodeCrashLoss",
     "matched_gilbert_elliott",
+    "ChurnBatch",
+    "ChurnContext",
+    "DynamicMembership",
+    "LifetimeChurn",
+    "MembershipUpdate",
+    "RandomDeaths",
+    "RegionalBlackout",
+    "ScheduledChurn",
     "FailureSchedule",
     "GlobalLoss",
     "LinkLossTable",

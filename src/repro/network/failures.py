@@ -52,6 +52,52 @@ def _check_rate(rate: float, label: str) -> float:
     return rate
 
 
+#: Pair-key encoding for vectorized (sender, receiver) -> rate lookups.
+#: Node ids are small non-negative ints, so ``sender * SHIFT + receiver``
+#: is collision-free and fits comfortably in int64.
+_PAIR_SHIFT = 1 << 32
+
+
+def _pair_lookup_arrays(rates: Dict[Tuple[NodeId, NodeId], float]):
+    """Sorted (encoded-key, rate) arrays for a per-link rate table."""
+    keys = _np.fromiter(
+        (sender * _PAIR_SHIFT + receiver for sender, receiver in rates),
+        dtype=_np.int64,
+        count=len(rates),
+    )
+    values = _np.fromiter(rates.values(), dtype=_np.float64, count=len(rates))
+    order = _np.argsort(keys)
+    return keys[order], values[order]
+
+
+def _pair_rates(
+    lookup,
+    default: float,
+    senders: Sequence[NodeId],
+    receivers: Sequence[NodeId],
+):
+    """Vectorized dict-equivalent: ``rates.get((s, r), default)`` per pair.
+
+    ``lookup`` is the (sorted keys, values) pair from
+    :func:`_pair_lookup_arrays`. Values come straight from the table, so
+    hits are bit-identical to the scalar ``dict.get``; misses take
+    ``default`` exactly.
+    """
+    count = len(senders)
+    out = _np.full(count, default, dtype=_np.float64)
+    keys, values = lookup
+    if count and keys.size:
+        probe = _np.asarray(senders, dtype=_np.int64) * _PAIR_SHIFT + _np.asarray(
+            receivers, dtype=_np.int64
+        )
+        positions = _np.minimum(
+            _np.searchsorted(keys, probe), keys.size - 1
+        )
+        hits = keys[positions] == probe
+        out[hits] = values[positions[hits]]
+    return out
+
+
 @dataclass(frozen=True)
 class NoLoss:
     """A perfectly reliable network (used for load measurements, Figure 8)."""
@@ -137,18 +183,31 @@ class RegionalLoss:
         """Dense node-id -> loss-rate lookup table, cached per deployment.
 
         The cache holds the deployment object itself, so the identity check
-        cannot alias a garbage-collected deployment.
+        cannot alias a garbage-collected deployment. It is dropped on
+        pickling (:meth:`__getstate__`): worker processes and the on-disk
+        result cache see only the declared rate fields, so sweeps sharing
+        one model instance across deployments can never resurrect a stale
+        table.
         """
-        cached = getattr(self, "_rates_cache", None)
+        cached = self.__dict__.get("_rates_cache")
         if cached is not None and cached[0] is deployment:
             return cached[1]
-        size = max(deployment.node_ids) + 1
+        node_ids = deployment.node_ids
+        size = max(node_ids, default=-1) + 1
         rates = _np.full(size, self.outside_rate, dtype=_np.float64)
-        for node in deployment.node_ids:
+        for node in node_ids:
             if self.contains(deployment, node):
                 rates[node] = self.inside_rate
         object.__setattr__(self, "_rates_cache", (deployment, rates))
         return rates
+
+    def __getstate__(self):
+        """Pickle only the declared fields, never the per-deployment cache."""
+        return {
+            name: value
+            for name, value in self.__dict__.items()
+            if name != "_rates_cache"
+        }
 
     def loss_rate_batch(
         self,
@@ -162,7 +221,11 @@ class RegionalLoss:
                 self.loss_rate(deployment, sender, receiver, epoch)
                 for sender, receiver in zip(senders, receivers)
             ]
-        return self._sender_rates(deployment)[_np.asarray(senders)]
+        if not len(senders):
+            return _np.zeros(0, dtype=_np.float64)
+        return self._sender_rates(deployment)[
+            _np.asarray(senders, dtype=_np.int64)
+        ]
 
 
 @dataclass(frozen=True)
@@ -185,6 +248,40 @@ class LinkLossTable:
         self, deployment: Deployment, sender: NodeId, receiver: NodeId, epoch: int
     ) -> float:
         return self.rates.get((sender, receiver), self.default)
+
+    def _lookup(self):
+        """Sorted-key lookup arrays over ``rates``, built once per instance.
+
+        Dropped on pickling (:meth:`__getstate__`), like
+        :meth:`RegionalLoss._sender_rates`'s cache.
+        """
+        cached = self.__dict__.get("_lookup_cache")
+        if cached is None:
+            cached = _pair_lookup_arrays(self.rates)
+            object.__setattr__(self, "_lookup_cache", cached)
+        return cached
+
+    def __getstate__(self):
+        return {
+            name: value
+            for name, value in self.__dict__.items()
+            if name != "_lookup_cache"
+        }
+
+    def loss_rate_batch(
+        self,
+        deployment: Deployment,
+        senders: Sequence[NodeId],
+        receivers: Sequence[NodeId],
+        epoch: int,
+    ):
+        """Vectorized per-link lookup, bit-identical to the scalar method."""
+        if _np is None:  # pragma: no cover
+            return [
+                self.loss_rate(deployment, sender, receiver, epoch)
+                for sender, receiver in zip(senders, receivers)
+            ]
+        return _pair_rates(self._lookup(), self.default, senders, receivers)
 
 
 @dataclass(frozen=True)
@@ -239,11 +336,18 @@ class FailureSchedule:
         model = self.model_at(epoch)
         batch = getattr(model, "loss_rate_batch", None)
         if batch is not None:
-            return batch(deployment, senders, receivers, epoch)
-        return [
-            model.loss_rate(deployment, sender, receiver, epoch)
-            for sender, receiver in zip(senders, receivers)
-        ]
+            rates = batch(deployment, senders, receivers, epoch)
+        else:
+            rates = [
+                model.loss_rate(deployment, sender, receiver, epoch)
+                for sender, receiver in zip(senders, receivers)
+            ]
+        # Normalize both branches to one return type: callers (the blocked
+        # delivery planner assigns these into a float64 column) must never
+        # see an ndarray on one phase and a Python list on the next.
+        if _np is None:  # pragma: no cover
+            return list(rates)
+        return _np.asarray(rates, dtype=_np.float64)
 
 
 @dataclass(frozen=True)
@@ -263,4 +367,56 @@ class ComposedLoss:
     ) -> float:
         base = self.base_rates.get((sender, receiver), 0.0)
         extra = self.failure.loss_rate(deployment, sender, receiver, epoch)
+        return 1.0 - (1.0 - base) * (1.0 - extra)
+
+    def _lookup(self):
+        """Sorted-key lookup arrays over ``base_rates`` (see LinkLossTable)."""
+        cached = self.__dict__.get("_lookup_cache")
+        if cached is None:
+            cached = _pair_lookup_arrays(self.base_rates)
+            object.__setattr__(self, "_lookup_cache", cached)
+        return cached
+
+    def __getstate__(self):
+        return {
+            name: value
+            for name, value in self.__dict__.items()
+            if name != "_lookup_cache"
+        }
+
+    def loss_rate_batch(
+        self,
+        deployment: Deployment,
+        senders: Sequence[NodeId],
+        receivers: Sequence[NodeId],
+        epoch: int,
+    ):
+        """Vectorized composition, bit-identical to the scalar method.
+
+        The base-rate lookup is one searchsorted sweep; the failure model's
+        own ``loss_rate_batch`` is used when it exists (falling back to its
+        scalar method per pair), and the survival product runs elementwise
+        in float64 — the same IEEE operations, in the same order, as the
+        scalar expression.
+        """
+        if _np is None:  # pragma: no cover
+            return [
+                self.loss_rate(deployment, sender, receiver, epoch)
+                for sender, receiver in zip(senders, receivers)
+            ]
+        base = _pair_rates(self._lookup(), 0.0, senders, receivers)
+        batch = getattr(self.failure, "loss_rate_batch", None)
+        if batch is not None:
+            extra = _np.asarray(
+                batch(deployment, senders, receivers, epoch),
+                dtype=_np.float64,
+            )
+        else:
+            extra = _np.asarray(
+                [
+                    self.failure.loss_rate(deployment, sender, receiver, epoch)
+                    for sender, receiver in zip(senders, receivers)
+                ],
+                dtype=_np.float64,
+            )
         return 1.0 - (1.0 - base) * (1.0 - extra)

@@ -339,6 +339,40 @@ class Channel:
         self._failure_model = model
         self._model_version += 1
 
+    def bump_model_version(self) -> None:
+        """Invalidate every outstanding :class:`DeliveryPlan` in place.
+
+        Called when something a plan was drawn against changed *other* than
+        the failure model — node churn removes or adds (sender, receiver)
+        edges, so outcomes planned over the old membership must never be
+        replayed. Schemes rebuild their plans at the next block anyway;
+        this makes replaying a stale one a loud error instead of a silent
+        wrong answer.
+        """
+        self._model_version += 1
+
+    def account_control(
+        self, sender: NodeId, words: int, messages: int = 1
+    ) -> None:
+        """Bill a control transmission (e.g. a tree-repair handshake).
+
+        Control traffic — parent adoption after churn, probes — costs
+        energy like any other send: it lands in the cumulative per-node
+        load maps (which feed :meth:`per_node_words` and the end-of-run
+        energy report) and in the current log. No delivery is drawn:
+        control handshakes are acknowledged exchanges, not payloads whose
+        loss the schemes model.
+        """
+        self.log.transmissions += 1
+        self.log.words_sent += words
+        self.log.messages_sent += messages
+        self._per_node_words[sender] = (
+            self._per_node_words.get(sender, 0) + words
+        )
+        self._per_node_messages[sender] = (
+            self._per_node_messages.get(sender, 0) + messages
+        )
+
     def loss_rate(self, sender: NodeId, receiver: NodeId, epoch: int) -> float:
         """The loss probability for one (sender -> receiver) attempt."""
         return self._failure_model.loss_rate(

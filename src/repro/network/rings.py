@@ -15,7 +15,7 @@ graph's M edges are rings edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Collection, Dict, List, Mapping, Sequence, Tuple
 
 import networkx as nx
 
@@ -43,6 +43,31 @@ class RingsTopology:
         if missing:
             raise TopologyError(f"nodes unreachable from base station: {sorted(missing)[:5]}")
         return cls(levels=dict(levels), connectivity=connectivity)
+
+    @classmethod
+    def build_restricted(
+        cls, connectivity: nx.Graph, alive: Collection[NodeId]
+    ) -> Tuple["RingsTopology", List[NodeId]]:
+        """Re-ring after membership changed: BFS levels over the live nodes.
+
+        ``connectivity`` is the *full* radio graph; ``alive`` the node ids
+        currently up (the base station must be among them). Ring numbers are
+        recomputed over the subgraph induced by the live nodes — exactly the
+        construction broadcast re-run over whoever can still hear it.
+
+        Unlike :meth:`build`, nodes cut off from the base station are not an
+        error here (killing a cut vertex strands its far side); they are
+        returned as the second element, sorted, and excluded from the
+        topology — stranded nodes keep sensing but nothing they transmit
+        can ever reach the base station.
+        """
+        if BASE_STATION not in alive:
+            raise TopologyError("the base station cannot leave the network")
+        induced = connectivity.subgraph(alive)
+        levels = nx.single_source_shortest_path_length(induced, BASE_STATION)
+        stranded = sorted(set(alive) - set(levels))
+        reachable = connectivity.subgraph(levels).copy()
+        return cls(levels=dict(levels), connectivity=reachable), stranded
 
     @property
     def depth(self) -> int:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.errors import ConfigurationError
+from repro.network.churn import DynamicMembership
 from repro.network.energy import EnergyModel, EnergyReport
 from repro.network.failures import FailureModel
 from repro.network.links import Channel, TransmissionLog
@@ -76,6 +77,12 @@ class AggregationScheme(Protocol):
     returning per-epoch (outcome, log) pairs byte-identical to driving
     ``run_epoch`` under the per-epoch loop. The simulator uses it when
     blocking is enabled; schemes without it always run per-epoch.
+
+    Running under node churn additionally requires
+    ``on_membership_change(update)``: the simulator passes each applied
+    :class:`~repro.network.churn.MembershipUpdate` (repaired tree, re-rung
+    levels, live set) and the scheme rebuilds its per-level structures; the
+    built-in TAG/SD/TD schemes all implement it.
     """
 
     name: str
@@ -180,6 +187,19 @@ class EpochSimulator:
             scheme's ``run_epochs`` fast path when available (byte-identical
             results, pinned by ``tests/test_blocked_equivalence.py``);
             ``False`` keeps the per-epoch loop.
+        membership: a :class:`~repro.network.churn.DynamicMembership`
+            runtime enabling node churn. Churn events are applied at
+            **churn boundaries** — before the epoch at offsets divisible by
+            ``churn_interval`` — in both the blocked and the per-epoch
+            loops, so the epoch-blocked engine keeps working (events
+            falling mid-interval take effect at the next boundary; blocks
+            additionally split at churn boundaries). The scheme must
+            implement ``on_membership_change(update)``. ``None`` (the
+            default) changes nothing: runs are byte-identical to a
+            simulator without the parameter.
+        churn_interval: boundary cadence for churn application; ``None``
+            follows ``adapt_interval`` (or 10 when adaptation is off, the
+            paper's cadence).
     """
 
     #: Upper bound on one block's epoch span (bounds the delivery-plan
@@ -197,9 +217,20 @@ class EpochSimulator:
         adapt_interval: int = 10,
         on_epoch: Optional[Callable[[int, Channel], None]] = None,
         use_blocked: bool = True,
+        membership: Optional[DynamicMembership] = None,
+        churn_interval: Optional[int] = None,
     ) -> None:
         if adapt_interval < 0:
             raise ConfigurationError("adapt_interval cannot be negative")
+        if churn_interval is not None and churn_interval < 1:
+            raise ConfigurationError("churn_interval must be at least 1")
+        if membership is not None and not callable(
+            getattr(scheme, "on_membership_change", None)
+        ):
+            raise ConfigurationError(
+                f"scheme {scheme.name!r} does not implement "
+                "on_membership_change and cannot run under node churn"
+            )
         self._deployment = deployment
         self._scheme = scheme
         self._channel = Channel(deployment, failure_model, seed=seed)
@@ -207,6 +238,8 @@ class EpochSimulator:
         self._adapt_interval = adapt_interval
         self._on_epoch = on_epoch
         self._use_blocked = use_blocked
+        self._membership = membership
+        self._churn_interval = churn_interval
 
     @property
     def channel(self) -> Channel:
@@ -217,6 +250,38 @@ class EpochSimulator:
     def scheme(self) -> AggregationScheme:
         """The scheme being driven."""
         return self._scheme
+
+    @property
+    def membership(self) -> Optional[DynamicMembership]:
+        """The churn runtime, when node churn is enabled."""
+        return self._membership
+
+    def _effective_churn_interval(self) -> int:
+        """The boundary cadence churn events are applied at."""
+        if self._churn_interval is not None:
+            return self._churn_interval
+        return self._adapt_interval if self._adapt_interval else 10
+
+    def _apply_churn(
+        self, epoch: int, offset: int, energy: EnergyReport, warmup: int
+    ) -> None:
+        """Apply the churn events due at a boundary and notify the scheme.
+
+        Repair control traffic is billed through the channel into its
+        per-node maps *and* folded into the run's energy totals (the
+        boundary's log holds exactly that traffic — the previous epoch's
+        log was already consumed); warm-up boundaries are excluded from the
+        totals, mirroring how warm-up epochs' logs are.
+        """
+        update = self._membership.advance(
+            epoch, offset, self._channel, self._energy_model
+        )
+        if update is None:
+            return
+        control_log = self._channel.reset_log()
+        if offset >= warmup:
+            energy.add_log(control_log, self._energy_model)
+        self._scheme.on_membership_change(update)
 
     def run(
         self,
@@ -278,8 +343,11 @@ class EpochSimulator:
         results: List[EpochResult],
         energy: EnergyReport,
     ) -> None:
+        churn_interval = self._effective_churn_interval()
         for offset in range(total):
             epoch = start_epoch + offset
+            if self._membership is not None and offset % churn_interval == 0:
+                self._apply_churn(epoch, offset, energy, warmup)
             self._channel.reset_log()
             outcome = self._scheme.run_epoch(epoch, self._channel, readings)
             log = self._channel.reset_log()
@@ -302,15 +370,23 @@ class EpochSimulator:
         """Execute in adaptation-interval blocks via ``scheme.run_epochs``.
 
         A block never crosses an adaptation boundary (the plan's lifetime is
-        one adaptation interval) and is capped at :attr:`MAX_BLOCK_EPOCHS`;
-        per-epoch records, adaptation cadence and epochs are exactly those of
-        the per-epoch loop.
+        one adaptation interval) nor a churn boundary (membership changes
+        invalidate the plan's edge set), and is capped at
+        :attr:`MAX_BLOCK_EPOCHS`; per-epoch records, adaptation cadence,
+        churn boundaries and epochs are exactly those of the per-epoch loop.
         """
         interval = self._adapt_interval
+        churn_interval = self._effective_churn_interval()
         offset = 0
         while offset < total:
+            if self._membership is not None and offset % churn_interval == 0:
+                self._apply_churn(start_epoch + offset, offset, energy, warmup)
             span = interval - (offset % interval) if interval else total - offset
             span = min(span, total - offset, self.MAX_BLOCK_EPOCHS)
+            if self._membership is not None:
+                span = min(
+                    span, churn_interval - (offset % churn_interval)
+                )
             epochs = [start_epoch + offset + i for i in range(span)]
             pairs = self._scheme.run_epochs(epochs, self._channel, readings)
             for i, (outcome, log) in enumerate(pairs):
@@ -332,6 +408,11 @@ class EpochSimulator:
         readings: ReadingFn,
     ) -> None:
         energy.add_log(log, self._energy_model)
+        extra = dict(outcome.extra)
+        if self._membership is not None:
+            # Diagnostic only under churn, so churn-disabled runs stay
+            # byte-identical to a simulator without the feature.
+            extra["alive_sensors"] = self._membership.num_alive_sensors
         results.append(
             EpochResult(
                 epoch=epoch,
@@ -340,6 +421,6 @@ class EpochSimulator:
                 contributing=outcome.contributing,
                 contributing_estimate=outcome.contributing_estimate,
                 log=log,
-                extra=dict(outcome.extra),
+                extra=extra,
             )
         )

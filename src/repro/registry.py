@@ -17,6 +17,8 @@ failure models  spec-string constructor              none, global, regional,
 topologies      ``(num_sensors, seed) -> topology``  synthetic, labdata
 datasets        spec-string constructor              constant, uniform,
                                                      diurnal
+churn models    spec-string constructor              none, deaths, blackout,
+                                                     lifetime
 ==============  ===================================  =======================
 
 Extending the system is one decorator::
@@ -73,6 +75,12 @@ from repro.datasets.streams import (
 )
 from repro.datasets.synthetic import make_synthetic_scenario
 from repro.errors import ConfigurationError
+from repro.network.churn import (
+    LifetimeChurn,
+    RandomDeaths,
+    RegionalBlackout,
+    ScheduledChurn,
+)
 from repro.network.failures import (
     FailureSchedule,
     GlobalLoss,
@@ -174,6 +182,7 @@ AGGREGATES: Registry[Callable[[], Aggregate]] = Registry("aggregate")
 FAILURE_MODELS: Registry[Callable[..., object]] = Registry("failure model")
 TOPOLOGIES: Registry[Callable[..., object]] = Registry("topology")
 DATASETS: Registry[Callable[..., object]] = Registry("dataset")
+CHURN_MODELS: Registry[Callable[..., object]] = Registry("churn model")
 
 
 def register_scheme(name: str, adaptive: bool = False):
@@ -241,11 +250,26 @@ def register_dataset(name: str):
     return decorator
 
 
+def register_churn(name: str):
+    """Register a churn-model constructor for ``name[:arg[:arg...]]`` specs.
+
+    The constructor receives the spec's remaining tokens as positional
+    strings and returns a :class:`~repro.network.churn.ChurnModel` (or
+    ``None`` for the no-churn sentinel).
+    """
+
+    def decorator(constructor: Callable[..., object]):
+        CHURN_MODELS.register(name, constructor)
+        return constructor
+
+    return decorator
+
+
 def available() -> Dict[str, Tuple[str, ...]]:
     """Every registry's names: the discovery surface of the component system.
 
     >>> sorted(available())
-    ['aggregates', 'datasets', 'failure_models', 'schemes', 'topologies']
+    ['aggregates', 'churn_models', 'datasets', 'failure_models', 'schemes', 'topologies']
     >>> available()['schemes']
     ('TAG', 'SD', 'TD-Coarse', 'TD')
     """
@@ -255,6 +279,7 @@ def available() -> Dict[str, Tuple[str, ...]]:
         "failure_models": FAILURE_MODELS.available(),
         "topologies": TOPOLOGIES.available(),
         "datasets": DATASETS.available(),
+        "churn_models": CHURN_MODELS.available(),
     }
 
 
@@ -313,6 +338,30 @@ def build_reading(spec: str):
     except (TypeError, ValueError) as error:
         raise ConfigurationError(
             f"bad reading spec {spec!r}: {error}"
+        ) from error
+
+
+def build_churn_model(spec: str):
+    """Construct a churn model from a ``name[:arg...]`` spec string.
+
+    Returns ``None`` for the ``none`` spec — the sentinel every default
+    config carries, meaning the run has no dynamic-topology machinery at
+    all (byte-identical to a simulator without the feature).
+
+    >>> build_churn_model("none") is None
+    True
+    >>> build_churn_model("deaths:50:10")
+    RandomDeaths(epoch=50, count=10, seed=0)
+    """
+    head, args = _spec_parts(spec, "churn")
+    constructor = CHURN_MODELS.resolve(head)
+    try:
+        return constructor(*args)
+    except ConfigurationError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"bad churn spec {spec!r}: {error}"
         ) from error
 
 
@@ -450,6 +499,57 @@ def _build_labdata(num_sensors: int, seed: int) -> ResolvedTopology:
     lab = LabDataScenario.build(seed=seed)
     return ResolvedTopology(
         deployment=lab.deployment, rings=lab.rings, base_loss=lab.base_loss
+    )
+
+
+# -- built-in churn models -------------------------------------------------
+
+
+@register_churn("none")
+def _build_no_churn() -> None:
+    """No churn: the sentinel meaning a fully static membership."""
+    return None
+
+
+@register_churn("deaths")
+def _build_deaths(epoch: str, count: str, seed: str = "0") -> RandomDeaths:
+    """``deaths:EPOCH:COUNT[:SEED]`` — hash-sampled node deaths."""
+    return RandomDeaths(int(epoch), int(count), seed=int(seed))
+
+
+@register_churn("blackout")
+def _build_blackout(
+    epoch: str,
+    x1: str = "0",
+    y1: str = "0",
+    x2: str = "10",
+    y2: str = "10",
+    rejoin: str = "",
+) -> RegionalBlackout:
+    """``blackout:EPOCH[:X1:Y1:X2:Y2[:REJOIN_EPOCH]]`` — regional churn.
+
+    The default rectangle is the paper's {(0,0),(10,10)} quadrant, the same
+    region ``regional:P1:P2`` loss targets.
+    """
+    return RegionalBlackout(
+        int(epoch),
+        lower=(float(x1), float(y1)),
+        upper=(float(x2), float(y2)),
+        rejoin_epoch=int(rejoin) if rejoin else None,
+    )
+
+
+@register_churn("lifetime")
+def _build_lifetime(battery_j: str, overhead: str = "46.05") -> LifetimeChurn:
+    """``lifetime:BATTERY_J[:OVERHEAD_UJ]`` — battery-exhaustion churn."""
+    return LifetimeChurn(float(battery_j), overhead_uj_per_epoch=float(overhead))
+
+
+@register_churn("at")
+def _build_scheduled(epoch: str, nodes: str) -> ScheduledChurn:
+    """``at:EPOCH:N1+N2+...`` — the listed nodes die at ``EPOCH``."""
+    return ScheduledChurn.of(
+        deaths=[(int(epoch), [int(node) for node in nodes.split("+")])]
     )
 
 

@@ -1,15 +1,19 @@
-"""Spanning-tree substrate: structure, construction, and d-domination.
+"""Spanning-tree substrate: structure, construction, repair, d-domination.
 
 * :mod:`repro.tree.structure` — the :class:`Tree` value type (parents,
   children, heights, traversal orders).
 * :mod:`repro.tree.construction` — TAG-style tree construction and the
   paper's bushy construction with opportunistic parent switching (§6.1.3).
+* :mod:`repro.tree.repair` — runtime repair after node churn: orphaned
+  subtrees reattach to the nearest live candidate parent, with
+  control-message energy accounting.
 * :mod:`repro.tree.domination` — height profiles H(i), d-domination tests,
   and domination factors (§6.1.2, Table 2).
 """
 
 from repro.tree.structure import Tree
 from repro.tree.construction import build_bushy_tree, build_tag_tree
+from repro.tree.repair import RepairReport, repair_tree
 from repro.tree.domination import (
     domination_factor,
     height_profile,
@@ -19,6 +23,7 @@ from repro.tree.domination import (
 )
 
 __all__ = [
+    "RepairReport",
     "Tree",
     "build_bushy_tree",
     "build_tag_tree",
@@ -26,5 +31,6 @@ __all__ = [
     "height_profile",
     "height_profile_fractions",
     "is_d_dominating",
+    "repair_tree",
     "tree_from_height_profile",
 ]

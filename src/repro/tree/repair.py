@@ -1,0 +1,119 @@
+"""Runtime tree repair: reattach orphaned subtrees after node churn.
+
+When nodes die (battery exhaustion, regional blackout) or join mid-run, the
+frozen routing tree of Section 2 breaks: children of a dead parent — and,
+transitively, their whole subtrees — have no path to the base station. The
+power-aware-routing literature the ROADMAP points at treats this as a
+first-class event: orphans *locally* pick a new parent among the neighbours
+they can still hear, paying a small control-message cost.
+
+:func:`repair_tree` reproduces that local repair against freshly recomputed
+rings (:meth:`repro.network.rings.RingsTopology.build_restricted`):
+
+* a node whose old parent link is still valid under the new rings (parent
+  alive, still a radio link going exactly one ring level up) keeps it —
+  repair is incremental, not a rebuild, so the tree stays stable where the
+  failure did not touch it;
+* an orphaned (or newly joined) node reattaches to its **nearest live
+  candidate parent**: the Euclidean-closest upstream ring neighbour, tie
+  broken by node id. BFS re-ringing guarantees every reachable non-base
+  node has at least one candidate, so repair always succeeds for every
+  live reachable node;
+* each reattachment is billed as one control message of
+  :data:`REPAIR_WORDS` words (a parent-request/accept handshake), reported
+  per node so the channel can charge it into the per-node energy maps.
+
+The repaired tree keeps the Tributary-Delta synchronisation invariant by
+construction: every link is a rings link going exactly one level up, so the
+repaired tree can seed a new :class:`~repro.core.graph.TDGraph` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.placement import BASE_STATION, Deployment, NodeId
+from repro.network.rings import RingsTopology
+from repro.tree.structure import Tree
+
+#: Payload words billed per reattachment (parent request + accept).
+REPAIR_WORDS = 2
+
+#: TinyDB messages billed per reattachment.
+REPAIR_MESSAGES = 1
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What one repair pass did, for logs and energy accounting.
+
+    Attributes:
+        reattached: (child, new parent) pairs, in child order.
+        removed: nodes dropped from the tree (died, or stranded by the
+            re-ringing), sorted.
+        words: total repair payload words (``REPAIR_WORDS`` per
+            reattachment).
+        messages: total repair messages.
+    """
+
+    reattached: Tuple[Tuple[NodeId, NodeId], ...]
+    removed: Tuple[NodeId, ...]
+    words: int
+    messages: int
+
+    @property
+    def num_reattached(self) -> int:
+        return len(self.reattached)
+
+
+def nearest_upstream_parent(
+    rings: RingsTopology, deployment: Deployment, node: NodeId
+) -> NodeId:
+    """The Euclidean-closest upstream ring neighbour (ties by node id)."""
+    candidates = rings.upstream_neighbors(node)
+    return min(
+        candidates,
+        key=lambda parent: (deployment.distance(node, parent), parent),
+    )
+
+
+def repair_tree(
+    tree: Tree, rings: RingsTopology, deployment: Deployment
+) -> Tuple[Tree, RepairReport]:
+    """Repair ``tree`` against re-rung ``rings`` after membership changed.
+
+    Every node of the new rings (dead and stranded nodes are already gone
+    from it) ends up in the returned tree: survivors keep their parent when
+    the link is still a one-level-up rings link, orphans and joiners
+    reattach to their nearest live candidate parent. The report carries the
+    reattachment list and its control-message bill.
+    """
+    levels = rings.levels
+    connectivity = rings.connectivity
+    parents: Dict[NodeId, NodeId] = {}
+    reattached: List[Tuple[NodeId, NodeId]] = []
+    for node in sorted(levels):
+        if node == BASE_STATION:
+            continue
+        old_parent = tree.parents.get(node)
+        keeps = (
+            old_parent is not None
+            and old_parent in levels
+            and levels[old_parent] == levels[node] - 1
+            and connectivity.has_edge(node, old_parent)
+        )
+        if keeps:
+            parents[node] = old_parent
+        else:
+            parent = nearest_upstream_parent(rings, deployment, node)
+            parents[node] = parent
+            reattached.append((node, parent))
+    removed = tuple(sorted(set(tree.nodes) - set(levels)))
+    report = RepairReport(
+        reattached=tuple(reattached),
+        removed=removed,
+        words=REPAIR_WORDS * len(reattached),
+        messages=REPAIR_MESSAGES * len(reattached),
+    )
+    return Tree(parents=parents, root=BASE_STATION), report

@@ -1,0 +1,618 @@
+"""Tests for the dynamic-topology subsystem: churn, repair, re-ringing.
+
+Covers the churn-model family, ring recomputation over survivors, tree
+repair (every orphaned live node reattaches), the membership runtime's
+plan invalidation and energy accounting, scheme rebuild hooks, simulator
+integration (blocked vs per-epoch equivalence *with* churn), and the
+end-to-end reachability of churn from Session / sweep / run-config.
+
+``TestChurnDisabledByteIdentity`` pins the other half of the contract:
+with churn off, all four schemes still produce byte-identical results to
+the pre-churn engine (golden digests recorded from the seed revision).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.aggregates.count import CountAggregate
+from repro.aggregates.sum_ import SumAggregate
+from repro.api import RunConfig, Session, config_digest, describe_experiment
+from repro.core.adaptation import TDFinePolicy
+from repro.core.graph import TDGraph, initial_modes_by_level
+from repro.core.sd_scheme import SynopsisDiffusionScheme
+from repro.core.tag_scheme import TagScheme
+from repro.core.td_scheme import TributaryDeltaScheme
+from repro.datasets.streams import UniformReadings
+from repro.errors import ConfigurationError, TopologyError
+from repro.experiments.fig_churn import run_churn_timeline
+from repro.experiments.parallel import SweepRunner, SweepSpec
+from repro.network.churn import (
+    ChurnBatch,
+    ChurnContext,
+    DynamicMembership,
+    LifetimeChurn,
+    RandomDeaths,
+    RegionalBlackout,
+    ScheduledChurn,
+)
+from repro.network.failures import GlobalLoss
+from repro.network.links import Channel
+from repro.network.placement import BASE_STATION
+from repro.network.rings import RingsTopology
+from repro.network.simulator import EpochSimulator
+from repro.registry import CHURN_MODELS, build_churn_model
+from repro.tree.repair import REPAIR_WORDS, repair_tree
+
+
+@pytest.fixture()
+def context(small_scenario):
+    return ChurnContext(
+        epoch=50,
+        epochs_elapsed=50,
+        alive=frozenset(small_scenario.deployment.node_ids),
+        deployment=small_scenario.deployment,
+        per_node_uj={},
+    )
+
+
+class TestChurnModels:
+    def test_scheduled_windows(self, context):
+        model = ScheduledChurn.of(
+            deaths=[(10, [1, 2]), (30, [3])], joins=[(30, [1])]
+        )
+        # First boundary (open start) collects everything due by then.
+        assert model.events_in(None, 10, context) == ChurnBatch(deaths=(1, 2))
+        # Half-open below: an event at the previous boundary is not re-due.
+        assert not model.events_in(10, 20, context)
+        batch = model.events_in(20, 30, context)
+        assert batch.deaths == (3,) and batch.joins == (1,)
+        # A first boundary past every event nets them per node: node 1's
+        # later join (epoch 30) wins over its death (epoch 10).
+        late = model.events_in(None, 100, context)
+        assert late.deaths == (2, 3) and late.joins == (1,)
+
+    def test_scheduled_net_state_ties_resolve_to_death(self, context):
+        model = ScheduledChurn.of(deaths=[(10, [4])], joins=[(10, [4])])
+        batch = model.events_in(None, 10, context)
+        assert batch.deaths == (4,) and not batch.joins
+
+    def test_random_deaths_deterministic(self, context):
+        model = RandomDeaths(epoch=50, count=5, seed=3)
+        first = model.events_in(None, 50, context)
+        second = model.events_in(None, 50, context)
+        assert first == second
+        assert len(first.deaths) == 5
+        assert BASE_STATION not in first.deaths
+        assert set(first.deaths) <= context.alive
+        # A different seed draws a different sample.
+        other = RandomDeaths(epoch=50, count=5, seed=4).events_in(
+            None, 50, context
+        )
+        assert other.deaths != first.deaths
+        # Outside the window: nothing.
+        assert not model.events_in(50, 60, context)
+
+    def test_random_deaths_clamps_to_population(self, context):
+        model = RandomDeaths(epoch=50, count=10_000, seed=0)
+        batch = model.events_in(None, 50, context)
+        assert set(batch.deaths) == context.alive - {BASE_STATION}
+
+    def test_blackout_region_and_rejoin(self, context):
+        model = RegionalBlackout(
+            epoch=20, lower=(0.0, 0.0), upper=(10.0, 10.0), rejoin_epoch=40
+        )
+        dark = model.events_in(None, 20, context)
+        expected = tuple(
+            context.deployment.nodes_in_rect((0.0, 0.0), (10.0, 10.0))
+        )
+        assert dark.deaths == expected and not dark.joins
+        back = model.events_in(30, 40, context)
+        assert back.joins == expected and not back.deaths
+        # Both events inside one window net to "alive": the region was
+        # never down at any executed boundary.
+        both = model.events_in(None, 100, context)
+        assert both.joins == expected and not both.deaths
+
+    def test_blackout_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegionalBlackout(epoch=10, lower=(5, 5), upper=(1, 1))
+        with pytest.raises(ConfigurationError):
+            RegionalBlackout(epoch=10, rejoin_epoch=10)
+
+    def test_lifetime_threshold(self, small_scenario):
+        ctx = ChurnContext(
+            epoch=100,
+            epochs_elapsed=100,
+            alive=frozenset(small_scenario.deployment.node_ids),
+            deployment=small_scenario.deployment,
+            per_node_uj={1: 2e6, 2: 0.4e6, 3: 1.1e6},
+        )
+        model = LifetimeChurn(battery_j=1.2, overhead_uj_per_epoch=0.0)
+        assert model.events_in(None, 100, ctx).deaths == (1,)
+        # Duty-cycle overhead accrues per elapsed epoch for every node.
+        heavy = LifetimeChurn(battery_j=1.2, overhead_uj_per_epoch=1e4)
+        assert 2 in heavy.events_in(None, 100, ctx).deaths
+        with pytest.raises(ConfigurationError):
+            LifetimeChurn(battery_j=0.0)
+
+    def test_registry_specs(self):
+        assert build_churn_model("none") is None
+        assert build_churn_model("deaths:50:10:2") == RandomDeaths(50, 10, 2)
+        blackout = build_churn_model("blackout:100:0:0:10:10:300")
+        assert blackout == RegionalBlackout(
+            100, lower=(0.0, 0.0), upper=(10.0, 10.0), rejoin_epoch=300
+        )
+        assert build_churn_model("lifetime:5") == LifetimeChurn(5.0)
+        assert build_churn_model("at:30:4+9").events_in(
+            None,
+            30,
+            ChurnContext(30, 30, frozenset({0, 4, 9}), None, {}),
+        ) == ChurnBatch(deaths=(4, 9))
+        with pytest.raises(ConfigurationError, match="churn"):
+            build_churn_model("bogus:1")
+        with pytest.raises(ConfigurationError, match="bad churn spec"):
+            build_churn_model("deaths:x:y")
+        assert "blackout" in CHURN_MODELS
+
+
+class TestRestrictedRings:
+    def test_restricts_levels_to_survivors(self, small_scenario):
+        alive = set(small_scenario.deployment.node_ids) - {5, 9}
+        rings, stranded = RingsTopology.build_restricted(
+            small_scenario.rings.connectivity, alive
+        )
+        assert 5 not in rings.levels and 9 not in rings.levels
+        assert set(rings.levels) | set(stranded) == alive
+        rings.validate()
+        # Survivors never move closer to the base station.
+        for node, level in rings.levels.items():
+            assert level >= small_scenario.rings.level(node)
+
+    def test_stranded_nodes_reported(self, small_scenario):
+        # Kill every ring-1 node: everything deeper is stranded.
+        ring1 = set(small_scenario.rings.nodes_at_level(1))
+        alive = set(small_scenario.deployment.node_ids) - ring1
+        rings, stranded = RingsTopology.build_restricted(
+            small_scenario.rings.connectivity, alive
+        )
+        assert set(rings.levels) == {BASE_STATION}
+        assert set(stranded) == alive - {BASE_STATION}
+
+    def test_base_station_is_immortal(self, small_scenario):
+        with pytest.raises(TopologyError):
+            RingsTopology.build_restricted(
+                small_scenario.rings.connectivity, {1, 2, 3}
+            )
+
+
+class TestRepairTree:
+    def test_survivors_keep_parents(self, small_scenario, small_tree):
+        rings, _ = RingsTopology.build_restricted(
+            small_scenario.rings.connectivity,
+            set(small_scenario.deployment.node_ids),
+        )
+        repaired, report = repair_tree(
+            small_tree, rings, small_scenario.deployment
+        )
+        assert repaired.parents == dict(small_tree.parents)
+        assert report.num_reattached == 0 and report.words == 0
+
+    def test_orphans_reattach_to_nearest_live_parent(
+        self, small_scenario, small_tree
+    ):
+        # Kill a parent with children: its whole subtree must re-home.
+        children_of = small_tree.children_map()
+        victim = max(
+            (n for n in small_tree.nodes if n != BASE_STATION),
+            key=lambda n: len(children_of[n]),
+        )
+        orphans = children_of[victim]
+        assert orphans, "victim should have children"
+        alive = set(small_scenario.deployment.node_ids) - {victim}
+        rings, stranded = RingsTopology.build_restricted(
+            small_scenario.rings.connectivity, alive
+        )
+        repaired, report = repair_tree(
+            small_tree, rings, small_scenario.deployment
+        )
+        # Every live reachable node is in the repaired tree; the victim and
+        # the stranded are not.
+        assert set(repaired.nodes) == set(rings.levels)
+        reattached = dict(report.reattached)
+        for orphan in orphans:
+            if orphan not in rings.levels:
+                continue  # stranded by the death
+            new_parent = repaired.parents[orphan]
+            assert new_parent != victim
+            # Nearest live upstream candidate, ties by id.
+            candidates = rings.upstream_neighbors(orphan)
+            best = min(
+                candidates,
+                key=lambda p: (
+                    small_scenario.deployment.distance(orphan, p),
+                    p,
+                ),
+            )
+            assert reattached[orphan] == best == new_parent
+        assert report.words == REPAIR_WORDS * report.num_reattached
+        assert victim in report.removed
+        # Every repaired link is a one-level-up radio link (the TD
+        # synchronisation invariant survives repair).
+        for child, parent in repaired.parents.items():
+            assert rings.level(child) == rings.level(parent) + 1
+            assert rings.connectivity.has_edge(child, parent)
+
+
+class TestDynamicMembership:
+    def _membership(self, scenario, tree, model):
+        return DynamicMembership(
+            model, scenario.deployment, scenario.rings, tree
+        )
+
+    def test_advance_applies_deaths_and_bumps_plans(
+        self, small_scenario, small_tree
+    ):
+        model = ScheduledChurn.of(deaths=[(10, [7, 12])])
+        membership = self._membership(small_scenario, small_tree, model)
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.0), seed=0)
+        version = channel._model_version
+        assert membership.advance(0, 0, channel) is None
+        update = membership.advance(10, 10, channel)
+        assert update is not None
+        assert update.died == (7, 12)
+        assert 7 not in membership.alive
+        assert channel._model_version == version + 1
+        assert membership.updates == [update]
+        # Repair control messages land in the per-node energy maps.
+        charged = {
+            node: words
+            for node, words in channel.per_node_words().items()
+            if words
+        }
+        assert set(charged) == {c for c, _ in update.repair.reattached}
+        assert all(words == REPAIR_WORDS for words in charged.values())
+
+    def test_base_station_never_dies_and_unknown_joins_ignored(
+        self, small_scenario, small_tree
+    ):
+        model = ScheduledChurn.of(
+            deaths=[(5, [BASE_STATION])], joins=[(5, [10_000])]
+        )
+        membership = self._membership(small_scenario, small_tree, model)
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.0), seed=0)
+        assert membership.advance(5, 5, channel) is None
+        assert BASE_STATION in membership.alive
+
+    def test_overlapping_batch_rejected(self, small_scenario, small_tree):
+        class BadModel:
+            def events_in(self, start, end, ctx):
+                return ChurnBatch(deaths=(3,), joins=(3,))
+
+        membership = self._membership(small_scenario, small_tree, BadModel())
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.0), seed=0)
+        with pytest.raises(ConfigurationError, match="net state"):
+            membership.advance(0, 0, channel)
+
+    def test_blackout_and_rejoin_before_start_is_a_noop(
+        self, small_scenario, small_tree
+    ):
+        # Both events predate the first boundary: the net state is "all
+        # alive", not "region permanently dark".
+        model = RegionalBlackout(
+            epoch=100,
+            lower=(0.0, 0.0),
+            upper=(10.0, 10.0),
+            rejoin_epoch=120,
+        )
+        membership = self._membership(small_scenario, small_tree, model)
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.0), seed=0)
+        assert membership.advance(1000, 0, channel) is None
+        assert membership.alive == set(small_scenario.deployment.node_ids)
+
+    def test_lifetime_uses_simulator_energy_model(
+        self, small_scenario, small_tree
+    ):
+        from repro.network.energy import EnergyModel
+
+        model = LifetimeChurn(battery_j=1e-4, overhead_uj_per_epoch=0.0)
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.0), seed=0)
+        channel.account_control(3, words=10, messages=1)  # 20 + 40 uJ default
+        membership = self._membership(small_scenario, small_tree, model)
+        # Default pricing: 60 uJ < 100 uJ battery — node 3 survives.
+        assert membership.advance(0, 1, channel) is None
+        # The simulator's (expensive) model pushes it over the edge.
+        pricey = EnergyModel(per_message_uj=90.0, per_byte_uj=10.0)
+        update = membership.advance(10, 11, channel, energy_model=pricey)
+        assert update is not None and update.died == (3,)
+
+    def test_rejoin_restores_membership(self, small_scenario, small_tree):
+        model = ScheduledChurn.of(
+            deaths=[(10, [7])], joins=[(20, [7])]
+        )
+        membership = self._membership(small_scenario, small_tree, model)
+        channel = Channel(small_scenario.deployment, GlobalLoss(0.0), seed=0)
+        membership.advance(10, 10, channel)
+        assert 7 not in membership.alive
+        update = membership.advance(20, 20, channel)
+        assert update.joined == (7,)
+        assert 7 in membership.alive and 7 in update.rings.levels
+        assert 7 in update.tree.parents
+
+
+def _build_scheme(name, scenario, tree, aggregate=None):
+    aggregate = aggregate or SumAggregate()
+    if name == "TAG":
+        return TagScheme(scenario.deployment, tree, aggregate)
+    if name == "SD":
+        return SynopsisDiffusionScheme(
+            scenario.deployment, scenario.rings, aggregate
+        )
+    graph = TDGraph(
+        scenario.rings, tree, initial_modes_by_level(scenario.rings, 2)
+    )
+    return TributaryDeltaScheme(
+        scenario.deployment, graph, aggregate, policy=TDFinePolicy()
+    )
+
+
+def _run_with_churn(name, scenario, tree, model, use_blocked, epochs=30):
+    scheme = _build_scheme(name, scenario, tree)
+    membership = DynamicMembership(
+        model, scenario.deployment, scenario.rings, tree
+    )
+    simulator = EpochSimulator(
+        scenario.deployment,
+        GlobalLoss(0.2),
+        scheme,
+        seed=1,
+        adapt_interval=10,
+        use_blocked=use_blocked,
+        membership=membership,
+    )
+    run = simulator.run(epochs, UniformReadings(10, 100, seed=1))
+    return run, membership, scheme
+
+
+def _run_fingerprint(run):
+    return [
+        (
+            result.epoch,
+            result.estimate,
+            result.true_value,
+            result.contributing,
+            result.contributing_estimate,
+            result.log.transmissions,
+            result.log.deliveries,
+            result.log.drops,
+            result.log.words_sent,
+            result.log.messages_sent,
+            sorted(result.extra.items(), key=lambda kv: kv[0]),
+        )
+        for result in run.epochs
+    ]
+
+
+class TestSimulatorChurn:
+    @pytest.mark.parametrize("name", ["TAG", "SD", "TD"])
+    def test_blocked_equals_per_epoch_under_churn(
+        self, name, small_scenario, small_tree
+    ):
+        model = RandomDeaths(epoch=10, count=12, seed=2)
+        blocked, _, _ = _run_with_churn(
+            name, small_scenario, small_tree, model, use_blocked=True
+        )
+        looped, _, _ = _run_with_churn(
+            name, small_scenario, small_tree, model, use_blocked=False
+        )
+        assert _run_fingerprint(blocked) == _run_fingerprint(looped)
+
+    def test_truth_follows_live_population(self, small_scenario, small_tree):
+        model = ScheduledChurn.of(deaths=[(10, [3, 4, 5])])
+        run, membership, scheme = _run_with_churn(
+            "TAG",
+            small_scenario,
+            small_tree,
+            model,
+            use_blocked=True,
+        )
+        num = small_scenario.deployment.num_sensors
+        assert [r.extra["alive_sensors"] for r in run.epochs[:10]] == [num] * 10
+        assert all(
+            r.extra["alive_sensors"] == num - 3 for r in run.epochs[10:]
+        )
+        # Ground truth is computed over the survivors only.
+        readings = UniformReadings(10, 100, seed=1)
+        alive = sorted(membership.alive - {BASE_STATION})
+        expected = sum(readings(node, 29) for node in alive)
+        assert run.epochs[29].true_value == pytest.approx(expected)
+
+    def test_reattaches_every_orphaned_live_node(
+        self, medium_scenario, medium_tree
+    ):
+        model = RandomDeaths(epoch=10, count=30, seed=5)
+        _, membership, scheme = _run_with_churn(
+            "TD", medium_scenario, medium_tree, model, use_blocked=True
+        )
+        assert membership.updates, "churn should have fired"
+        update = membership.updates[-1]
+        live_reachable = set(update.rings.levels)
+        assert set(update.tree.nodes) == live_reachable
+        for node in live_reachable - {BASE_STATION}:
+            assert node in update.tree.parents
+        # The TD graph was rebuilt over the repaired topology and still
+        # satisfies edge correctness (Property 1).
+        scheme.graph.validate()
+        assert set(scheme.graph.modes()) == live_reachable
+
+    def test_repair_energy_counted_in_totals(
+        self, small_scenario, small_tree
+    ):
+        # Kill a node with children so repair definitely fires.
+        children_of = small_tree.children_map()
+        victim = max(
+            (n for n in small_tree.nodes if n != BASE_STATION),
+            key=lambda n: len(children_of[n]),
+        )
+        model = ScheduledChurn.of(deaths=[(10, [victim])])
+        run, membership, _ = _run_with_churn(
+            "TAG", small_scenario, small_tree, model, use_blocked=True
+        )
+        repair = membership.updates[0].repair
+        assert repair.words > 0
+        epoch_words = sum(r.log.words_sent for r in run.epochs)
+        epoch_messages = sum(r.log.messages_sent for r in run.epochs)
+        # The energy totals include the repair bill on top of the per-epoch
+        # logs, consistent with the per-node load maps.
+        assert run.energy.total_words == epoch_words + repair.words
+        assert run.energy.total_messages == epoch_messages + repair.messages
+
+    def test_churn_requires_membership_hook(self, small_scenario, small_tree):
+        class Hookless:
+            name = "hookless"
+
+            def run_epoch(self, epoch, channel, readings):
+                raise NotImplementedError
+
+            def exact_answer(self, epoch, readings):
+                return 0.0
+
+            def adapt(self, epoch, outcome):
+                pass
+
+        membership = DynamicMembership(
+            RandomDeaths(5, 2),
+            small_scenario.deployment,
+            small_scenario.rings,
+            small_tree,
+        )
+        with pytest.raises(ConfigurationError, match="on_membership_change"):
+            EpochSimulator(
+                small_scenario.deployment,
+                GlobalLoss(0.0),
+                Hookless(),
+                membership=membership,
+            )
+
+    def test_lifetime_churn_triggers_deaths(self, small_scenario, small_tree):
+        model = LifetimeChurn(battery_j=0.0005, overhead_uj_per_epoch=0.0)
+        run, membership, _ = _run_with_churn(
+            "TAG", small_scenario, small_tree, model, use_blocked=True
+        )
+        assert membership.updates, "the battery should have run out"
+        assert membership.updates[0].died
+        assert run.epochs[-1].extra["alive_sensors"] < (
+            small_scenario.deployment.num_sensors
+        )
+
+
+class TestChurnEndToEnd:
+    def test_session_runs_churn_config(self):
+        config = RunConfig(
+            scheme="TD",
+            num_sensors=60,
+            epochs=20,
+            converge_epochs=8,
+            failure="global:0.2",
+            aggregate="sum",
+            reading="uniform:10:100:0",
+            churn="deaths:1005:10:1",
+        )
+        report = Session().run(config)
+        assert len(report.result.epochs) == 20
+        alive = [r.extra["alive_sensors"] for r in report.result.epochs]
+        assert alive[0] == 60 and alive[-1] == 50
+        # The digest sees the churn axis: same run without churn is a
+        # different cache key.
+        assert config_digest(config) != config_digest(
+            config.replace(churn="none")
+        )
+
+    def test_describe_churn_timeline(self):
+        config = describe_experiment("churn_timeline")
+        assert config.churn.startswith("blackout:")
+        assert RunConfig.from_json(config.to_json()) == config
+
+    def test_sweep_spec_carries_churn(self, tmp_path):
+        spec = SweepSpec(
+            scheme="TAG",
+            seed=1,
+            failure="global:0.2",
+            num_sensors=60,
+            epochs=10,
+            converge_epochs=0,
+            churn="deaths:1000:8:1",
+        )
+        runner = SweepRunner(jobs=None, cache_dir=tmp_path)
+        first = runner.run([spec])
+        second = runner.run([spec])  # cache hit
+        assert _run_fingerprint(first[0]) == _run_fingerprint(second[0])
+        assert first[0].epochs[-1].extra["alive_sensors"] == 52
+
+    def test_quick_churn_timeline_experiment(self):
+        result = run_churn_timeline(quick=True, seed=0)
+        assert set(result.relative_errors) == {"TAG", "SD", "TD-Coarse", "TD"}
+        for name, alive in result.alive_series.items():
+            assert min(alive) < 150, name
+            assert alive[-1] == 150, "the blackout region rejoined"
+        assert all(count > 0 for count in result.reattached.values())
+        assert "blackout" in result.render() or "healthy" in result.render()
+
+
+#: sha256 over the full result fingerprint of the seed revision (pre-churn
+#: engine), keyed by "scheme|failure". Recorded from commit 4893711.
+GOLDEN_DIGESTS = {
+    "TAG|none": "4bd448aa8a688c24689d101bc959b99ddc1dd404048325fe0eb77a757e0fdf7c",
+    "TAG|global:0.3": "39662a49fa19947f10d855cbd64d2aa3b9661988c90e3f98d766f817569382d8",
+    "SD|none": "378762df41c37bd8da3b2eaaaa4f74abf9ec3f47bb063228f941ea2abb10b867",
+    "SD|global:0.3": "bbd4ddc5bcef4f7fee16b53302fd12cb7b32a09e2abc5f1260837b511200fea5",
+    "TD-Coarse|none": "4bd448aa8a688c24689d101bc959b99ddc1dd404048325fe0eb77a757e0fdf7c",
+    "TD-Coarse|global:0.3": "a70260bd56a5f4b5f6149116501c14941992690a70f888bb95d1b3746df6bd51",
+    "TD|none": "4bd448aa8a688c24689d101bc959b99ddc1dd404048325fe0eb77a757e0fdf7c",
+    "TD|global:0.3": "cf624e4744f584e6c325388b5386a9ebcd198b20ee0e1d1f1bc64730e48bcf15",
+}
+
+
+def _digest(result):
+    payload = repr(
+        (
+            [e.estimate for e in result.epochs],
+            [e.contributing for e in result.epochs],
+            [e.contributing_estimate for e in result.epochs],
+            [
+                (
+                    e.log.transmissions,
+                    e.log.deliveries,
+                    e.log.drops,
+                    e.log.words_sent,
+                    e.log.messages_sent,
+                )
+                for e in result.epochs
+            ],
+            sorted(result.energy.per_node_uj.items()),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestChurnDisabledByteIdentity:
+    """With churn off, results are byte-identical to the pre-churn engine."""
+
+    @pytest.mark.parametrize("failure", ["none", "global:0.3"])
+    @pytest.mark.parametrize("scheme", ["TAG", "SD", "TD-Coarse", "TD"])
+    def test_golden_digests(self, scheme, failure):
+        config = RunConfig(
+            scheme=scheme,
+            failure=failure,
+            num_sensors=60,
+            epochs=12,
+            converge_epochs=10,
+            aggregate="sum",
+            reading="uniform:10:100:0",
+            seed=1,
+            scenario_seed=0,
+        )
+        result = Session().run(config).result
+        assert _digest(result) == GOLDEN_DIGESTS[f"{scheme}|{failure}"]

@@ -33,7 +33,8 @@ class TestRun:
 
     def test_experiment_registry_complete(self):
         # One entry per table/figure of the paper's evaluation, plus the
-        # quantified latency column and the design-knob sweeps.
+        # quantified latency column, the design-knob sweeps, and the
+        # dynamic-topology timeline.
         expected = {
             "table1",
             "fig2",
@@ -42,6 +43,7 @@ class TestRun:
             "fig5a",
             "fig5b",
             "fig6",
+            "churn-timeline",
             "labdata",
             "fig7a",
             "fig7b",
