@@ -243,6 +243,87 @@ def measure_sweep_wall_clock(
     }
 
 
+#: The acceptance portfolio of ISSUE 5: scalar pair, predicated windowed
+#: average, and a Section 6 heavy-hitters summary.
+WORKLOAD_QUERIES = (
+    {"name": "count", "aggregate": "count"},
+    {"name": "sum", "aggregate": "sum"},
+    {"name": "hot", "query": "SELECT avg WHERE value > 50"},
+    {"name": "heavy", "aggregate": "heavy_hitters:0.05"},
+)
+
+WORKLOAD_RESULT_NAME = "workload_amortization.json"
+
+
+def measure_workload_amortization(
+    num_sensors: int = 200,
+    epochs: int = 40,
+    converge_epochs: int = 0,
+    scheme: str = "TAG",
+    seed: int = 1,
+) -> dict:
+    """N-query workload vs N separate runs: wall-clock and byte-identity.
+
+    One simulator pass serves the whole portfolio (shared delivery draws,
+    piggybacked payloads), so the workload's wall-clock should land well
+    under the sum of the standalone runs — the acceptance target is
+    < 2.5x a single run for the 4-query portfolio. Each query's estimates
+    are asserted byte-identical to its standalone run under the same seed
+    (exact for the non-adaptive schemes; see ARCHITECTURE.md "Multi-query
+    execution" for the TD count caveat).
+    """
+    from repro.api import RunConfig, run_config_result
+
+    base = dict(
+        scheme=scheme,
+        failure="global:0.2",
+        reading="uniform:10:100:0",
+        num_sensors=num_sensors,
+        epochs=epochs,
+        converge_epochs=converge_epochs,
+        seed=seed,
+    )
+    singles: dict = {}
+    single_estimates: dict = {}
+    for spec in WORKLOAD_QUERIES:
+        config = RunConfig(
+            aggregate=spec.get("aggregate", "count"),
+            query=spec.get("query"),
+            **base,
+        )
+        started = time.perf_counter()
+        result = run_config_result(config)
+        singles[spec["name"]] = time.perf_counter() - started
+        single_estimates[spec["name"]] = result.estimates
+    workload_config = RunConfig(queries=list(WORKLOAD_QUERIES), **base)
+    started = time.perf_counter()
+    workload_result = run_config_result(workload_config)
+    workload_s = time.perf_counter() - started
+    identical = all(
+        [
+            epoch.extra["workload_estimates"][index]
+            for epoch in workload_result.epochs
+        ]
+        == single_estimates[spec["name"]]
+        for index, spec in enumerate(WORKLOAD_QUERIES)
+    )
+    total_single_s = sum(singles.values())
+    mean_single_s = total_single_s / len(singles)
+    return {
+        "scheme": scheme,
+        "num_sensors": num_sensors,
+        "epochs": epochs,
+        "queries": [spec["name"] for spec in WORKLOAD_QUERIES],
+        "single_s": singles,
+        "total_single_s": total_single_s,
+        "mean_single_s": mean_single_s,
+        "workload_s": workload_s,
+        "vs_sum_of_singles": workload_s / max(total_single_s, 1e-12),
+        "vs_mean_single": workload_s / max(mean_single_s, 1e-12),
+        "results_identical": identical,
+    }
+
+
 def run_benchmark(quick: bool = False) -> dict:
     """The full perf record: epoch throughput, blocked timeline, sweeps.
 
@@ -326,7 +407,50 @@ def main() -> int:
             "over the per-epoch path (the CI perf smoke gate passes 1.0)"
         ),
     )
+    parser.add_argument(
+        "--workload",
+        action="store_true",
+        help=(
+            "measure the 4-query workload amortization instead (one shared "
+            "pass vs 4 separate runs; writes results/"
+            + WORKLOAD_RESULT_NAME
+            + ", fails if the workload costs >= 2.5x a single run or any "
+            "query's estimates diverge from its standalone run)"
+        ),
+    )
     args = parser.parse_args()
+    if args.workload:
+        import os
+
+        record = {
+            "benchmark": "workload",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+            "amortization": measure_workload_amortization(
+                num_sensors=100 if args.quick else 200,
+                epochs=20 if args.quick else 40,
+            ),
+        }
+        text = json.dumps(record, indent=2)
+        print(text)
+        out = args.out or (
+            pathlib.Path(__file__).parent / "results" / WORKLOAD_RESULT_NAME
+        )
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        amortization = record["amortization"]
+        if not amortization["results_identical"]:
+            print("FAIL: a workload query diverged from its standalone run")
+            return 1
+        if amortization["vs_mean_single"] >= 2.5:
+            print(
+                "FAIL: 4-query workload costs "
+                f"{amortization['vs_mean_single']:.2f}x a single run "
+                "(acceptance gate is < 2.5x)"
+            )
+            return 1
+        return 0
     record = run_benchmark(quick=args.quick)
     text = json.dumps(record, indent=2)
     print(text)

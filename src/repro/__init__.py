@@ -6,21 +6,40 @@ into the adaptive Tributary-Delta scheme, plus the paper's frequent-items
 algorithms (Min Total-load, Min Max-load, Hybrid, the multi-path class-based
 algorithm, and their Tributary-Delta combination).
 
-Quickstart — one declarative config, one session::
+Quickstart — one declarative config, one session; a query *workload* runs
+a whole portfolio through one simulator pass over one channel::
 
     from repro import RunConfig, Session
 
     config = RunConfig(scheme="TD", failure="global:0.2",
-                       num_sensors=200, epochs=50)
+                       num_sensors=200, epochs=50,
+                       queries=[
+                           {"name": "population", "aggregate": "count"},
+                           {"name": "hot-mean",
+                            "query": "SELECT avg WHERE value > 20 WINDOW 5 MEAN"},
+                       ])
     report = Session().run(config)
-    print(report.rms_error())
+    print(report.query("population").rms_error())
+    print(report.query("hot-mean").estimates[:3])
+
+Every query in a workload observes byte-identical delivery draws (the
+channel's draws are keyed hashes, independent of payload), payloads ride
+piggybacked in shared messages with combined word billing, and each
+query's estimates match its standalone run under the same seed — the
+paper's paired-comparison methodology extended from schemes to queries.
+Drop ``queries`` for a classic single-query run (``aggregate="sum"`` or
+``query="SELECT count, sum"`` — the multi-target one-liner expands into a
+workload).
 
 Every name in a config (scheme, aggregate, failure model, topology,
-workload, churn model) resolves through the string-keyed registries of
-:mod:`repro.registry`; ``register_scheme`` / ``register_aggregate`` /
-``register_failure_model`` / ``register_topology`` / ``register_dataset``
-/ ``register_churn`` extend the system, and ``available()`` lists what's
-installed. Node churn is one more config knob — ``RunConfig(...,
+workload, churn model, frequent summary) resolves through the string-keyed
+registries of :mod:`repro.registry`; ``register_scheme`` /
+``register_aggregate`` / ``register_summary`` / ``register_failure_model``
+/ ``register_topology`` / ``register_dataset`` / ``register_churn`` extend
+the system, and ``available()`` lists what's installed. The Section 6
+summaries are first-class query targets: ``aggregate="heavy_hitters:0.05"``
+or ``SELECT quantiles:0.05:0.9`` runs them through any scheme. Node churn
+is one more config knob — ``RunConfig(...,
 churn="blackout:100:0:0:10:10:300")`` kills the paper's regional quadrant
 mid-run and lets tree repair and re-ringing absorb it. Configs
 round-trip through JSON (``RunConfig.from_json(config.to_json())``), sweep
@@ -38,11 +57,15 @@ from repro.aggregates import (
     CompositeAggregate,
     CountAggregate,
     DistinctCountAggregate,
+    HeavyHittersAggregate,
     MomentsAggregate,
     MaxAggregate,
     MinAggregate,
+    QuantilesAggregate,
     SumAggregate,
     UniformSampleAggregate,
+    WorkloadAggregate,
+    WorkloadReadings,
     quantile_from_sample,
 )
 from repro.core import (
@@ -68,6 +91,8 @@ from repro.datasets import (
     make_synthetic_scenario,
 )
 from repro.api import (
+    QuerySpec,
+    QueryWorkload,
     RunConfig,
     RunReport,
     Session,
@@ -76,9 +101,10 @@ from repro.api import (
     describe_experiment,
     expand_grid,
     run_config_result,
+    split_workload_result,
 )
 from repro.frequent import TributaryDeltaQuantiles
-from repro.query import ContinuousQuery, parse_query
+from repro.query import ContinuousQuery, parse_queries, parse_query
 from repro.multipath import FMSketch, KMVSketch
 from repro.registry import (
     available,
@@ -87,6 +113,7 @@ from repro.registry import (
     register_dataset,
     register_failure_model,
     register_scheme,
+    register_summary,
     register_topology,
 )
 from repro.network import (
@@ -122,6 +149,8 @@ from repro.tree import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "QuerySpec",
+    "QueryWorkload",
     "RunConfig",
     "RunReport",
     "Session",
@@ -130,12 +159,14 @@ __all__ = [
     "describe_experiment",
     "expand_grid",
     "run_config_result",
+    "split_workload_result",
     "available",
     "register_aggregate",
     "register_churn",
     "register_dataset",
     "register_failure_model",
     "register_scheme",
+    "register_summary",
     "register_topology",
     "DynamicMembership",
     "LifetimeChurn",
@@ -147,14 +178,19 @@ __all__ = [
     "CompositeAggregate",
     "CountAggregate",
     "DistinctCountAggregate",
+    "HeavyHittersAggregate",
     "MomentsAggregate",
     "MaxAggregate",
     "MinAggregate",
+    "QuantilesAggregate",
     "SumAggregate",
     "UniformSampleAggregate",
+    "WorkloadAggregate",
+    "WorkloadReadings",
     "quantile_from_sample",
     "TributaryDeltaQuantiles",
     "ContinuousQuery",
+    "parse_queries",
     "parse_query",
     "DampedPolicy",
     "Mode",

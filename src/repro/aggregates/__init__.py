@@ -4,30 +4,39 @@ Each aggregate supplies a tree algorithm, a multi-path (synopsis) algorithm,
 and the conversion function that turns a tree partial result into a synopsis
 — the three ingredients the paper requires. Provided aggregates: Count, Sum,
 Min, Max, Average, and Uniform sample (which in turn powers quantiles and
-statistical moments, as the paper notes). CompositeAggregate bundles
-several of them into one shared message sweep (multi-query support).
+statistical moments, as the paper notes). The Section 6 summaries are
+aggregates too: HeavyHittersAggregate and QuantilesAggregate wrap the
+``frequent/`` machinery. CompositeAggregate bundles several aggregates into
+one shared message sweep; WorkloadAggregate is its multi-query form, where
+each component reads its own view of the shared sensor stream.
 """
 
 from repro.aggregates.base import Aggregate
 from repro.aggregates.composite import CompositeAggregate
 from repro.aggregates.distinct import DistinctCountAggregate
+from repro.aggregates.frequent import HeavyHittersAggregate, QuantilesAggregate
 from repro.aggregates.moments import MomentsAggregate
 from repro.aggregates.count import CountAggregate
 from repro.aggregates.sum_ import SumAggregate
 from repro.aggregates.minmax import MaxAggregate, MinAggregate
 from repro.aggregates.average import AverageAggregate
 from repro.aggregates.sample import UniformSampleAggregate, quantile_from_sample
+from repro.aggregates.workload import WorkloadAggregate, WorkloadReadings
 
 __all__ = [
     "Aggregate",
     "CompositeAggregate",
     "DistinctCountAggregate",
+    "HeavyHittersAggregate",
     "MomentsAggregate",
     "CountAggregate",
+    "QuantilesAggregate",
     "SumAggregate",
     "MinAggregate",
     "MaxAggregate",
     "AverageAggregate",
     "UniformSampleAggregate",
+    "WorkloadAggregate",
+    "WorkloadReadings",
     "quantile_from_sample",
 ]

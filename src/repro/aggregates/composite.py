@@ -31,6 +31,22 @@ CompositePartial = Tuple[object, ...]
 CompositeSynopsis = Tuple[object, ...]
 
 
+def dedupe_names(names: Sequence[str]) -> List[str]:
+    """Disambiguate duplicate names with ``#k`` suffixes (first stays bare).
+
+    The one naming convention shared by composite component names and
+    workload query handles: ``["count", "count"]`` -> ``["count",
+    "count#2"]``.
+    """
+    result: List[str] = []
+    seen: Dict[str, int] = {}
+    for name in names:
+        count = seen.get(name, 0)
+        seen[name] = count + 1
+        result.append(name if count == 0 else f"{name}#{count + 1}")
+    return result
+
+
 class CompositeAggregate(Aggregate[CompositePartial, CompositeSynopsis]):
     """Several aggregates computed in one shared aggregation wave.
 
@@ -71,15 +87,7 @@ class CompositeAggregate(Aggregate[CompositePartial, CompositeSynopsis]):
 
     def component_names(self) -> List[str]:
         """Component names, disambiguated when duplicated."""
-        names: List[str] = []
-        seen: Dict[str, int] = {}
-        for aggregate in self._aggregates:
-            count = seen.get(aggregate.name, 0)
-            seen[aggregate.name] = count + 1
-            names.append(
-                aggregate.name if count == 0 else f"{aggregate.name}#{count + 1}"
-            )
-        return names
+        return dedupe_names([aggregate.name for aggregate in self._aggregates])
 
     def evaluations_by_name(self) -> Dict[str, float]:
         """The latest per-component answers keyed by component name."""

@@ -25,10 +25,25 @@ cache shared with the sweep engine. :data:`EXPERIMENT_CONFIGS` maps each
 named figure experiment onto its resolved canonical config — the CLI's
 ``repro describe`` / ``repro run-config`` pair round-trips them.
 
+A config may also describe a multi-query **workload** (schema v3): the
+``queries`` field lists named query specs, all executed in one simulator
+pass over one channel — every query sees byte-identical delivery draws,
+payloads piggyback in shared messages, and :class:`RunReport` exposes
+per-query results::
+
+    >>> config = RunConfig(scheme="TAG", num_sensors=40, epochs=2,
+    ...                    converge_epochs=0, failure="none",
+    ...                    queries=[{"name": "n", "aggregate": "count"},
+    ...                             {"name": "total", "aggregate": "sum"}])
+    >>> report = Session().run(config)
+    >>> report.query("n").estimates
+    [40.0, 40.0]
+
 Determinism contract: a config fully determines its result. Construction
 draws no randomness (all channel/sketch draws are keyed hashes), so
 :meth:`Session.run` is byte-identical to hand-wiring the same scenario,
-scheme and simulator — pinned by ``tests/test_api.py``.
+scheme and simulator — pinned by ``tests/test_api.py`` (and per query by
+``tests/test_workload.py``).
 """
 
 from __future__ import annotations
@@ -42,17 +57,20 @@ import pathlib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.aggregates.composite import dedupe_names
+from repro.aggregates.workload import WorkloadAggregate, WorkloadReadings
 from repro.errors import ConfigurationError
 from repro.network.churn import DynamicMembership
 from repro.network.failures import ComposedLoss
-from repro.network.simulator import EpochSimulator, RunResult
-from repro.query import parse_query
+from repro.network.simulator import EpochResult, EpochSimulator, RunResult
+from repro.query import parse_queries, parse_query
 from repro.registry import (
     AGGREGATES,
     SCHEMES,
     TOPOLOGIES,
     SchemeContext,
     available,
+    build_aggregate,
     build_churn_model,
     build_failure_model,
     build_reading,
@@ -60,8 +78,11 @@ from repro.registry import (
 from repro.tree.construction import build_bushy_tree
 
 #: Version of the RunConfig JSON schema; bump on breaking field changes.
-#: v2 added the dynamic-topology fields (``churn``, ``churn_interval``).
-CONFIG_SCHEMA_VERSION = 2
+#: v2 added the dynamic-topology fields (``churn``, ``churn_interval``);
+#: v3 added multi-query workloads (the ``queries`` field). Configs without
+#: ``queries`` still encode as v2 payloads, so every pre-workload digest
+#: and cache entry stays valid.
+CONFIG_SCHEMA_VERSION = 3
 
 #: Version of the run-result cache keyed by :func:`config_digest`. Bumped
 #: to 2 when cache keys moved from the ad-hoc SweepSpec encoding to the
@@ -70,6 +91,127 @@ CONFIG_SCHEMA_VERSION = 2
 RUN_CACHE_VERSION = 2
 
 _CONFIG_TAG = "run-config"
+
+#: The schema default of ``RunConfig.aggregate`` (used when a one-query
+#: workload is reduced to its single-field v2 equivalent).
+_DEFAULT_AGGREGATE = "count"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One named query of a workload: an aggregate spec *or* a one-liner.
+
+    Attributes:
+        name: the query's handle in reports (``RunReport.query_results``);
+            unique within a workload.
+        aggregate: a registered aggregate spec string (``count``, ``sum``,
+            ``heavy_hitters:0.05``, ...). Exactly one of ``aggregate`` /
+            ``query`` must be set.
+        query: a single-target ``SELECT ...`` one-liner (predicates and
+            windows included).
+    """
+
+    name: str
+    aggregate: Optional[str] = None
+    query: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(
+                f"query names must be non-empty strings, got {self.name!r}"
+            )
+        if (self.aggregate is None) == (self.query is None):
+            raise ConfigurationError(
+                f"query {self.name!r} must set exactly one of 'aggregate' "
+                "or 'query'"
+            )
+        if self.aggregate is not None:
+            build_aggregate(self.aggregate)  # validate eagerly
+        else:
+            parsed = parse_queries(self.query)
+            if len(parsed) != 1:
+                raise ConfigurationError(
+                    f"query {self.name!r} has {len(parsed)} SELECT targets;"
+                    " one workload entry holds one query — split the"
+                    " targets into separate entries"
+                )
+
+    def to_jsonable(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"name": self.name}
+        if self.aggregate is not None:
+            payload["aggregate"] = self.aggregate
+        if self.query is not None:
+            payload["query"] = self.query
+        return payload
+
+    def build(self, source) -> Tuple[object, object]:
+        """Resolve to this query's (aggregate, readings) over ``source``."""
+        if self.query is not None:
+            return parse_query(self.query).build(source)
+        return build_aggregate(self.aggregate), source
+
+
+def _coerce_query_spec(entry: object, index: int) -> QuerySpec:
+    """Decode one ``queries`` entry (dict or QuerySpec), actionably."""
+    if isinstance(entry, QuerySpec):
+        return entry
+    if not isinstance(entry, Mapping):
+        raise ConfigurationError(
+            f"queries[{index}] must be an object with 'name' and "
+            f"'aggregate' or 'query' keys, got {type(entry).__name__}"
+        )
+    unknown = sorted(set(entry) - {"name", "aggregate", "query"})
+    if unknown:
+        raise ConfigurationError(
+            f"queries[{index}] has unknown keys: "
+            + ", ".join(repr(key) for key in unknown)
+            + "; expected keys: 'name', 'aggregate', 'query'"
+        )
+    for key in ("name", "aggregate", "query"):
+        value = entry.get(key)
+        if value is not None and not isinstance(value, str):
+            raise ConfigurationError(
+                f"queries[{index}] key {key!r} expects a string, "
+                f"got {value!r} ({type(value).__name__})"
+            )
+    name = entry.get("name")
+    if name is None:
+        # Default handle: the aggregate spec (or the positional q<i>).
+        name = entry.get("aggregate") or f"q{index + 1}"
+    try:
+        return QuerySpec(
+            name=name,
+            aggregate=entry.get("aggregate"),
+            query=entry.get("query"),
+        )
+    except ConfigurationError as error:
+        raise ConfigurationError(f"queries[{index}]: {error}") from None
+
+
+def _normalize_queries(value: object) -> Tuple[QuerySpec, ...]:
+    """Validate and normalize a config's ``queries`` field."""
+    if isinstance(value, (str, bytes)) or not isinstance(
+        value, (list, tuple)
+    ):
+        raise ConfigurationError(
+            "'queries' must be a list of query specs "
+            "({name, aggregate | query} objects), got "
+            f"{type(value).__name__}"
+        )
+    if not value:
+        raise ConfigurationError(
+            "'queries' cannot be empty; omit it for a single-query run"
+        )
+    specs = tuple(
+        _coerce_query_spec(entry, index) for index, entry in enumerate(value)
+    )
+    names = [spec.name for spec in specs]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ConfigurationError(
+            "duplicate query names in 'queries': " + ", ".join(duplicates)
+        )
+    return specs
 
 
 @dataclass(frozen=True)
@@ -95,7 +237,19 @@ class RunConfig:
             ``uniform:LO:HI:SEED``, ``diurnal:SEED``, ...).
         query: optional ``SELECT ...`` continuous-query string; its SELECT
             target, WHERE predicate and WINDOW wrap the workload and
-            replace ``aggregate``.
+            replace ``aggregate``. A multi-target ``SELECT a, b, ...``
+            one-liner expands into a query workload (one query per
+            target, shared WHERE/WINDOW).
+        queries: optional multi-query workload — a list of named
+            :class:`QuerySpec` entries (``{name, aggregate | query}``),
+            each resolved through the registries. All queries execute in
+            **one** simulator pass over **one** channel, so every query
+            observes byte-identical delivery draws (the paper's paired
+            comparison, extended from schemes to queries); payloads
+            piggyback in shared messages with combined word billing. A
+            one-entry workload is exactly its single-query equivalent
+            (same engine path, same ``config_digest``). Mutually
+            exclusive with ``query``.
         epochs: measured epochs.
         warmup: epochs executed-but-unrecorded before measurement.
         start_epoch: measurement epoch offset (keeps measurement draws
@@ -133,6 +287,7 @@ class RunConfig:
     aggregate: str = "count"
     reading: str = "constant:1.0"
     query: Optional[str] = None
+    queries: Optional[Tuple[QuerySpec, ...]] = None
     epochs: int = 100
     warmup: int = 0
     start_epoch: int = 1000
@@ -151,10 +306,26 @@ class RunConfig:
         build_failure_model(self.failure)  # validate eagerly
         build_reading(self.reading)
         build_churn_model(self.churn)
+        if self.queries is not None:
+            object.__setattr__(
+                self, "queries", _normalize_queries(self.queries)
+            )
+            if self.query is not None:
+                raise ConfigurationError(
+                    "config sets both 'query' and 'queries'; a workload is"
+                    " described by 'queries' alone (put the one-liner in a"
+                    " {name, query} entry)"
+                )
+            if self.aggregate != _DEFAULT_AGGREGATE:
+                raise ConfigurationError(
+                    "config sets both 'aggregate' and 'queries'; a workload"
+                    " is described by 'queries' alone (add the aggregate as"
+                    " a {name, aggregate} entry)"
+                )
         if self.query is not None:
-            parse_query(self.query)
+            parse_queries(self.query)
         else:
-            AGGREGATES.resolve(self.aggregate)
+            build_aggregate(self.aggregate)
         if self.num_sensors < 1:
             raise ConfigurationError("num_sensors must be at least 1")
         if min(self.epochs, self.warmup, self.converge_epochs) < 0:
@@ -171,12 +342,28 @@ class RunConfig:
     # -- codec ------------------------------------------------------------
 
     def to_jsonable(self) -> Dict[str, object]:
-        """Plain-dict form with the schema's type/version envelope."""
+        """Plain-dict form with the schema's type/version envelope.
+
+        Configs without a workload encode exactly as they did before the
+        ``queries`` field existed — version 2, no ``queries`` key — so
+        every pre-workload digest (and with it the shared result cache)
+        stays warm. Workloads encode as version 3; a multi-target
+        ``query`` one-liner is a workload too (pre-workload readers could
+        not execute it, so the version guard must stop them with the
+        schema error, not a parse error deep in the query layer).
+        """
+        multi_target = (
+            self.query is not None and len(parse_queries(self.query)) > 1
+        )
         payload: Dict[str, object] = {
             "type": _CONFIG_TAG,
-            "version": CONFIG_SCHEMA_VERSION,
+            "version": 3 if self.queries is not None or multi_target else 2,
         }
         payload.update(dataclasses.asdict(self))
+        if self.queries is None:
+            del payload["queries"]
+        else:
+            payload["queries"] = [spec.to_jsonable() for spec in self.queries]
         return payload
 
     @classmethod
@@ -248,6 +435,16 @@ def _check_field_type(name: str, value: object) -> object:
     :class:`RunConfig`, so new fields are covered automatically.
     """
     annotation = _FIELD_ANNOTATIONS[name]
+    if name == "queries":
+        # Entries are validated (and coerced to QuerySpec) by the config's
+        # own __post_init__, with per-entry actionable errors; here only
+        # the container shape is checked.
+        if value is None or isinstance(value, (list, tuple)):
+            return value
+        raise ConfigurationError(
+            f"run-config key 'queries' expects a list of query specs, "
+            f"got {value!r} ({type(value).__name__})"
+        )
     if annotation == "bool":
         ok = isinstance(value, bool)
     elif annotation == "int":
@@ -273,15 +470,113 @@ _FIELD_ANNOTATIONS: Dict[str, str] = {
 }
 
 
+def _single_query_equivalent(config: RunConfig) -> RunConfig:
+    """Reduce a one-entry workload to its single-field (v2) form.
+
+    A one-query workload is *defined* to be its single-query equivalent:
+    it executes through the same engine path (so its results are
+    byte-identical to the seed engine's) and digests to the same cache key
+    (so pre-workload caches stay warm). Multi-query workloads (and
+    workload-free configs) pass through unchanged.
+    """
+    if config.queries is None or len(config.queries) != 1:
+        return config
+    spec = config.queries[0]
+    return config.replace(
+        queries=None,
+        query=spec.query,
+        aggregate=(
+            spec.aggregate if spec.aggregate is not None else _DEFAULT_AGGREGATE
+        ),
+    )
+
+
 def config_digest(config: RunConfig) -> str:
     """Stable SHA-256 over the canonical config JSON: the cache key.
 
     Derived from :meth:`RunConfig.to_json` plus :data:`RUN_CACHE_VERSION`,
     so a schema or semantics bump invalidates every cached result at once.
+    One-query workloads digest as their single-field equivalent (the run
+    they denote is the same run), and workload-free configs digest exactly
+    as they did on the v2 schema — the cache stays warm across the
+    migration.
     """
-    payload = dict(config.to_jsonable(), cache_version=RUN_CACHE_VERSION)
+    payload = dict(
+        _single_query_equivalent(config).to_jsonable(),
+        cache_version=RUN_CACHE_VERSION,
+    )
     encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha256(encoded).hexdigest()
+
+
+# -- query workloads -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """The resolved execution plan of a config's concurrent queries.
+
+    One workload = N named queries served by **one** simulator pass over
+    **one** channel. Delivery draws are keyed hashes independent of
+    payload, so every query sees the delivery set its standalone run would
+    see; payloads travel piggybacked in shared messages (combined word
+    billing), and the contributing-count feedback travels once for the
+    whole portfolio — the multi-query economics of the TAG/TinyDB lineage.
+    """
+
+    specs: Tuple[QuerySpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.specs)
+
+    @classmethod
+    def from_config(cls, config: RunConfig) -> Optional["QueryWorkload"]:
+        """The config's workload plan, or ``None`` for single-query runs.
+
+        Reads either the explicit ``queries`` field or a multi-target
+        ``SELECT a, b, ...`` one-liner (each target becomes a named query
+        sharing the WHERE/WINDOW clauses). Call on the
+        single-query-reduced config: one-entry workloads are single-query
+        runs, not workloads.
+        """
+        if config.queries is not None:
+            specs = config.queries
+        elif config.query is not None:
+            parsed = parse_queries(config.query)
+            if len(parsed) <= 1:
+                return None
+            names = dedupe_names([query.select for query in parsed])
+            specs = tuple(
+                QuerySpec(name=name, query=query.render())
+                for name, query in zip(names, parsed)
+            )
+        else:
+            return None
+        if len(specs) <= 1:
+            return None
+        return cls(specs=specs)
+
+    def build(
+        self, source: object
+    ) -> Tuple[WorkloadAggregate, WorkloadReadings]:
+        """Compile to one (aggregate, readings) pair over a shared stream.
+
+        Each query resolves exactly as its standalone run would — its own
+        aggregate instance, its own window state over the shared source —
+        then the per-query pieces zip into a :class:`WorkloadAggregate`
+        and a tuple-valued :class:`WorkloadReadings`.
+        """
+        named = []
+        readings = []
+        for spec in self.specs:
+            aggregate, reading_fn = spec.build(source)
+            named.append((spec.name, aggregate))
+            readings.append(reading_fn)
+        return WorkloadAggregate(named), WorkloadReadings(readings)
 
 
 # -- execution -------------------------------------------------------------
@@ -296,16 +591,27 @@ def run_config_result(config: RunConfig) -> RunResult:
     ``scenario_seed``, stabilise adaptive schemes (adapting every epoch,
     channel seeded by ``scenario_seed``), then measure ``epochs`` epochs
     from ``start_epoch`` under the measurement ``seed``.
+
+    Multi-query workloads (``queries`` with two or more entries, or a
+    multi-target ``query``) run the *same* sequence once: the queries zip
+    into one :class:`~repro.aggregates.workload.WorkloadAggregate` whose
+    payloads piggyback in shared messages over one channel. One-entry
+    workloads reduce to the plain single-query path, byte-identical to the
+    engine without the feature.
     """
+    config = _single_query_equivalent(config)
+    workload = QueryWorkload.from_config(config)
     topology = TOPOLOGIES.resolve(config.topology)(
         num_sensors=config.num_sensors, seed=config.scenario_seed
     )
     tree = build_bushy_tree(topology.rings, seed=config.scenario_seed)
     readings = build_reading(config.reading)
-    if config.query is not None:
+    if workload is not None:
+        aggregate, readings = workload.build(readings)
+    elif config.query is not None:
         aggregate, readings = parse_query(config.query).build(readings)
     else:
-        aggregate = AGGREGATES.resolve(config.aggregate)()
+        aggregate = build_aggregate(config.aggregate)
     entry = SCHEMES.resolve(config.scheme)
     scheme = entry.builder(
         SchemeContext(
@@ -359,13 +665,112 @@ def run_config_result(config: RunConfig) -> RunResult:
 
 # -- reports ---------------------------------------------------------------
 
+#: Epoch-extra keys private to the workload engine (stripped from the
+#: per-query views the split produces).
+_WORKLOAD_EXTRA_KEYS = ("workload_estimates", "workload_truths")
+
+
+def split_workload_result(
+    result: RunResult, names: Sequence[str]
+) -> Dict[str, RunResult]:
+    """Fan a workload run out into per-query :class:`RunResult` views.
+
+    Each view carries the query's own per-epoch estimates and loss-free
+    truths (recorded by the engine as ``workload_estimates`` /
+    ``workload_truths`` epoch extras) beside the run's *shared* channel
+    facts: delivery logs, contributing counts, and the one energy report —
+    the workload paid for one set of messages, so the bill is the
+    portfolio's, not any single query's.
+    """
+    epochs_by_query: Dict[str, List[EpochResult]] = {
+        name: [] for name in names
+    }
+    for epoch in result.epochs:
+        estimates = epoch.extra.get("workload_estimates")
+        truths = epoch.extra.get("workload_truths")
+        if estimates is None or truths is None:
+            raise ConfigurationError(
+                "run result carries no per-query records; was it produced "
+                "by a multi-query workload?"
+            )
+        shared_extra = {
+            key: value
+            for key, value in epoch.extra.items()
+            if key not in _WORKLOAD_EXTRA_KEYS
+        }
+        for index, name in enumerate(names):
+            epochs_by_query[name].append(
+                EpochResult(
+                    epoch=epoch.epoch,
+                    estimate=float(estimates[index]),
+                    true_value=float(truths[index]),
+                    contributing=epoch.contributing,
+                    contributing_estimate=epoch.contributing_estimate,
+                    log=epoch.log,
+                    extra=dict(shared_extra),
+                )
+            )
+    return {
+        name: RunResult(
+            scheme_name=result.scheme_name,
+            epochs=epochs_by_query[name],
+            energy=result.energy,
+        )
+        for name in names
+    }
+
+
+def _query_names(config: RunConfig) -> List[str]:
+    """The report handles of a config's queries (single runs included)."""
+    workload = QueryWorkload.from_config(_single_query_equivalent(config))
+    if workload is not None:
+        return list(workload.names)
+    if config.queries is not None:  # one-entry workload
+        return [config.queries[0].name]
+    return [config.query if config.query is not None else config.aggregate]
+
 
 @dataclass
 class RunReport:
-    """One executed config with its result and a renderable summary."""
+    """One executed config with its per-query results and a summary.
+
+    ``result`` is the executed run (for a workload: the engine's combined
+    view, whose scalar estimate tracks the first query);
+    ``query_results`` maps every query name to its own
+    :class:`RunResult` — for single-query configs that is one entry
+    pointing at ``result`` itself, for workloads the per-query split of
+    the shared pass.
+    """
 
     config: RunConfig
     result: RunResult
+    query_results: Dict[str, RunResult] = dataclasses.field(
+        init=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        names = _query_names(self.config)
+        if len(names) > 1:
+            self.query_results = split_workload_result(self.result, names)
+        else:
+            self.query_results = {names[0]: self.result}
+
+    def query_names(self) -> List[str]:
+        """The config's query handles, in workload order."""
+        return list(self.query_results)
+
+    def query(self, name: str) -> RunResult:
+        """One query's result view (actionable on unknown names)."""
+        try:
+            return self.query_results[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no query {name!r} in this run; queries: "
+                + ", ".join(self.query_results)
+            ) from None
+
+    def is_workload(self) -> bool:
+        return len(self.query_results) > 1
 
     def rms_error(self) -> float:
         return self.result.rms_error()
@@ -389,19 +794,26 @@ class RunReport:
         return self.result.energy.total_words / len(self.result.epochs)
 
     def render(self) -> str:
+        if self.config.queries is not None:
+            target = f"workload[{len(self.config.queries)} queries]"
+        elif self.config.query is not None:
+            target = self.config.query
+        else:
+            target = self.config.aggregate
         lines = [
             f"scheme={self.config.scheme} failure={self.config.failure} "
             f"seed={self.config.seed} epochs={self.config.epochs} "
-            f"aggregate="
-            + (
-                self.config.query
-                if self.config.query is not None
-                else self.config.aggregate
-            ),
+            f"aggregate=" + target,
             f"rms_error={self.rms_error():.4f} "
             f"mean_contributing={self.mean_contributing_fraction():.3f} "
             f"words/epoch={self.words_per_epoch():.0f}",
         ]
+        if self.is_workload():
+            for name in self.query_names():
+                result = self.query_results[name]
+                lines.append(
+                    f"  query {name}: rms_error={result.rms_error():.4f}"
+                )
         return "\n".join(lines)
 
 
@@ -415,11 +827,30 @@ class SweepReport:
     def rows(self) -> List[Tuple[RunConfig, RunResult]]:
         return list(zip(self.configs, self.results))
 
+    def reports(self) -> List[RunReport]:
+        """One :class:`RunReport` per row (per-query results included)."""
+        return [RunReport(config, result) for config, result in self.rows()]
+
     def rms_by_scheme(self) -> Dict[str, List[float]]:
         """Scheme -> RMS errors in config order."""
         series: Dict[str, List[float]] = {}
         for config, result in self.rows():
             series.setdefault(config.scheme, []).append(result.rms_error())
+        return series
+
+    def rms_by_query(self) -> Dict[Tuple[str, str], List[float]]:
+        """(scheme, query name) -> RMS errors in config order.
+
+        The per-query twin of :meth:`rms_by_scheme`: workload rows
+        contribute one series per query, single-query rows one series
+        under their aggregate/query handle.
+        """
+        series: Dict[Tuple[str, str], List[float]] = {}
+        for report in self.reports():
+            for name, result in report.query_results.items():
+                series.setdefault(
+                    (report.config.scheme, name), []
+                ).append(result.rms_error())
         return series
 
     def render(self) -> str:
@@ -684,6 +1115,27 @@ EXPERIMENT_CONFIGS: Dict[str, RunConfig] = {
         seed=0,
         churn="blackout:100:0:0:10:10:300",
     ),
+    # The paper's Section 2 setting made concrete: one network run serving
+    # a portfolio of concurrent queries — a scalar pair, a predicated
+    # windowed average, and a Section 6 heavy-hitters summary — in one
+    # simulator pass over one channel (shared delivery draws, piggybacked
+    # payloads, combined word billing).
+    "multiquery": RunConfig(
+        scheme="TD",
+        failure="global:0.2",
+        reading="uniform:10:100:0",
+        epochs=30,
+        converge_epochs=100,
+        queries=(
+            QuerySpec(name="count", aggregate="count"),
+            QuerySpec(name="sum", aggregate="sum"),
+            QuerySpec(
+                name="hot-mean",
+                query="SELECT avg WHERE value > 50 WINDOW 5 MEAN",
+            ),
+            QuerySpec(name="heavy", aggregate="heavy_hitters:0.05"),
+        ),
+    ),
 }
 
 
@@ -740,6 +1192,8 @@ __all__ = [
     "CONFIG_SCHEMA_VERSION",
     "RUN_CACHE_VERSION",
     "EXPERIMENT_CONFIGS",
+    "QuerySpec",
+    "QueryWorkload",
     "RunConfig",
     "RunReport",
     "Session",
@@ -749,4 +1203,5 @@ __all__ = [
     "describe_experiment",
     "expand_grid",
     "run_config_result",
+    "split_workload_result",
 ]

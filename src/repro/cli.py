@@ -365,6 +365,18 @@ def _coerce_field(name: str, raw: str) -> object:
             f"unknown config field {name!r}; expected one of "
             + ", ".join(sorted(fields))
         )
+    if name == "queries":
+        # A workload on the command line: a JSON list of query specs,
+        # e.g. --set queries='[{"name":"c","aggregate":"count"}]'.
+        import json
+
+        try:
+            return json.loads(raw)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"queries expects a JSON list of query specs, got {raw!r}: "
+                f"{error}"
+            ) from error
     default = fields[name].default
     if isinstance(default, bool):
         if raw.lower() in ("true", "1", "yes"):

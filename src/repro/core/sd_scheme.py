@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
+from repro.aggregates.workload import annotate_workload
 from repro.core.payloads import MultipathPayload, missing_stats_words
 from repro.errors import ConfigurationError
 from repro.multipath.fm import (
@@ -92,6 +93,11 @@ class SynopsisDiffusionScheme:
     @property
     def rings(self) -> RingsTopology:
         return self._rings
+
+    @property
+    def aggregate(self) -> Aggregate:
+        """The aggregate (or query workload) this scheme computes."""
+        return self._aggregate
 
     @property
     def latency_epochs(self) -> int:
@@ -284,7 +290,11 @@ class SynopsisDiffusionScheme:
                 estimate=0.0,
                 contributing=0,
                 contributing_estimate=0.0,
-                extra={"latency_epochs": self._rings.depth},
+                extra=annotate_workload(
+                    aggregate,
+                    {"latency_epochs": self._rings.depth},
+                    empty=True,
+                ),
             )
         synopsis = received[0].synopsis
         count_sketch = received[0].count_sketch
@@ -298,11 +308,14 @@ class SynopsisDiffusionScheme:
             contributing_estimate = count_sketch.estimate()
         else:
             contributing_estimate = aggregate.synopsis_eval(synopsis)
+        estimate = aggregate.synopsis_eval(synopsis)
         return EpochOutcome(
-            estimate=aggregate.synopsis_eval(synopsis),
+            estimate=estimate,
             contributing=contributors.bit_count(),
             contributing_estimate=contributing_estimate,
-            extra={"latency_epochs": self._rings.depth},
+            extra=annotate_workload(
+                aggregate, {"latency_epochs": self._rings.depth}
+            ),
         )
 
     def exact_answer(self, epoch: int, readings: ReadingFn) -> float:

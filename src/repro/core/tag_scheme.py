@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
+from repro.aggregates.workload import annotate_workload
 from repro.core.payloads import TreePayload
 from repro.errors import ConfigurationError
 from repro.network.links import (
@@ -78,6 +79,11 @@ class TagScheme:
     @property
     def tree(self) -> Tree:
         return self._tree
+
+    @property
+    def aggregate(self) -> Aggregate:
+        """The aggregate (or query workload) this scheme computes."""
+        return self._aggregate
 
     def replace_tree(self, tree: Tree) -> None:
         """Adopt a maintained tree (Section 2's parent switching [24]).
@@ -229,7 +235,9 @@ class TagScheme:
                 estimate=0.0,
                 contributing=0,
                 contributing_estimate=0.0,
-                extra={"latency_epochs": self._depth},
+                extra=annotate_workload(
+                    aggregate, {"latency_epochs": self._depth}, empty=True
+                ),
             )
         partial = received[0].partial
         count = received[0].count
@@ -238,11 +246,14 @@ class TagScheme:
             partial = aggregate.tree_merge(partial, extra_payload.partial)
             count += extra_payload.count
             contributors |= extra_payload.contributors
+        estimate = aggregate.tree_eval(partial)
         return EpochOutcome(
-            estimate=aggregate.tree_eval(partial),
+            estimate=estimate,
             contributing=contributors.bit_count(),
             contributing_estimate=float(count),
-            extra={"latency_epochs": self._depth},
+            extra=annotate_workload(
+                aggregate, {"latency_epochs": self._depth}
+            ),
         )
 
     def exact_answer(self, epoch: int, readings: ReadingFn) -> float:

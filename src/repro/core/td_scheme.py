@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
+from repro.aggregates.workload import annotate_workload
 from repro.core.adaptation import AdaptationAction, AdaptationPolicy
 from repro.core.graph import TDGraph
 from repro.core.modes import Mode
@@ -134,6 +135,11 @@ class TributaryDeltaScheme:
     @property
     def graph(self) -> TDGraph:
         return self._graph
+
+    @property
+    def aggregate(self) -> Aggregate:
+        """The aggregate (or query workload) this scheme computes."""
+        return self._aggregate
 
     @property
     def latency_epochs(self) -> int:
@@ -543,7 +549,9 @@ class TributaryDeltaScheme:
         if graph.is_tree(BASE_STATION):
             # All-tree configuration: behave exactly like TAG's root.
             if not tree_payloads:
-                return EpochOutcome(0.0, 0, 0.0, extra)
+                return EpochOutcome(
+                    0.0, 0, 0.0, annotate_workload(aggregate, extra, empty=True)
+                )
             partial = tree_payloads[0].partial
             count = tree_payloads[0].count
             contributors = tree_payloads[0].contributors
@@ -551,11 +559,12 @@ class TributaryDeltaScheme:
                 partial = aggregate.tree_merge(partial, payload.partial)
                 count += payload.count
                 contributors |= payload.contributors
+            estimate = aggregate.tree_eval(partial)
             return EpochOutcome(
-                estimate=aggregate.tree_eval(partial),
+                estimate=estimate,
                 contributing=contributors.bit_count(),
                 contributing_estimate=float(count),
-                extra=extra,
+                extra=annotate_workload(aggregate, extra),
             )
 
         # M-mode base station: keep direct tree partials exact (they are
@@ -593,8 +602,11 @@ class TributaryDeltaScheme:
 
         partials = [payload.partial for payload in tree_payloads]
         if synopsis is None and not partials:
-            return EpochOutcome(0.0, 0, 0.0, extra)
+            return EpochOutcome(
+                0.0, 0, 0.0, annotate_workload(aggregate, extra, empty=True)
+            )
         estimate = aggregate.mixed_eval(partials, synopsis)
+        extra = annotate_workload(aggregate, extra)
         if aggregate.synopsis_counts_contributors():
             sketch_count = synopsis and aggregate.synopsis_eval(synopsis) or 0.0
             contributing_estimate = exact_count + sketch_count

@@ -263,7 +263,12 @@ class EpochSimulator:
         return self._adapt_interval if self._adapt_interval else 10
 
     def _apply_churn(
-        self, epoch: int, offset: int, energy: EnergyReport, warmup: int
+        self,
+        epoch: int,
+        offset: int,
+        energy: EnergyReport,
+        warmup: int,
+        readings: ReadingFn,
     ) -> None:
         """Apply the churn events due at a boundary and notify the scheme.
 
@@ -271,7 +276,11 @@ class EpochSimulator:
         per-node maps *and* folded into the run's energy totals (the
         boundary's log holds exactly that traffic — the previous epoch's
         log was already consumed); warm-up boundaries are excluded from the
-        totals, mirroring how warm-up epochs' logs are.
+        totals, mirroring how warm-up epochs' logs are. Workloads carrying
+        per-node stream state (sliding windows) may expose an
+        ``on_membership_change`` hook of their own: an interrupted stream
+        must not leak stale windowed values, so the boundary is forwarded
+        to them after the scheme rebuilds.
         """
         update = self._membership.advance(
             epoch, offset, self._channel, self._energy_model
@@ -282,6 +291,9 @@ class EpochSimulator:
         if offset >= warmup:
             energy.add_log(control_log, self._energy_model)
         self._scheme.on_membership_change(update)
+        readings_hook = getattr(readings, "on_membership_change", None)
+        if callable(readings_hook):
+            readings_hook(update)
 
     def run(
         self,
@@ -347,7 +359,7 @@ class EpochSimulator:
         for offset in range(total):
             epoch = start_epoch + offset
             if self._membership is not None and offset % churn_interval == 0:
-                self._apply_churn(epoch, offset, energy, warmup)
+                self._apply_churn(epoch, offset, energy, warmup, readings)
             self._channel.reset_log()
             outcome = self._scheme.run_epoch(epoch, self._channel, readings)
             log = self._channel.reset_log()
@@ -380,7 +392,9 @@ class EpochSimulator:
         offset = 0
         while offset < total:
             if self._membership is not None and offset % churn_interval == 0:
-                self._apply_churn(start_epoch + offset, offset, energy, warmup)
+                self._apply_churn(
+                    start_epoch + offset, offset, energy, warmup, readings
+                )
             span = interval - (offset % interval) if interval else total - offset
             span = min(span, total - offset, self.MAX_BLOCK_EPOCHS)
             if self._membership is not None:
@@ -408,16 +422,26 @@ class EpochSimulator:
         readings: ReadingFn,
     ) -> None:
         energy.add_log(log, self._energy_model)
+        true_value = self._scheme.exact_answer(epoch, readings)
         extra = dict(outcome.extra)
         if self._membership is not None:
             # Diagnostic only under churn, so churn-disabled runs stay
             # byte-identical to a simulator without the feature.
             extra["alive_sensors"] = self._membership.num_alive_sensors
+        aggregate = getattr(self._scheme, "aggregate", None)
+        if getattr(aggregate, "workload_names", None) is not None:
+            # Multi-query workload: exact_answer just stashed every query's
+            # loss-free answer; record them beside the per-query estimates
+            # the scheme annotated, so the report layer can split this run
+            # into per-query RunResults. Single-query runs never get here.
+            truths = aggregate.last_exact_evaluations
+            if truths is not None:
+                extra["workload_truths"] = list(truths)
         results.append(
             EpochResult(
                 epoch=epoch,
                 estimate=outcome.estimate,
-                true_value=self._scheme.exact_answer(epoch, readings),
+                true_value=true_value,
                 contributing=outcome.contributing,
                 contributing_estimate=outcome.contributing_estimate,
                 log=log,

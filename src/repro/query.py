@@ -41,7 +41,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.aggregates.base import Aggregate
 from repro.errors import ConfigurationError
 from repro.network.simulator import ReadingFn
-from repro.registry import AGGREGATES
+from repro.registry import AGGREGATES, build_aggregate
 
 #: value predicate applied at each sensor.
 Predicate = Callable[[float], bool]
@@ -106,17 +106,33 @@ class WindowedReadings:
         self._reduce = _WINDOW_OPS[op]
         #: node -> (epoch, window values oldest-first, reduced value)
         self._windows: Dict[int, Tuple[int, Deque[float], float]] = {}
+        #: node -> first epoch of the node's current stream segment. A node
+        #: whose stream was interrupted by churn (died, then rejoined)
+        #: restarts its window here: readings "sensed" while it was down
+        #: never enter a window. Absent = streaming since epoch 0.
+        self._segment_starts: Dict[int, int] = {}
 
     def __call__(self, node: int, epoch: int) -> float:
         state = self._windows.get(node)
         if state is not None and state[0] == epoch:
             return state[2]
         if state is not None and state[0] < epoch < state[0] + self.size:
+            # Incremental fill: safe because churn events drop the node's
+            # cached state, so a surviving buffer always belongs to the
+            # node's current stream segment.
             buffer = state[1]
             for e in range(state[0] + 1, epoch + 1):
                 buffer.append(self._source(node, e))
+            if len(buffer) > epoch - self._segment_starts.get(node, 0) + 1:
+                # The window would reach past the segment start (possible
+                # only for the first few epochs after a rejoin): rebuild.
+                buffer = None
         else:
-            start = max(0, epoch - self.size + 1)
+            buffer = None
+        if buffer is None:
+            start = max(
+                0, epoch - self.size + 1, self._segment_starts.get(node, 0)
+            )
             buffer = deque(
                 (self._source(node, e) for e in range(start, epoch + 1)),
                 maxlen=self.size,
@@ -124,6 +140,24 @@ class WindowedReadings:
         value = self._reduce(buffer)
         self._windows[node] = (epoch, buffer, value)
         return value
+
+    def on_membership_change(self, update) -> None:
+        """Churn hook: interrupted streams drop state and restart windows.
+
+        A node that dies mid-window must stop contributing stale windowed
+        values: its cached window is discarded at the death boundary, and
+        if it later rejoins (a blackout lifting) its window restarts at the
+        rejoin epoch instead of spanning readings it never sensed. The
+        simulator forwards every applied
+        :class:`~repro.network.churn.MembershipUpdate` here when the
+        workload exposes this hook; no-churn runs never call it, so their
+        values are untouched.
+        """
+        for node in update.died:
+            self._windows.pop(node, None)
+        for node in update.joined:
+            self._windows.pop(node, None)
+            self._segment_starts[node] = update.epoch
 
 
 class FilteredAggregate(Aggregate):
@@ -251,11 +285,13 @@ class ContinuousQuery:
     window_op: str = "MEAN"
 
     def __post_init__(self) -> None:
-        if self.select not in AGGREGATE_FACTORIES:
+        head = self.select.split(":", 1)[0]
+        if head not in AGGREGATE_FACTORIES:
             raise ConfigurationError(
                 f"unknown aggregate {self.select!r}; "
                 f"choose from {sorted(AGGREGATE_FACTORIES)}"
             )
+        build_aggregate(self.select)  # validate spec arguments eagerly
         if self.window is not None and self.window < 1:
             raise ConfigurationError("window must be at least 1 epoch")
         if self.window_op.upper() not in _WINDOW_OPS:
@@ -268,7 +304,7 @@ class ContinuousQuery:
         readings: ReadingFn = source
         if self.window is not None and self.window > 1:
             readings = WindowedReadings(source, self.window, self.window_op)
-        aggregate = AGGREGATE_FACTORIES[self.select]()
+        aggregate = build_aggregate(self.select)
         if self.where is not None:
             aggregate = FilteredAggregate(aggregate, self.where.predicate())
         return aggregate, readings
@@ -282,15 +318,17 @@ class ContinuousQuery:
         return " ".join(parts)
 
 
-def parse_query(text: str) -> ContinuousQuery:
-    """Parse ``SELECT <agg> [WHERE value <op> <c>] [WINDOW <n> [<op>]]``.
+def parse_queries(text: str) -> List[ContinuousQuery]:
+    """Parse ``SELECT a[, b, ...] [WHERE ...] [WINDOW n [op]]``, one query
+    per SELECT target.
 
-    Case-insensitive keywords; the only predicate subject is ``value`` (a
-    sensor's current, possibly windowed, reading) — matching the paper's
-    single-attribute query model.
+    The multi-target form is the workload one-liner: every target becomes
+    its own :class:`ContinuousQuery` sharing the WHERE predicate and the
+    WINDOW clause, ready to run concurrently through one simulator pass
+    (``RunConfig(query="SELECT count, sum")``).
 
-    >>> parse_query("SELECT avg WHERE value > 20 WINDOW 5 MEAN").select
-    'avg'
+    >>> [q.select for q in parse_queries("SELECT count, sum WHERE value > 5")]
+    ['count', 'sum']
     """
     tokens = text.split()
     if not tokens:
@@ -314,7 +352,20 @@ def parse_query(text: str) -> ContinuousQuery:
         return token
 
     expect("SELECT")
-    select = take().lower()
+    target_tokens: List[str] = [take()]
+    while position < len(tokens) and tokens[position].upper() not in (
+        "WHERE",
+        "WINDOW",
+    ):
+        target_tokens.append(take())
+    selects = [
+        target.strip().lower()
+        for target in " ".join(target_tokens).split(",")
+    ]
+    if any(not target for target in selects):
+        raise ConfigurationError(
+            f"empty SELECT target in {text!r} (stray comma?)"
+        )
     where: Optional[WhereClause] = None
     window: Optional[int] = None
     window_op = "MEAN"
@@ -347,6 +398,32 @@ def parse_query(text: str) -> ContinuousQuery:
             raise ConfigurationError(
                 f"unexpected token {keyword!r} in {text!r}"
             )
-    return ContinuousQuery(
-        select=select, where=where, window=window, window_op=window_op
-    )
+    return [
+        ContinuousQuery(
+            select=select, where=where, window=window, window_op=window_op
+        )
+        for select in selects
+    ]
+
+
+def parse_query(text: str) -> ContinuousQuery:
+    """Parse ``SELECT <agg> [WHERE value <op> <c>] [WINDOW <n> [<op>]]``.
+
+    Case-insensitive keywords; the only predicate subject is ``value`` (a
+    sensor's current, possibly windowed, reading) — matching the paper's
+    single-attribute query model. A multi-target ``SELECT a, b`` one-liner
+    is a *workload*, not a single query: parse it with
+    :func:`parse_queries` (or hand it to ``RunConfig.query``, which expands
+    it into one).
+
+    >>> parse_query("SELECT avg WHERE value > 20 WINDOW 5 MEAN").select
+    'avg'
+    """
+    queries = parse_queries(text)
+    if len(queries) != 1:
+        raise ConfigurationError(
+            f"query {text!r} has {len(queries)} SELECT targets; multi-target"
+            " queries run as workloads — use parse_queries() or a RunConfig"
+            " 'queries'/'query' workload"
+        )
+    return queries[0]

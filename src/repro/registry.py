@@ -19,7 +19,15 @@ datasets        spec-string constructor              constant, uniform,
                                                      diurnal
 churn models    spec-string constructor              none, deaths, blackout,
                                                      lifetime
+summaries       spec-string ``Aggregate`` factory    heavy_hitters, quantiles
 ==============  ===================================  =======================
+
+Aggregates resolve from *spec strings* too (:func:`build_aggregate`): a
+plain name constructs with no arguments, while parameterised entries — the
+``frequent/`` summaries registered via ``register_summary`` — take
+colon-separated tokens (``heavy_hitters:0.05``, ``quantiles:0.05:0.9``)
+and work everywhere an aggregate name does: ``SELECT`` targets, configs,
+and multi-query workloads.
 
 Extending the system is one decorator::
 
@@ -58,6 +66,7 @@ from repro.aggregates.average import AverageAggregate
 from repro.aggregates.base import Aggregate
 from repro.aggregates.count import CountAggregate
 from repro.aggregates.distinct import DistinctCountAggregate
+from repro.aggregates.frequent import HeavyHittersAggregate, QuantilesAggregate
 from repro.aggregates.minmax import MaxAggregate, MinAggregate
 from repro.aggregates.moments import MomentsAggregate
 from repro.aggregates.sample import UniformSampleAggregate
@@ -178,11 +187,12 @@ class SchemeEntry:
 
 
 SCHEMES: Registry[SchemeEntry] = Registry("scheme")
-AGGREGATES: Registry[Callable[[], Aggregate]] = Registry("aggregate")
+AGGREGATES: Registry[Callable[..., Aggregate]] = Registry("aggregate")
 FAILURE_MODELS: Registry[Callable[..., object]] = Registry("failure model")
 TOPOLOGIES: Registry[Callable[..., object]] = Registry("topology")
 DATASETS: Registry[Callable[..., object]] = Registry("dataset")
 CHURN_MODELS: Registry[Callable[..., object]] = Registry("churn model")
+SUMMARIES: Registry[Callable[..., Aggregate]] = Registry("summary")
 
 
 def register_scheme(name: str, adaptive: bool = False):
@@ -204,6 +214,26 @@ def register_aggregate(name: str):
     """Register a zero-argument aggregate factory (usually the class)."""
 
     def decorator(factory: Callable[[], Aggregate]):
+        AGGREGATES.register(name, factory)
+        return factory
+
+    return decorator
+
+
+def register_summary(name: str):
+    """Register a frequent-summary aggregate for ``name[:arg...]`` specs.
+
+    The factory receives the spec's remaining tokens as positional strings
+    and returns an :class:`~repro.aggregates.base.Aggregate` wrapping one
+    of the ``frequent/`` summaries. The name lands in *two* registries:
+    ``SUMMARIES`` (discovery — ``available()['summaries']``) and
+    ``AGGREGATES``, which is what makes the summary a first-class query
+    target everywhere an aggregate name is accepted (``SELECT`` targets,
+    ``RunConfig.aggregate``, workload query specs).
+    """
+
+    def decorator(factory: Callable[..., Aggregate]):
+        SUMMARIES.register(name, factory)
         AGGREGATES.register(name, factory)
         return factory
 
@@ -269,9 +299,11 @@ def available() -> Dict[str, Tuple[str, ...]]:
     """Every registry's names: the discovery surface of the component system.
 
     >>> sorted(available())
-    ['aggregates', 'churn_models', 'datasets', 'failure_models', 'schemes', 'topologies']
+    ['aggregates', 'churn_models', 'datasets', 'failure_models', 'schemes', 'summaries', 'topologies']
     >>> available()['schemes']
     ('TAG', 'SD', 'TD-Coarse', 'TD')
+    >>> available()['summaries']
+    ('heavy_hitters', 'quantiles')
     """
     return {
         "schemes": SCHEMES.available(),
@@ -280,6 +312,7 @@ def available() -> Dict[str, Tuple[str, ...]]:
         "topologies": TOPOLOGIES.available(),
         "datasets": DATASETS.available(),
         "churn_models": CHURN_MODELS.available(),
+        "summaries": SUMMARIES.available(),
     }
 
 
@@ -303,6 +336,41 @@ def _spec_parts(spec: str, kind: str) -> Tuple[str, Tuple[str, ...]]:
         raise ConfigurationError(f"{kind} spec must be a non-empty string")
     head, *args = spec.split(":")
     return head, tuple(args)
+
+
+def build_aggregate(spec: str) -> Aggregate:
+    """Construct an aggregate from a ``name[:arg...]`` spec string.
+
+    Plain registered names (``count``, ``sum``, ...) construct with no
+    arguments — exactly the historical behaviour — while parameterised
+    summaries take spec tokens: ``heavy_hitters:0.05`` or
+    ``quantiles:0.05:0.9``. Only ``register_summary`` entries are
+    parameterised: ``register_aggregate`` factories are zero-argument by
+    contract (their constructor parameters are internal tuning knobs, not
+    spec surface), so stray tokens on a plain aggregate are configuration
+    mistakes and fail fast here instead of leaking raw strings into a run.
+
+    >>> build_aggregate("count").name
+    'count'
+    >>> build_aggregate("heavy_hitters:0.2").name
+    'heavy_hitters:0.2'
+    """
+    head, args = _spec_parts(spec, "aggregate")
+    factory = AGGREGATES.resolve(head)
+    if args and head not in SUMMARIES:
+        raise ConfigurationError(
+            f"aggregate {head!r} takes no spec arguments, got {spec!r}; "
+            "parameterised aggregates are the registered summaries: "
+            + ", ".join(SUMMARIES.available())
+        )
+    try:
+        return factory(*args)
+    except ConfigurationError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"bad aggregate spec {spec!r}: {error}"
+        ) from error
 
 
 def build_failure_model(spec: str):
@@ -432,6 +500,30 @@ register_aggregate("max")(MaxAggregate)
 register_aggregate("sample")(UniformSampleAggregate)
 register_aggregate("distinct")(DistinctCountAggregate)
 register_aggregate("moments")(MomentsAggregate)
+
+
+# -- built-in summaries (frequent/) ----------------------------------------
+
+
+@register_summary("heavy_hitters")
+def _build_heavy_hitters(
+    phi: str = "0.05", epsilon: str = "", hint: str = "1024"
+) -> HeavyHittersAggregate:
+    """``heavy_hitters:PHI[:EPS[:HINT]]`` — phi-frequent items (Section 6)."""
+    support = float(phi)
+    return HeavyHittersAggregate(
+        phi=support,
+        epsilon=float(epsilon) if epsilon else None,
+        total_items_hint=int(hint),
+    )
+
+
+@register_summary("quantiles")
+def _build_quantiles(
+    epsilon: str = "0.05", phi: str = "0.5"
+) -> QuantilesAggregate:
+    """``quantiles:EPS[:PHI]`` — the phi-quantile (median by default)."""
+    return QuantilesAggregate(epsilon=float(epsilon), phi=float(phi))
 
 
 # -- built-in failure models -----------------------------------------------
