@@ -20,15 +20,20 @@ Emits a JSON perf record (``engine_perf.json`` is always the latest;
 across PRs). Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--out PATH]
-        [--append] [--min-blocked-speedup X]
+        [--append] [--min-blocked-speedup X] [--profile]
 
-or through pytest (records both files).
+or through pytest (records both files). ``--profile`` instead runs each
+scheme's blocked Fig-6 timeline under cProfile and records the top-20
+cumulative hotspots per scheme to ``results/engine_profile.json`` — the
+starting point for the next perf PR (see ARCHITECTURE.md "Profiling the
+engine").
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import time
 
@@ -209,7 +214,14 @@ def measure_sweep_wall_clock(
     converge_epochs: int = 40,
     jobs: int = 4,
 ) -> dict:
-    """Serial vs pooled wall-clock for a (scheme x seed) sweep grid."""
+    """Serial vs pooled wall-clock for a (scheme x seed) sweep grid.
+
+    Pool gains only exist on multi-core hosts: on a single-CPU machine the
+    pooled run measures process-pool overhead, not parallelism, and the
+    ~1x "speedup" it records would read as an engine defect. The record
+    always carries ``cpu_count``; when it is below 2 the pooled comparison
+    is skipped and ``pooled_skipped`` says why.
+    """
     specs = [
         SweepSpec(
             scheme=scheme,
@@ -222,25 +234,118 @@ def measure_sweep_wall_clock(
         for scheme in ("TAG", "SD", "TD-Coarse", "TD")
         for seed in (1, 2)
     ]
+    cpu_count = os.cpu_count() or 1
     started = time.perf_counter()
     serial = SweepRunner(jobs=1).run(specs)
     serial_s = time.perf_counter() - started
+    record = {
+        "runs": len(specs),
+        "jobs": jobs,
+        "cpu_count": cpu_count,
+        "num_sensors": num_sensors,
+        "epochs": epochs,
+        "serial_s": serial_s,
+    }
+    if cpu_count < 2:
+        record["pooled_skipped"] = (
+            f"cpu_count {cpu_count} < 2: a pooled run would measure "
+            "process-pool overhead, not parallelism"
+        )
+        return record
     started = time.perf_counter()
     pooled = SweepRunner(jobs=jobs).run(specs)
     pooled_s = time.perf_counter() - started
     identical = all(
         left.estimates == right.estimates for left, right in zip(serial, pooled)
     )
-    return {
-        "runs": len(specs),
-        "jobs": jobs,
+    record["pooled_s"] = pooled_s
+    record["speedup"] = serial_s / max(pooled_s, 1e-12)
+    record["results_identical"] = identical
+    return record
+
+
+PROFILE_RESULT_NAME = "engine_profile.json"
+
+
+def measure_profile(
+    num_sensors: int = FIG6_SENSORS,
+    epochs: int = 100,
+    seed: int = 0,
+    adapt_interval: int = 10,
+    top: int = 20,
+) -> dict:
+    """cProfile each scheme's blocked Fig-6 timeline; top cumulative hotspots.
+
+    One profiled run per scheme (fresh schemes, shared scenario shape) over
+    a compressed Fig-6 failure timeline, through the same
+    ``EpochSimulator(use_blocked=True)`` path the blocked benchmark times.
+    Per scheme the record lists the ``top`` functions by *cumulative* time —
+    cumulative, not tottime, so a cheap function fanning out into an
+    expensive subtree still surfaces. See ARCHITECTURE.md "Profiling the
+    engine" for how to read the result.
+    """
+    import cProfile
+    import pstats
+
+    from repro.kernels import get_backend
+
+    scale = epochs / 400.0
+    schedule = FailureSchedule(
+        [
+            (0, GlobalLoss(0.0)),
+            (int(100 * scale), RegionalLoss(0.3, 0.0)),
+            (int(200 * scale), GlobalLoss(0.3)),
+            (int(300 * scale), GlobalLoss(0.0)),
+        ]
+    )
+    readings = UniformReadings(10, 100, seed=seed)
+    repo_root = str(pathlib.Path(__file__).resolve().parent.parent)
+    record: dict = {
         "num_sensors": num_sensors,
         "epochs": epochs,
-        "serial_s": serial_s,
-        "pooled_s": pooled_s,
-        "speedup": serial_s / max(pooled_s, 1e-12),
-        "results_identical": identical,
+        "adapt_interval": adapt_interval,
+        "top": top,
+        "backend": get_backend().name,
+        "schemes": {},
     }
+    comparison = build_schemes(SumAggregate, num_sensors=num_sensors, seed=seed)
+    for name, scheme in comparison.schemes.items():
+        interval = adapt_interval if name in ("TD-Coarse", "TD") else 0
+        simulator = EpochSimulator(
+            comparison.scenario.deployment,
+            schedule,
+            scheme,
+            seed=seed,
+            adapt_interval=interval,
+            use_blocked=True,
+        )
+        profiler = cProfile.Profile()
+        started = time.perf_counter()
+        profiler.enable()
+        simulator.run(epochs, readings)
+        profiler.disable()
+        elapsed = time.perf_counter() - started
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        hotspots = []
+        for func in stats.fcn_list[: top]:  # type: ignore[attr-defined]
+            filename, line, func_name = func
+            _cc, ncalls, tottime, cumtime, _callers = stats.stats[func]  # type: ignore[attr-defined]
+            if filename.startswith(repo_root):
+                filename = filename[len(repo_root) + 1 :]
+            hotspots.append(
+                {
+                    "function": f"{filename}:{line}({func_name})",
+                    "ncalls": ncalls,
+                    "tottime_s": round(tottime, 6),
+                    "cumtime_s": round(cumtime, 6),
+                }
+            )
+        record["schemes"][name] = {
+            "elapsed_s": elapsed,
+            "hotspots": hotspots,
+        }
+    return record
 
 
 #: The acceptance portfolio of ISSUE 5: scalar pair, predicated windowed
@@ -328,12 +433,10 @@ def run_benchmark(quick: bool = False) -> dict:
     """The full perf record: epoch throughput, blocked timeline, sweeps.
 
     The sweep comparison only shows wall-clock gains on multi-core hosts;
-    ``cpu_count`` is recorded so a 1-core container's ~1x pooled speedup
-    reads as what it is, not as an engine defect (results are still
-    asserted identical).
+    ``cpu_count`` is recorded and the pooled leg is skipped outright on a
+    single-CPU host (see :func:`measure_sweep_wall_clock`), so a 1-core
+    container never records a meaningless ~1x pooled "speedup".
     """
-    import os
-
     record = {
         "benchmark": "engine",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -386,7 +489,11 @@ def test_engine_perf(record_result, quick):
     assert record["epoch_throughput"]["total_speedup"] > 1.5
     assert record["blocked_timeline"]["results_identical"]
     assert record["blocked_timeline"]["total_speedup"] > 0.95
-    assert record["sweep"]["results_identical"]
+    sweep = record["sweep"]
+    if sweep["cpu_count"] < 2:
+        assert "cpu_count" in sweep["pooled_skipped"]
+    else:
+        assert sweep["results_identical"]
 
 
 def main() -> int:
@@ -408,6 +515,15 @@ def main() -> int:
         ),
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile each scheme's blocked Fig-6 run under cProfile and "
+            "record the top-20 cumulative hotspots to results/"
+            + PROFILE_RESULT_NAME
+        ),
+    )
+    parser.add_argument(
         "--workload",
         action="store_true",
         help=(
@@ -419,9 +535,26 @@ def main() -> int:
         ),
     )
     args = parser.parse_args()
+    if args.profile:
+        record = {
+            "benchmark": "engine_profile",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+            "profile": measure_profile(
+                num_sensors=150 if args.quick else FIG6_SENSORS,
+                epochs=40 if args.quick else 100,
+            ),
+        }
+        text = json.dumps(record, indent=2)
+        print(text)
+        out = args.out or (
+            pathlib.Path(__file__).parent / "results" / PROFILE_RESULT_NAME
+        )
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        return 0
     if args.workload:
-        import os
-
         record = {
             "benchmark": "workload",
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),

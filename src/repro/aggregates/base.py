@@ -18,7 +18,7 @@ harmless.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Generic, List, Optional, Sequence, TypeVar
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
 P = TypeVar("P")
 S = TypeVar("S")
@@ -214,6 +214,68 @@ class Aggregate(ABC, Generic[P, S]):
         contributing sensors (true for Count), letting schemes skip the
         piggybacked contributing-count sketch."""
         return False
+
+    def tree_partials_additive(self) -> bool:
+        """Whether tree partials are plain integers merged by addition.
+
+        Contract for returning ``True``: every :meth:`tree_local` result is
+        an ``int``, :meth:`tree_merge` is integer ``+``, and
+        :meth:`tree_words` is constant across partials. The fused kernels
+        (:mod:`repro.kernels`) rely on all three to run a whole epoch block
+        of tree waves as int64 column adds; aggregates that cannot promise
+        this keep the default ``False`` and take the per-payload object
+        path unchanged.
+        """
+        return False
+
+    def synopsis_packable(self) -> Optional[Tuple[int, int]]:
+        """The ``(num_bitmaps, bits)`` shape of packable synopses, or None.
+
+        Contract for returning a shape: synopses are plain
+        :class:`~repro.multipath.fm.FMSketch` objects of exactly that shape
+        with ``bits == 32``, :meth:`synopsis_fuse` is bitwise OR, and
+        :meth:`synopsis_words` is the standard packed-RLE sizing — so one
+        uint32 matrix row (little-endian bitmap words) is a faithful
+        synopsis and the fused kernels may OR and size rows directly.
+        ``None`` (the default) keeps the scheme on the object path.
+        """
+        return None
+
+    def synopsis_local_block_packed(
+        self,
+        nodes: Sequence[int],
+        epochs: Sequence[int],
+        reading_rows: Sequence[Sequence[float]],
+    ):
+        """SG for a block as one packed uint32 matrix, epoch-major flat.
+
+        Row ``j * len(nodes) + i`` must be the packed row
+        (:func:`repro.multipath.fm.sketch_to_row`) of
+        ``synopsis_local_block(...)[j][i]``. Only called when
+        :meth:`synopsis_packable` returned a shape.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not pack synopses"
+        )
+
+    def convert_block(
+        self,
+        partials: Sequence[P],
+        senders: Sequence[int],
+        epochs: Sequence[int],
+    ) -> List[S]:
+        """Batched :meth:`convert` over parallel columns.
+
+        Entry ``i`` must equal ``convert(partials[i], senders[i],
+        epochs[i])`` exactly; the default loops, FM-backed aggregates
+        override with one vectorized weighted-insert pass. The TD block
+        kernel funnels every boundary (T -> M) delivery of a block through
+        one call.
+        """
+        return [
+            self.convert(partial, sender, epoch)
+            for partial, sender, epoch in zip(partials, senders, epochs)
+        ]
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -10,11 +10,13 @@ value c" exactly as Section 5 prescribes.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
 from repro.multipath.fm import (
     FMSketch,
+    counted_sketches,
+    single_item_matrix_block,
     single_item_sketches,
     single_item_sketches_block,
     words_batch,
@@ -114,6 +116,41 @@ class CountAggregate(Aggregate[int, FMSketch]):
         sketch = self._empty_sketch()
         sketch.insert_count(partial, "count-conv", sender, epoch)
         return sketch
+
+    def convert_block(
+        self,
+        partials: Sequence[int],
+        senders: Sequence[int],
+        epochs: Sequence[int],
+    ) -> List[FMSketch]:
+        return counted_sketches(
+            self._num_bitmaps,
+            self._bits,
+            ("count-conv",),
+            partials,
+            senders,
+            epochs,
+        )
+
+    # -- fused-kernel capabilities -----------------------------------------------
+
+    def tree_partials_additive(self) -> bool:
+        return True
+
+    def synopsis_packable(self) -> Optional[Tuple[int, int]]:
+        if self._bits != 32:
+            return None
+        return (self._num_bitmaps, self._bits)
+
+    def synopsis_local_block_packed(
+        self,
+        nodes: Sequence[int],
+        epochs: Sequence[int],
+        reading_rows: Sequence[Sequence[float]],
+    ):
+        return single_item_matrix_block(
+            self._num_bitmaps, self._bits, ("count",), nodes, epochs
+        )
 
     # -- mixed evaluation --------------------------------------------------------
 

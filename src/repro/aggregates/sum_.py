@@ -9,11 +9,16 @@ network-wide sum. Conversion inserts the subtree's summed value the same way.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
 from repro.errors import ConfigurationError
-from repro.multipath.fm import FMSketch, counted_sketches, words_batch
+from repro.multipath.fm import (
+    FMSketch,
+    counted_matrix,
+    counted_sketches,
+    words_batch,
+)
 
 
 class SumAggregate(Aggregate[int, FMSketch]):
@@ -117,6 +122,47 @@ class SumAggregate(Aggregate[int, FMSketch]):
         sketch = self._empty_sketch()
         sketch.insert_count(partial, "sum-conv", sender, epoch)
         return sketch
+
+    def convert_block(
+        self,
+        partials: Sequence[int],
+        senders: Sequence[int],
+        epochs: Sequence[int],
+    ) -> List[FMSketch]:
+        return counted_sketches(
+            self._num_bitmaps,
+            self._bits,
+            ("sum-conv",),
+            partials,
+            senders,
+            epochs,
+        )
+
+    # -- fused-kernel capabilities -----------------------------------------------
+
+    def tree_partials_additive(self) -> bool:
+        return True
+
+    def synopsis_packable(self) -> Optional[Tuple[int, int]]:
+        if self._bits != 32:
+            return None
+        return (self._num_bitmaps, self._bits)
+
+    def synopsis_local_block_packed(
+        self,
+        nodes: Sequence[int],
+        epochs: Sequence[int],
+        reading_rows: Sequence[Sequence[float]],
+    ):
+        num = len(nodes)
+        return counted_matrix(
+            self._num_bitmaps,
+            self._bits,
+            ("sum",),
+            [self._as_int(reading) for row in reading_rows for reading in row],
+            list(nodes) * len(epochs),
+            [epoch for epoch in epochs for _ in range(num)],
+        )
 
     # -- mixed evaluation --------------------------------------------------------
 

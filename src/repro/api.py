@@ -60,6 +60,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.aggregates.composite import dedupe_names
 from repro.aggregates.workload import WorkloadAggregate, WorkloadReadings
 from repro.errors import ConfigurationError
+from repro.kernels import validate_backend_name
 from repro.network.churn import DynamicMembership
 from repro.network.failures import ComposedLoss
 from repro.network.simulator import EpochResult, EpochSimulator, RunResult
@@ -79,10 +80,11 @@ from repro.tree.construction import build_bushy_tree
 
 #: Version of the RunConfig JSON schema; bump on breaking field changes.
 #: v2 added the dynamic-topology fields (``churn``, ``churn_interval``);
-#: v3 added multi-query workloads (the ``queries`` field). Configs without
-#: ``queries`` still encode as v2 payloads, so every pre-workload digest
-#: and cache entry stays valid.
-CONFIG_SCHEMA_VERSION = 3
+#: v3 added multi-query workloads (the ``queries`` field); v4 added the
+#: execution-engine options (the ``engine`` field). Configs without the
+#: newer fields still encode as the older payloads — every pre-existing
+#: digest and cache entry stays valid.
+CONFIG_SCHEMA_VERSION = 4
 
 #: Version of the run-result cache keyed by :func:`config_digest`. Bumped
 #: to 2 when cache keys moved from the ad-hoc SweepSpec encoding to the
@@ -95,6 +97,57 @@ _CONFIG_TAG = "run-config"
 #: The schema default of ``RunConfig.aggregate`` (used when a one-query
 #: workload is reduced to its single-field v2 equivalent).
 _DEFAULT_AGGREGATE = "count"
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Execution-engine knobs: *how* a run computes, never *what*.
+
+    Every option here is result-neutral by invariant — the equivalence
+    suites pin the engine variants byte-identical — so engine choices live
+    in their own sub-config instead of multiplying result-bearing fields.
+
+    Attributes:
+        backend: kernel backend name for the fused array hot path
+            (``pure``, ``numba``, or ``object`` to force the per-payload
+            engine). ``None`` resolves ``REPRO_KERNEL_BACKEND`` and then
+            the ``pure`` default at run time. Validated against the
+            backend *registry* only — naming ``numba`` on a host without
+            numba is a valid config that fails loudly when run.
+    """
+
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            if not isinstance(self.backend, str):
+                raise ConfigurationError(
+                    "engine.backend expects a backend name string, got "
+                    f"{self.backend!r} ({type(self.backend).__name__})"
+                )
+            validate_backend_name(self.backend)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {}
+        if self.backend is not None:
+            payload["backend"] = self.backend
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, object]) -> "EngineOptions":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                "'engine' must be an object of engine options, got "
+                f"{type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"backend"})
+        if unknown:
+            raise ConfigurationError(
+                "unknown engine-option keys: "
+                + ", ".join(repr(key) for key in unknown)
+                + "; expected keys: 'backend'"
+            )
+        return cls(backend=data.get("backend"))
 
 
 @dataclass(frozen=True)
@@ -276,6 +329,12 @@ class RunConfig:
             ``start_epoch=0`` (as ``churn_timeline`` does).
         churn_interval: boundary cadence churn events apply at; 0 follows
             the adaptation cadence (or 10 when adaptation is off).
+        engine: optional :class:`EngineOptions` (or its dict form) naming
+            result-neutral execution choices — today the kernel
+            ``backend``. An all-default options object normalizes to
+            ``None``, so only configs that actually pin an engine choice
+            encode the field (schema v4); everything else digests exactly
+            as before.
     """
 
     scheme: str
@@ -299,8 +358,21 @@ class RunConfig:
     use_blocked: bool = True
     churn: str = "none"
     churn_interval: int = 0
+    engine: Optional[EngineOptions] = None
 
     def __post_init__(self) -> None:
+        if self.engine is not None:
+            engine = self.engine
+            if isinstance(engine, Mapping):
+                engine = EngineOptions.from_jsonable(engine)
+            if not isinstance(engine, EngineOptions):
+                raise ConfigurationError(
+                    "'engine' must be an EngineOptions (or its dict form), "
+                    f"got {type(self.engine).__name__}"
+                )
+            if engine == EngineOptions():
+                engine = None  # all-default: encode as the field's absence
+            object.__setattr__(self, "engine", engine)
         SCHEMES.resolve(self.scheme)
         TOPOLOGIES.resolve(self.topology)
         build_failure_model(self.failure)  # validate eagerly
@@ -355,15 +427,25 @@ class RunConfig:
         multi_target = (
             self.query is not None and len(parse_queries(self.query)) > 1
         )
+        if self.engine is not None:
+            version = 4
+        elif self.queries is not None or multi_target:
+            version = 3
+        else:
+            version = 2
         payload: Dict[str, object] = {
             "type": _CONFIG_TAG,
-            "version": 3 if self.queries is not None or multi_target else 2,
+            "version": version,
         }
         payload.update(dataclasses.asdict(self))
         if self.queries is None:
             del payload["queries"]
         else:
             payload["queries"] = [spec.to_jsonable() for spec in self.queries]
+        if self.engine is None:
+            del payload["engine"]
+        else:
+            payload["engine"] = self.engine.to_jsonable()
         return payload
 
     @classmethod
@@ -435,6 +517,15 @@ def _check_field_type(name: str, value: object) -> object:
     :class:`RunConfig`, so new fields are covered automatically.
     """
     annotation = _FIELD_ANNOTATIONS[name]
+    if name == "engine":
+        # Shape and keys are validated (and coerced to EngineOptions) by
+        # the config's own __post_init__.
+        if value is None or isinstance(value, (Mapping, EngineOptions)):
+            return value
+        raise ConfigurationError(
+            f"run-config key 'engine' expects an object of engine options, "
+            f"got {value!r} ({type(value).__name__})"
+        )
     if name == "queries":
         # Entries are validated (and coerced to QuerySpec) by the config's
         # own __post_init__, with per-entry actionable errors; here only
@@ -622,6 +713,9 @@ def run_config_result(config: RunConfig) -> RunResult:
             threshold=config.threshold,
             tree_attempts=config.tree_attempts,
             use_batch=config.use_batch,
+            kernel_backend=(
+                config.engine.backend if config.engine is not None else None
+            ),
         )
     )
     failure = build_failure_model(config.failure)
@@ -1192,6 +1286,7 @@ __all__ = [
     "CONFIG_SCHEMA_VERSION",
     "RUN_CACHE_VERSION",
     "EXPERIMENT_CONFIGS",
+    "EngineOptions",
     "QuerySpec",
     "QueryWorkload",
     "RunConfig",

@@ -70,6 +70,13 @@ class TDGraph:
         if modes is None:
             modes = initial_modes_by_level(rings, 0)
         self._modes: Dict[NodeId, Mode] = dict(modes)
+        # Mirror of the M region kept in lock-step with ``_modes`` by the
+        # switch operations: mode tests dominate the per-epoch wave loops,
+        # and one set-membership probe beats a dict lookup plus an enum
+        # property call.
+        self._m_set: Set[NodeId] = {
+            node for node, mode in self._modes.items() if mode.is_multipath
+        }
         self._check_tree_links()
         self.validate()
 
@@ -119,10 +126,10 @@ class TDGraph:
         return self._modes[node]
 
     def is_multipath(self, node: NodeId) -> bool:
-        return self._modes[node].is_multipath
+        return node in self._m_set
 
     def is_tree(self, node: NodeId) -> bool:
-        return self._modes[node].is_tree
+        return node not in self._m_set
 
     def modes(self) -> Dict[NodeId, Mode]:
         """A copy of the current label assignment."""
@@ -130,7 +137,7 @@ class TDGraph:
 
     def delta_region(self) -> Set[NodeId]:
         """The set of M vertices."""
-        return {node for node, mode in self._modes.items() if mode.is_multipath}
+        return set(self._m_set)
 
     def tree_children(self, node: NodeId) -> List[NodeId]:
         """Tree children of ``node``."""
@@ -145,7 +152,7 @@ class TDGraph:
         return [
             other
             for other in self._rings.downstream_neighbors(node)
-            if self._modes[other].is_multipath
+            if other in self._m_set
         ]
 
     # -- switchability (Section 3) -------------------------------------------
@@ -185,12 +192,14 @@ class TDGraph:
         if not self.is_switchable_m(node):
             raise CorrectnessError(f"node {node} is not a switchable M vertex")
         self._modes[node] = Mode.TREE
+        self._m_set.discard(node)
 
     def switch_to_multipath(self, node: NodeId) -> None:
         """Switch a switchable T vertex to M (expands the delta)."""
         if not self.is_switchable_t(node):
             raise CorrectnessError(f"node {node} is not a switchable T vertex")
         self._modes[node] = Mode.MULTIPATH
+        self._m_set.add(node)
 
     def expand_all(self) -> List[NodeId]:
         """TD-Coarse expansion: switch every switchable T vertex to M.
@@ -201,6 +210,7 @@ class TDGraph:
         switched = self.switchable_t_nodes()
         for node in switched:
             self._modes[node] = Mode.MULTIPATH
+            self._m_set.add(node)
         return switched
 
     def shrink_all(self) -> List[NodeId]:
@@ -208,6 +218,7 @@ class TDGraph:
         switched = self.switchable_m_nodes()
         for node in switched:
             self._modes[node] = Mode.TREE
+            self._m_set.discard(node)
         return switched
 
     # -- diagnostics ----------------------------------------------------------

@@ -16,6 +16,13 @@ from repro.aggregates.base import Aggregate
 from repro.aggregates.workload import annotate_workload
 from repro.core.payloads import MultipathPayload, missing_stats_words
 from repro.errors import ConfigurationError
+from repro.kernels import get_backend
+
+try:
+    from repro.kernels.sd import run_sd_block, sd_eligible
+except ImportError:  # pragma: no cover - numpy-less hosts keep the object path
+    run_sd_block = None
+    sd_eligible = None
 from repro.multipath.fm import (
     DEFAULT_BITS,
     FMSketch,
@@ -49,6 +56,7 @@ class SynopsisDiffusionScheme:
         accountant: Optional[MessageAccountant] = None,
         name: str = "SD",
         use_batch: bool = True,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if attempts < 1:
             raise ConfigurationError("attempts must be at least 1")
@@ -59,6 +67,7 @@ class SynopsisDiffusionScheme:
         self._count_bitmaps = count_bitmaps
         self._accountant = accountant or MessageAccountant()
         self._use_batch = use_batch
+        self._kernel_backend = kernel_backend
         self.name = name
         # Rings are static between membership changes: precompute the
         # per-level schedule and each node's broadcast audience.
@@ -192,6 +201,9 @@ class SynopsisDiffusionScheme:
         per-epoch (outcome, log) pairs are identical to the per-epoch loop.
         """
         epoch_list = [int(epoch) for epoch in epochs]
+        backend = get_backend(self._kernel_backend)
+        if backend.fused and sd_eligible is not None and sd_eligible(self):
+            return run_sd_block(self, epoch_list, channel, readings, backend)
         plan = channel.plan_epochs(self._plan_levels(), epoch_list)
         aggregate = self._aggregate
         local_blocks = []

@@ -21,6 +21,13 @@ from repro.aggregates.base import Aggregate
 from repro.aggregates.workload import annotate_workload
 from repro.core.payloads import TreePayload
 from repro.errors import ConfigurationError
+from repro.kernels import get_backend
+
+try:
+    from repro.kernels.tag import run_tag_block, tag_eligible
+except ImportError:  # pragma: no cover - numpy-less hosts keep the object path
+    run_tag_block = None
+    tag_eligible = None
 from repro.network.links import (
     Channel,
     DeliveryPlan,
@@ -59,6 +66,7 @@ class TagScheme:
         accountant: Optional[MessageAccountant] = None,
         name: str = "TAG",
         use_batch: bool = True,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if attempts < 1:
             raise ConfigurationError("attempts must be at least 1")
@@ -68,6 +76,7 @@ class TagScheme:
         self._attempts = attempts
         self._accountant = accountant or MessageAccountant()
         self._use_batch = use_batch
+        self._kernel_backend = kernel_backend
         self.name = name
         levels = tree.levels()
         self._levels = _level_groups(levels)
@@ -153,6 +162,9 @@ class TagScheme:
         channel draws and the local partials are hoisted out of the loop.
         """
         epoch_list = [int(epoch) for epoch in epochs]
+        backend = get_backend(self._kernel_backend)
+        if backend.fused and tag_eligible is not None and tag_eligible(self):
+            return run_tag_block(self, epoch_list, channel, readings, backend)
         plan = channel.plan_epochs(self._plan_levels(), epoch_list)
         aggregate = self._aggregate
         partial_blocks = [

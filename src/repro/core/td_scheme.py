@@ -35,6 +35,13 @@ from repro.core.payloads import (
     missing_stats_words,
 )
 from repro.errors import ConfigurationError
+from repro.kernels import get_backend
+
+try:
+    from repro.kernels.td import precompute_conversions, td_eligible
+except ImportError:  # pragma: no cover - numpy-less hosts keep the object path
+    precompute_conversions = None
+    td_eligible = None
 from repro.multipath.fm import (
     DEFAULT_BITS,
     FMSketch,
@@ -69,6 +76,7 @@ class TributaryDeltaScheme:
         accountant: Optional[MessageAccountant] = None,
         name: str = "TD",
         use_batch: bool = True,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if tree_attempts < 1 or multipath_attempts < 1:
             raise ConfigurationError("attempts must be at least 1")
@@ -81,6 +89,20 @@ class TributaryDeltaScheme:
         self._count_bitmaps = count_bitmaps
         self._accountant = accountant or MessageAccountant()
         self._use_batch = use_batch
+        self._kernel_backend = kernel_backend
+        # Block-scoped caches, live only inside :meth:`run_epochs`:
+        # precomputed boundary conversions keyed by (sender, epoch), and
+        # per-node (expected, switchable) tributary-missing lookups.
+        self._conversions: Optional[Dict] = None
+        self._missing_cache: Optional[Dict] = None
+        # Additive partials have a constant wire size (the ``tree_words``
+        # contract behind the fused TAG kernel), so tree payloads can be
+        # sized once instead of per node per epoch.
+        self._tree_payload_words: Optional[int] = (
+            int(aggregate.tree_words(aggregate.tree_empty())) + 1
+            if aggregate.tree_partials_additive()
+            else None
+        )
         self.name = name
         # Rings are static between membership changes (only modes adapt
         # within one): precompute the per-level schedule, each node's
@@ -235,15 +257,21 @@ class TributaryDeltaScheme:
         interior delta nodes without tributaries report nothing.
         """
         graph = self._graph
-        expected = sum(
-            graph.subtree_size(child)
-            for child in graph.tree_children(node)
-            if graph.is_tree(child)
-        )
+        cache = self._missing_cache
+        entry = cache.get(node) if cache is not None else None
+        if entry is None:
+            expected = sum(
+                graph.subtree_size(child)
+                for child in graph.tree_children(node)
+                if graph.is_tree(child)
+            )
+            switchable = graph.is_switchable_m(node) if expected == 0 else False
+            entry = (expected, switchable)
+            if cache is not None:
+                cache[node] = entry
+        expected, switchable = entry
         if expected == 0:
-            if graph.is_switchable_m(node):
-                return 0
-            return None
+            return 0 if switchable else None
         return max(0, expected - tributary_contributing)
 
     # -- one epoch ---------------------------------------------------------
@@ -266,7 +294,8 @@ class TributaryDeltaScheme:
         """
         epoch_list = [int(epoch) for epoch in epochs]
         graph = self._graph
-        plan = channel.plan_epochs(self._plan_levels(), epoch_list)
+        skeletons = self._plan_levels()
+        plan = channel.plan_epochs(skeletons, epoch_list)
         level_m_nodes = []
         level_t_nodes = []
         for nodes in self._level_nodes:
@@ -296,23 +325,46 @@ class TributaryDeltaScheme:
                 ],
             )
             local_blocks.append((synopses_block, sketches_block, partials_block))
-        results: List[Tuple[EpochOutcome, TransmissionLog]] = []
-        for column, epoch in enumerate(epoch_list):
-            channel.reset_log()
-            locals_by_level = [
-                (
-                    dict(zip(m_nodes, synopses[column])),
-                    dict(zip(m_nodes, sketches[column])),
-                    dict(zip(t_nodes, partials[column])),
-                )
-                for m_nodes, t_nodes, (synopses, sketches, partials) in zip(
-                    level_m_nodes, level_t_nodes, local_blocks
-                )
-            ]
-            outcome = self._run_wave(
-                epoch, channel, readings, locals_by_level, plan
+        # Precompute every boundary (T -> M) conversion of the block in one
+        # vectorized FM pass; the waves then look sketches up by
+        # (sender, epoch) instead of converting per payload. The precompute
+        # also validates every level against the plan, so waves may transmit
+        # with checked=True.
+        checked = False
+        backend = get_backend(self._kernel_backend)
+        if backend.fused and td_eligible is not None and td_eligible(self):
+            self._conversions = precompute_conversions(
+                self,
+                epoch_list,
+                channel,
+                plan,
+                skeletons,
+                level_t_nodes,
+                [partials for _, _, partials in local_blocks],
             )
-            results.append((outcome, channel.reset_log()))
+            checked = True
+        self._missing_cache = {}
+        results: List[Tuple[EpochOutcome, TransmissionLog]] = []
+        try:
+            for column, epoch in enumerate(epoch_list):
+                channel.reset_log()
+                locals_by_level = [
+                    (
+                        dict(zip(m_nodes, synopses[column])),
+                        dict(zip(m_nodes, sketches[column])),
+                        dict(zip(t_nodes, partials[column])),
+                    )
+                    for m_nodes, t_nodes, (synopses, sketches, partials) in zip(
+                        level_m_nodes, level_t_nodes, local_blocks
+                    )
+                ]
+                outcome = self._run_wave(
+                    epoch, channel, readings, locals_by_level, plan, checked
+                )
+                results.append((outcome, channel.reset_log()))
+        finally:
+            self._conversions = None
+            self._missing_cache = None
         return results
 
     def _run_wave(
@@ -322,6 +374,7 @@ class TributaryDeltaScheme:
         readings: ReadingFn,
         locals_by_level: Optional[List[Tuple[Dict, Dict, Dict]]],
         plan: Optional[DeliveryPlan],
+        checked: bool = False,
     ) -> EpochOutcome:
         graph = self._graph
         inbox_tree: Dict[NodeId, List[TreePayload]] = {}
@@ -388,7 +441,7 @@ class TributaryDeltaScheme:
 
             if plan is not None:
                 heard_lists = channel.transmit_epochs(
-                    transmissions, epoch, plan, index
+                    transmissions, epoch, plan, index, checked=checked
                 )
             elif self._use_batch:
                 heard_lists = channel.transmit_batch(transmissions, epoch)
@@ -445,13 +498,27 @@ class TributaryDeltaScheme:
         subtree_contributing = 1  # the node's own reading
         missing_stats: Optional[Dict[NodeId, int]] = None
 
+        conversions = self._conversions
         for received in inbox_tree.pop(node, ()):
-            converted = aggregate.convert(received.partial, received.sender, epoch)
+            cached = (
+                conversions.get((received.sender, epoch))
+                if conversions is not None
+                else None
+            )
+            if cached is not None:
+                converted, count_converted = cached
+            else:
+                converted = aggregate.convert(
+                    received.partial, received.sender, epoch
+                )
+                count_converted = None
             synopsis = aggregate.synopsis_fuse(synopsis, converted)
             if count_sketch is not None:
-                count_sketch = count_sketch.fuse(
-                    self._count_convert(received.count, received.sender, epoch)
-                )
+                if count_converted is None:
+                    count_converted = self._count_convert(
+                        received.count, received.sender, epoch
+                    )
+                count_sketch = count_sketch.fuse(count_converted)
             contributors |= received.contributors
             subtree_contributing += received.count
 
@@ -460,11 +527,22 @@ class TributaryDeltaScheme:
             if count_sketch is not None and received.count_sketch is not None:
                 count_sketch = count_sketch.fuse(received.count_sketch)
             contributors |= received.contributors
-            missing_stats = combine_stats(missing_stats, received.missing_stats)
+            # Inlined ``combine_stats``: we own ``missing_stats`` (first hit
+            # copies), so later unions can update in place. Insertion order
+            # matches the pure-function union exactly.
+            received_stats = received.missing_stats
+            if received_stats:
+                if missing_stats is None:
+                    missing_stats = dict(received_stats)
+                else:
+                    missing_stats.update(received_stats)
 
         missing = self._tributary_missing(node, subtree_contributing - 1)
         if missing is not None:
-            missing_stats = combine_stats(missing_stats, {node: missing})
+            if missing_stats is None:
+                missing_stats = {node: missing}
+            else:
+                missing_stats[node] = missing
 
         return MultipathPayload(
             synopsis, count_sketch, contributors, missing_stats
@@ -502,10 +580,12 @@ class TributaryDeltaScheme:
         transmissions: List[Transmission] = []
         for node, (is_tree, _, payload) in zip(nodes, outgoing):
             if is_tree:
-                words = (
-                    aggregate.tree_words(payload.partial)
-                    + payload.extra_words()
-                )
+                words = self._tree_payload_words
+                if words is None:
+                    words = (
+                        aggregate.tree_words(payload.partial)
+                        + payload.extra_words()
+                    )
                 spec = self._accountant.spec_for_words(words)
                 transmissions.append(
                     Transmission(

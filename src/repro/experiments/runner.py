@@ -55,6 +55,7 @@ def build_schemes(
     scenario: Optional[SyntheticScenario] = None,
     tree: Optional[Tree] = None,
     names: Optional[Sequence[str]] = None,
+    kernel_backend: Optional[str] = None,
 ) -> SchemeComparison:
     """Assemble registered schemes over a shared scenario.
 
@@ -79,6 +80,7 @@ def build_schemes(
                 aggregate=aggregate_factory(),
                 threshold=threshold,
                 tree_attempts=tree_attempts,
+                kernel_backend=kernel_backend,
             )
         )
         comparison.schemes[name] = scheme

@@ -1,0 +1,197 @@
+"""Pluggable array-kernel backends for the fused scheme hot paths.
+
+The level-synchronous schemes spend their time in four primitive shapes:
+OR-merging packed synopsis rows into parent accumulators, adding integer
+tree partials into parent columns, reducing delivery flags per sender, and
+RLE-sizing packed bitmap rows. This package names those primitives once
+(:class:`KernelBackend`) and provides interchangeable implementations:
+
+* ``pure`` — numpy ufunc passes (the default; always available when numpy
+  is).
+* ``numba`` — ``@njit``-compiled explicit loops over the same integer
+  math, used when :mod:`numba` is importable. CI runs *parity*, not speed,
+  for it: both backends must produce bit-identical words, estimates and
+  billing.
+* ``object`` — a sentinel that disables the fused array path entirely;
+  schemes fall back to the per-payload object engine (the PR-2 path),
+  which doubles as the safety hatch and the test oracle.
+
+Selection order: an explicit backend name (``RunConfig.engine.backend``,
+threaded to the schemes at construction) beats the ``REPRO_KERNEL_BACKEND``
+environment variable, which beats the ``"pure"`` default. Requesting a
+backend that cannot load (``numba`` without numba installed) raises loudly
+— a silently substituted backend would make perf numbers lie.
+
+Backend instances are memoized **by backend name** — the one kernels-level
+cache — so every cache key in the fused path is backend-qualified by
+construction and two backends can never alias each other's entries.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Environment variable naming the default kernel backend.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The hard default when neither config nor environment chooses.
+DEFAULT_BACKEND = "pure"
+
+
+class KernelBackend:
+    """The primitive kernel surface the fused scheme paths consume.
+
+    ``fused`` reports whether this backend can run the array-native path
+    at all; the ``object`` sentinel sets it ``False`` and implements no
+    primitives. All matrix primitives operate on C-contiguous numpy
+    arrays; implementations must be bit-identical to the pure-numpy
+    reference (integer math only — no floats touch the packed words).
+    """
+
+    #: Registry name (also the key every derived cache must carry).
+    name: str = "object"
+
+    #: Whether the fused array path is available on this backend.
+    fused: bool = False
+
+    def or_reduce(self, matrix, starts):
+        """Bitwise-OR rows within contiguous segments.
+
+        ``matrix`` is ``(P, K)`` uint32; ``starts`` the sorted segment
+        starts (segment ``g`` spans ``starts[g]`` to ``starts[g+1]`` or the
+        end). Segments must be non-empty. Returns ``(len(starts), K)``.
+        """
+        raise NotImplementedError
+
+    def or_into(self, dest, rows, values):
+        """``dest[rows] |= values`` with unique ``rows``."""
+        raise NotImplementedError
+
+    def add_into(self, dest, rows, values):
+        """``dest[rows] += values`` with possibly repeated ``rows``."""
+        raise NotImplementedError
+
+    def any_reduce(self, flags, starts, stops):
+        """Per-segment any() over a ``(P, E)`` bool matrix.
+
+        Segments are contiguous, non-overlapping and in order, but may be
+        empty (``stops[i] == starts[i]``) — empty segments yield ``False``
+        rows. Returns ``(len(starts), E)`` bool.
+        """
+        raise NotImplementedError
+
+    def rle_words(self, matrix, bits):
+        """RLE wire size per row of a packed bitmap matrix.
+
+        Row ``r`` must equal
+        ``repro.multipath.fm._packed_rle_words(packed_r, B, bits)`` for the
+        packed integer whose bitmap ``j`` is ``matrix[r, j]``. Returns an
+        int64 vector.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name!r} fused={self.fused}>"
+
+
+class ObjectBackend(KernelBackend):
+    """Fused kernels disabled: schemes run the per-payload object engine."""
+
+    name = "object"
+    fused = False
+
+
+def _load_object() -> KernelBackend:
+    return ObjectBackend()
+
+
+def _load_pure() -> KernelBackend:
+    from repro.kernels.backend_pure import PureBackend
+
+    return PureBackend()
+
+
+def _load_numba() -> KernelBackend:
+    from repro.kernels.backend_numba import NumbaBackend
+
+    return NumbaBackend()
+
+
+#: Backend loaders by name. Loaders run lazily (numba imports only when
+#: asked for) and may raise :class:`ConfigurationError` when unavailable.
+KERNEL_BACKENDS: Dict[str, Callable[[], KernelBackend]] = {
+    "object": _load_object,
+    "pure": _load_pure,
+    "numba": _load_numba,
+}
+
+#: Loaded backend instances, memoized by backend name.
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+
+def backend_names() -> List[str]:
+    """Registered backend names (loadable or not), sorted."""
+    return sorted(KERNEL_BACKENDS)
+
+
+def validate_backend_name(name: str) -> str:
+    """Check that ``name`` is a registered backend (without loading it)."""
+    if name not in KERNEL_BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            + ", ".join(backend_names())
+        )
+    return name
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` loads on this host (numba may not be installed)."""
+    validate_backend_name(name)
+    try:
+        get_backend(name)
+    except ConfigurationError:
+        return False
+    return True
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a kernel backend: explicit name > environment > default.
+
+    An unknown or unloadable *requested* backend (explicit name or
+    environment variable) raises — substituting a different backend
+    silently would make every perf comparison suspect. Only the implicit
+    hard default degrades: when nothing asked for a backend and ``pure``
+    cannot load (no numpy), the ``object`` sentinel is returned and the
+    schemes keep their per-payload path.
+    """
+    requested = name if name is not None else (
+        os.environ.get(BACKEND_ENV_VAR) or None
+    )
+    resolved = requested if requested is not None else DEFAULT_BACKEND
+    validate_backend_name(resolved)
+    instance = _INSTANCES.get(resolved)
+    if instance is None:
+        try:
+            instance = KERNEL_BACKENDS[resolved]()
+        except ConfigurationError:
+            if requested is not None:
+                raise
+            return get_backend("object")
+        _INSTANCES[resolved] = instance
+    return instance
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "KERNEL_BACKENDS",
+    "KernelBackend",
+    "ObjectBackend",
+    "backend_available",
+    "backend_names",
+    "get_backend",
+    "validate_backend_name",
+]

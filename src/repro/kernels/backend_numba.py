@@ -1,0 +1,149 @@
+"""The ``numba`` kernel backend: ``@njit``-compiled explicit loops.
+
+Loaded only when :mod:`numba` is importable; requesting it otherwise
+raises a :class:`~repro.errors.ConfigurationError` (tests auto-skip). The
+kernels are deliberately plain element loops over int64 scalars — every
+bitmap word fits 32 bits, so int64 arithmetic is exact and the results are
+bit-identical to the ``pure`` backend by construction. CI's kernel-parity
+job pins that claim on hosts that have numba.
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+from repro.errors import ConfigurationError
+from repro.kernels import KernelBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the container has no numba
+    _njit = None
+    _HAVE_NUMBA = False
+
+
+if _HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @_njit(cache=True)
+    def _or_reduce(matrix, starts):
+        groups = starts.shape[0]
+        total, width = matrix.shape
+        out = _np.zeros((groups, width), dtype=matrix.dtype)
+        for g in range(groups):
+            lo = starts[g]
+            hi = total if g + 1 >= groups else starts[g + 1]
+            for p in range(lo, hi):
+                for k in range(width):
+                    out[g, k] |= matrix[p, k]
+        return out
+
+    @_njit(cache=True)
+    def _or_into(dest, rows, values):
+        count, width = values.shape
+        for i in range(count):
+            row = rows[i]
+            for k in range(width):
+                dest[row, k] |= values[i, k]
+
+    @_njit(cache=True)
+    def _add_into(dest, rows, values):
+        count, width = values.shape
+        for i in range(count):
+            row = rows[i]
+            for k in range(width):
+                dest[row, k] += values[i, k]
+
+    @_njit(cache=True)
+    def _any_reduce(flags, starts, stops):
+        groups = starts.shape[0]
+        width = flags.shape[1]
+        out = _np.zeros((groups, width), dtype=_np.bool_)
+        for g in range(groups):
+            for p in range(starts[g], stops[g]):
+                for k in range(width):
+                    if flags[p, k]:
+                        out[g, k] = True
+        return out
+
+    @_njit(cache=True)
+    def _rle_words(matrix, length_field, word_bits):
+        rows, num_bitmaps = matrix.shape
+        out = _np.empty(rows, dtype=_np.int64)
+        for r in range(rows):
+            total_bits = num_bitmaps * length_field
+            for j in range(num_bitmaps):
+                bitmap = _np.int64(matrix[r, j])
+                if bitmap != 0:
+                    # Trailing ones-run length, then total bit length.
+                    run = 0
+                    probe = bitmap
+                    while probe & 1:
+                        probe >>= 1
+                        run += 1
+                    bitlen = 0
+                    probe = bitmap
+                    while probe != 0:
+                        probe >>= 1
+                        bitlen += 1
+                    fringe = bitlen - run
+                    if fringe > 0:
+                        total_bits += fringe
+            words = -((-total_bits) // word_bits)
+            if words < 1:
+                words = 1
+            out[r] = words
+        return out
+
+
+class NumbaBackend(KernelBackend):
+    """``@njit`` loop kernels; bit-identical to ``pure`` by contract."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not _HAVE_NUMBA:
+            raise ConfigurationError(
+                "kernel backend 'numba' is unavailable: numba is not "
+                "installed (the 'pure' backend needs no extra packages)"
+            )
+        self.fused = True
+
+    def or_reduce(self, matrix, starts):
+        if len(starts) == 0:
+            return matrix[:0]
+        return _or_reduce(
+            _np.ascontiguousarray(matrix),
+            _np.ascontiguousarray(starts, dtype=_np.int64),
+        )
+
+    def or_into(self, dest, rows, values):
+        _or_into(
+            dest,
+            _np.ascontiguousarray(rows, dtype=_np.int64),
+            _np.ascontiguousarray(values),
+        )
+
+    def add_into(self, dest, rows, values):
+        _add_into(
+            dest,
+            _np.ascontiguousarray(rows, dtype=_np.int64),
+            _np.ascontiguousarray(values),
+        )
+
+    def any_reduce(self, flags, starts, stops):
+        return _any_reduce(
+            _np.ascontiguousarray(flags),
+            _np.ascontiguousarray(starts, dtype=_np.int64),
+            _np.ascontiguousarray(stops, dtype=_np.int64),
+        )
+
+    def rle_words(self, matrix, bits):
+        length_field = max(1, (bits - 1).bit_length())
+        return _rle_words(
+            _np.ascontiguousarray(matrix), length_field, 32
+        )
+
+
+__all__ = ["NumbaBackend"]

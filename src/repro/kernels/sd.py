@@ -1,0 +1,240 @@
+"""Fused SD block kernel: a whole epoch block of ring waves at once.
+
+For packable aggregates (``synopsis_packable``) every payload of a block is
+one row of a uint32 matrix: the aggregate synopsis's packed bitmap words,
+followed by the piggybacked contributing-count sketch's words (when the
+aggregate needs one). Fusion is bitwise OR, so a level's wave is one
+OR-scatter of delivered payload rows into receiver accumulator rows; wire
+sizing is one vectorized RLE pass per level (:meth:`KernelBackend.rle_words`
+reproduces :func:`repro.multipath.fm._packed_rle_words` exactly).
+
+The object path's ground-truth ``contributors`` bitmask (who reached the
+base over *any* path) is recovered without objects: a node's bit is set iff
+some chain of successful deliveries links it to the base station, which a
+reverse (shallowest-level-first) reachability sweep over the same planned
+success tables computes exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.aggregates.workload import annotate_workload
+from repro.multipath.fm import (
+    DEFAULT_BITS,
+    single_item_matrix_block,
+    sketch_from_row,
+)
+from repro.network.links import Channel, TransmissionLog
+from repro.network.placement import BASE_STATION, NodeId
+from repro.network.simulator import EpochOutcome, gather_readings
+
+
+def sd_eligible(scheme) -> bool:
+    """Whether the fused block path applies to this SD instance."""
+    return scheme._aggregate.synopsis_packable() is not None
+
+
+def run_sd_block(
+    scheme, epoch_list: List[int], channel: Channel, readings, backend
+) -> List[Tuple[EpochOutcome, TransmissionLog]]:
+    """Run one SD epoch block through the fused array path.
+
+    Byte-identical to the object ``run_epochs``: same estimates (the packed
+    rows OR to the same bits the sketch objects fuse to), same RLE word
+    counts, same log counters and per-node billing.
+    """
+    aggregate = scheme._aggregate
+    accountant = scheme._accountant
+    attempts = scheme._attempts
+    depth = scheme._rings.depth
+    num_epochs = len(epoch_list)
+
+    syn_bitmaps, _syn_bits = aggregate.synopsis_packable()
+    use_contrib = not aggregate.synopsis_counts_contributors()
+    contrib_bitmaps = scheme._count_bitmaps if use_contrib else 0
+    width = syn_bitmaps + contrib_bitmaps
+
+    skeletons = scheme._plan_levels()
+    plan = channel.plan_epochs(skeletons, epoch_list)
+
+    index: Dict[NodeId, int] = {}
+    for nodes in scheme._level_nodes:
+        for node in nodes:
+            index[node] = len(index)
+    base_row = len(index)
+    index[BASE_STATION] = base_row
+
+    # Accumulated (fused) payload per node, flattened (epoch, word) columns.
+    acc = np.zeros((len(index), num_epochs * width), dtype=np.uint32)
+
+    received_any = np.zeros(num_epochs, dtype=bool)
+    deliveries = np.zeros(num_epochs, dtype=np.int64)
+    words_sent = np.zeros(num_epochs, dtype=np.int64)
+    messages_sent = np.zeros(num_epochs, dtype=np.int64)
+    total_pairs = 0
+    transmissions_const = 0
+    node_words: Dict[NodeId, int] = {}
+    node_messages: Dict[NodeId, int] = {}
+
+    # Per-level records for the reachability sweep:
+    # (sender rows, success table, span starts, span stops, receiver rows).
+    level_records = []
+
+    for level_idx, nodes in enumerate(scheme._level_nodes):
+        num_nodes = len(nodes)
+        if num_nodes == 0:
+            continue
+        reading_rows = [
+            gather_readings(readings, nodes, epoch) for epoch in epoch_list
+        ]
+        packed_flat = np.asarray(
+            aggregate.synopsis_local_block_packed(nodes, epoch_list, reading_rows)
+        )
+        local = np.zeros((num_nodes, num_epochs, width), dtype=np.uint32)
+        local[:, :, :syn_bitmaps] = packed_flat.reshape(
+            num_epochs, num_nodes, syn_bitmaps
+        ).transpose(1, 0, 2)
+        if use_contrib:
+            contrib_flat = single_item_matrix_block(
+                contrib_bitmaps, DEFAULT_BITS, ("contrib",), nodes, epoch_list
+            )
+            local[:, :, syn_bitmaps:] = contrib_flat.reshape(
+                num_epochs, num_nodes, contrib_bitmaps
+            ).transpose(1, 0, 2)
+
+        rows = np.fromiter(
+            (index[node] for node in nodes), dtype=np.int64, count=num_nodes
+        )
+        local |= acc[rows].reshape(num_nodes, num_epochs, width)
+        payload = local
+
+        words = backend.rle_words(
+            payload[:, :, :syn_bitmaps].reshape(num_nodes * num_epochs, syn_bitmaps),
+            32,
+        ).reshape(num_nodes, num_epochs)
+        if use_contrib:
+            words = words + backend.rle_words(
+                payload[:, :, syn_bitmaps:].reshape(
+                    num_nodes * num_epochs, contrib_bitmaps
+                ),
+                32,
+            ).reshape(num_nodes, num_epochs)
+
+        unique_words = np.unique(words)
+        unique_messages = np.fromiter(
+            (accountant.spec_for_words(int(value)).messages for value in unique_words),
+            dtype=np.int64,
+            count=len(unique_words),
+        )
+        messages = unique_messages[np.searchsorted(unique_words, words)]
+
+        transmissions_const += num_nodes * attempts
+        words_sent += attempts * words.sum(axis=0)
+        messages_sent += attempts * messages.sum(axis=0)
+        per_node_w = attempts * words.sum(axis=1)
+        per_node_m = attempts * messages.sum(axis=1)
+        for position, node in enumerate(nodes):
+            node_words[node] = int(per_node_w[position])
+            node_messages[node] = int(per_node_m[position])
+
+        success, spans, flat_receivers = plan.level_table(
+            channel, level_idx, skeletons[level_idx]
+        )
+        success = np.asarray(success, dtype=bool)
+        num_pairs = success.shape[0]
+        span_starts = np.fromiter(
+            (start for start, _stop in spans), dtype=np.int64, count=num_nodes
+        )
+        span_stops = np.fromiter(
+            (stop for _start, stop in spans), dtype=np.int64, count=num_nodes
+        )
+        deliveries += success.sum(axis=0)
+        total_pairs += num_pairs
+
+        if num_pairs:
+            recv_rows = np.fromiter(
+                (index[receiver] for receiver in flat_receivers),
+                dtype=np.int64,
+                count=num_pairs,
+            )
+            pair_item = np.repeat(
+                np.arange(num_nodes), span_stops - span_starts
+            )
+            order = np.argsort(recv_rows, kind="stable")
+            sorted_rows = recv_rows[order]
+            target_rows, group_starts = np.unique(sorted_rows, return_index=True)
+            # One receiver-ordered gather, masked in place: dead pairs OR
+            # zeros into their group, so the reduceat result is exact.
+            gathered = payload[pair_item[order]]
+            gathered *= success[order][:, :, None]
+            grouped = backend.or_reduce(
+                gathered.reshape(num_pairs, num_epochs * width), group_starts
+            )
+            backend.or_into(acc, target_rows, grouped)
+            base_pairs = recv_rows == base_row
+            if base_pairs.any():
+                received_any |= success[base_pairs].any(axis=0)
+        else:
+            recv_rows = np.zeros(0, dtype=np.int64)
+        level_records.append((rows, success, span_starts, span_stops, recv_rows))
+
+    # Ground-truth contributors: reach[n] iff some successful delivery chain
+    # links n to the base. Receivers sit one level shallower than senders,
+    # so sweeping levels shallowest-first visits receivers before senders.
+    contributing = np.zeros(num_epochs, dtype=np.int64)
+    reach = np.zeros((len(index), num_epochs), dtype=bool)
+    reach[base_row] = True
+    for rows, success, span_starts, span_stops, recv_rows in reversed(
+        level_records
+    ):
+        if len(recv_rows):
+            sender_any = backend.any_reduce(
+                success & reach[recv_rows], span_starts, span_stops
+            )
+        else:
+            sender_any = np.zeros((len(rows), num_epochs), dtype=bool)
+        reach[rows] = sender_any
+        contributing += sender_any.sum(axis=0)
+
+    channel.reset_log()
+    channel.account_bulk(node_words, node_messages)
+
+    acc_block = acc.reshape(len(index), num_epochs, width)
+    results: List[Tuple[EpochOutcome, TransmissionLog]] = []
+    for column in range(num_epochs):
+        log = TransmissionLog(
+            transmissions=transmissions_const,
+            deliveries=int(deliveries[column]),
+            drops=total_pairs - int(deliveries[column]),
+            words_sent=int(words_sent[column]),
+            messages_sent=int(messages_sent[column]),
+        )
+        if received_any[column]:
+            synopsis = sketch_from_row(acc_block[base_row, column, :syn_bitmaps])
+            estimate = aggregate.synopsis_eval(synopsis)
+            if use_contrib:
+                contributing_estimate = sketch_from_row(
+                    acc_block[base_row, column, syn_bitmaps:]
+                ).estimate()
+            else:
+                contributing_estimate = aggregate.synopsis_eval(synopsis)
+            outcome = EpochOutcome(
+                estimate=estimate,
+                contributing=int(contributing[column]),
+                contributing_estimate=contributing_estimate,
+                extra=annotate_workload(aggregate, {"latency_epochs": depth}),
+            )
+        else:
+            outcome = EpochOutcome(
+                estimate=0.0,
+                contributing=0,
+                contributing_estimate=0.0,
+                extra=annotate_workload(
+                    aggregate, {"latency_epochs": depth}, empty=True
+                ),
+            )
+        results.append((outcome, log))
+    return results

@@ -1,0 +1,165 @@
+"""Fused TAG block kernel: a whole epoch block of tree waves at once.
+
+The object engine runs, per epoch, a per-edge Python loop — local partial,
+inbox merge, one ``transmit_epochs`` call per level, payload objects in
+dicts. For additive aggregates (``tree_partials_additive``) every piece of
+that loop is integer arithmetic over a fixed tree, so the block collapses to
+a handful of array passes: one ``(node, epoch)`` partial matrix per level,
+one planned success table per level, and masked column adds into parent
+rows. Billing is constant per transmission (``tree_words`` is constant for
+additive aggregates), so the per-epoch :class:`TransmissionLog` counters are
+closed-form.
+
+Bit-identity with the object path follows from commutativity: tree merges
+are integer ``+`` over disjoint subtrees, log counters are sums, and the
+per-node load maps are keyed by node — no result depends on the order the
+object path happened to iterate dicts in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.aggregates.workload import annotate_workload
+from repro.network.links import Channel, TransmissionLog
+from repro.network.placement import BASE_STATION, NodeId
+from repro.network.simulator import EpochOutcome, gather_readings
+
+
+def tag_eligible(scheme) -> bool:
+    """Whether the fused block path applies to this TAG instance.
+
+    Requires additive integer partials and a fully-parented tree (an
+    orphaned node would unicast to ``None``; the object path tolerates it,
+    the array path does not model it).
+    """
+    if not scheme._aggregate.tree_partials_additive():
+        return False
+    parents = scheme._parents
+    return all(
+        parents.get(node) is not None
+        for level_nodes in scheme._levels
+        for node in level_nodes
+    )
+
+
+def run_tag_block(
+    scheme, epoch_list: List[int], channel: Channel, readings, backend
+) -> List[Tuple[EpochOutcome, TransmissionLog]]:
+    """Run one TAG epoch block through the fused array path.
+
+    Returns the same ``(outcome, log)`` pairs as the object
+    ``run_epochs`` — byte-identical estimates, counters and per-node
+    billing.
+    """
+    aggregate = scheme._aggregate
+    attempts = scheme._attempts
+    depth = scheme._depth
+    parents = scheme._parents
+    num_epochs = len(epoch_list)
+
+    skeletons = scheme._plan_levels()
+    plan = channel.plan_epochs(skeletons, epoch_list)
+
+    # Row index: level nodes in wave order, then the base station.
+    index: Dict[NodeId, int] = {}
+    for level_nodes in scheme._levels:
+        for node in level_nodes:
+            index[node] = len(index)
+    base_row = len(index)
+    index[BASE_STATION] = base_row
+
+    acc_partial = np.zeros((len(index), num_epochs), dtype=np.int64)
+    acc_count = np.zeros((len(index), num_epochs), dtype=np.int64)
+
+    # Constant billing: additive aggregates have constant tree_words, and
+    # every payload carries one extra word (the contributor count).
+    words_const = int(aggregate.tree_words(aggregate.tree_empty())) + 1
+    messages_const = int(scheme._accountant.spec_for_words(words_const).messages)
+
+    deliveries = np.zeros(num_epochs, dtype=np.int64)
+    total_pairs = 0
+    transmissions_const = 0
+    words_const_total = 0
+    messages_const_total = 0
+    node_words: Dict[NodeId, int] = {}
+    node_messages: Dict[NodeId, int] = {}
+
+    for level_idx, level_nodes in enumerate(scheme._levels):
+        num_nodes = len(level_nodes)
+        if num_nodes == 0:
+            continue
+        reading_rows = [
+            gather_readings(readings, level_nodes, epoch) for epoch in epoch_list
+        ]
+        local = np.asarray(
+            aggregate.tree_local_block(level_nodes, epoch_list, reading_rows),
+            dtype=np.int64,
+        ).T  # (nodes, epochs)
+        rows = np.fromiter(
+            (index[node] for node in level_nodes), dtype=np.int64, count=num_nodes
+        )
+        parent_rows = np.fromiter(
+            (index[parents[node]] for node in level_nodes),
+            dtype=np.int64,
+            count=num_nodes,
+        )
+        success, _spans, _flat = plan.level_table(
+            channel, level_idx, skeletons[level_idx]
+        )
+        # One receiver per tree unicast, so pair order == node order and the
+        # success table is already (nodes, epochs).
+        success = np.asarray(success, dtype=bool)
+
+        out_partial = local + acc_partial[rows]
+        out_count = 1 + acc_count[rows]
+        backend.add_into(acc_partial, parent_rows, out_partial * success)
+        backend.add_into(acc_count, parent_rows, out_count * success)
+
+        deliveries += success.sum(axis=0)
+        total_pairs += num_nodes
+        transmissions_const += num_nodes * attempts
+        words_const_total += num_nodes * words_const * attempts
+        messages_const_total += num_nodes * messages_const * attempts
+        per_node = words_const * attempts * num_epochs
+        per_node_msgs = messages_const * attempts * num_epochs
+        for node in level_nodes:
+            node_words[node] = per_node
+            node_messages[node] = per_node_msgs
+
+    # Match the object path's per-epoch reset: discard whatever was pending,
+    # leave a fresh log behind for the simulator.
+    channel.reset_log()
+    channel.account_bulk(node_words, node_messages)
+
+    results: List[Tuple[EpochOutcome, TransmissionLog]] = []
+    received = acc_count[base_row] > 0
+    for column in range(num_epochs):
+        log = TransmissionLog(
+            transmissions=transmissions_const,
+            deliveries=int(deliveries[column]),
+            drops=total_pairs - int(deliveries[column]),
+            words_sent=words_const_total,
+            messages_sent=messages_const_total,
+        )
+        if received[column]:
+            count = int(acc_count[base_row, column])
+            outcome = EpochOutcome(
+                estimate=aggregate.tree_eval(int(acc_partial[base_row, column])),
+                contributing=count,
+                contributing_estimate=float(count),
+                extra=annotate_workload(aggregate, {"latency_epochs": depth}),
+            )
+        else:
+            outcome = EpochOutcome(
+                estimate=0.0,
+                contributing=0,
+                contributing_estimate=0.0,
+                extra=annotate_workload(
+                    aggregate, {"latency_epochs": depth}, empty=True
+                ),
+            )
+        results.append((outcome, log))
+    return results

@@ -1,0 +1,146 @@
+"""Fused TD block precompute: batched tributary sweeps and conversions.
+
+Tributary-Delta's hot path is not the tree adds (cheap ints) but the
+Section-5 conversion function at every tributary/delta boundary: each
+delivered T -> M payload costs one ``aggregate.convert`` (an FM
+weighted-insert, potentially hundreds of virtual items) plus one
+contributing-count conversion per epoch. Those sketches depend only on
+``(partial, count, sender, epoch)`` — all block-constant given the planned
+delivery tables — so the whole block's boundary conversions can be built in
+two vectorized FM passes before the first epoch runs.
+
+This module sweeps the tributaries over the planned success tables exactly
+as the object waves will (additive partials, ``1 +`` counts, deepest level
+first), collects every delivered boundary cell, and returns a
+``(sender, epoch) -> (converted synopsis, converted count sketch)`` cache
+that :meth:`TributaryDeltaScheme._prepare_multipath_node` consults instead
+of calling the scalar converters. The per-epoch wave itself stays
+object-based — the M side carries missing-statistics dictionaries and
+ground-truth contributor masks that do not vectorize profitably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.multipath.fm import DEFAULT_BITS, FMSketch, counted_sketches
+from repro.network.links import Channel, DeliveryPlan
+from repro.network.placement import BASE_STATION, NodeId
+
+
+def td_eligible(scheme) -> bool:
+    """Whether the boundary-conversion precompute applies to this instance.
+
+    Requires additive integer partials and fully-parented T vertices (the
+    sweep must route every tributary payload exactly like the object wave).
+    """
+    if not scheme._aggregate.tree_partials_additive():
+        return False
+    graph = scheme._graph
+    parents = scheme._tree_parents
+    return all(
+        parents.get(node) is not None
+        for nodes in scheme._level_nodes
+        for node in nodes
+        if graph.is_tree(node)
+    )
+
+
+def precompute_conversions(
+    scheme,
+    epoch_list: List[int],
+    channel: Channel,
+    plan: DeliveryPlan,
+    skeletons,
+    level_t_nodes: List[List[NodeId]],
+    partials_blocks: List[List[List[int]]],
+) -> Dict[Tuple[NodeId, int], Tuple[object, Optional[FMSketch]]]:
+    """Build the block's boundary-conversion cache.
+
+    ``partials_blocks[level]`` must be the exact ``tree_local_block`` rows
+    the object waves will consume (epoch-major over that level's T nodes) —
+    the sweep then reproduces each boundary delivery's ``(partial, count)``
+    bit for bit, and the batched converters are contract-bound to match
+    their scalar twins.
+    """
+    graph = scheme._graph
+    aggregate = scheme._aggregate
+    parents = scheme._tree_parents
+    num_epochs = len(epoch_list)
+
+    index: Dict[NodeId, int] = {}
+    for t_nodes in level_t_nodes:
+        for node in t_nodes:
+            index[node] = len(index)
+
+    acc_partial = np.zeros((len(index), num_epochs), dtype=np.int64)
+    acc_count = np.zeros((len(index), num_epochs), dtype=np.int64)
+
+    conv_partials: List[int] = []
+    conv_counts: List[int] = []
+    conv_senders: List[NodeId] = []
+    conv_epochs: List[int] = []
+
+    for level_idx, nodes in enumerate(scheme._level_nodes):
+        # Validate the level once for the whole block; the per-epoch waves
+        # then transmit with checked=True against the same plan.
+        success_all, spans, _flat = plan.level_table(
+            channel, level_idx, skeletons[level_idx]
+        )
+        t_nodes = level_t_nodes[level_idx]
+        if not t_nodes:
+            continue
+        num_t = len(t_nodes)
+        t_positions = [
+            item for item, node in enumerate(nodes) if graph.is_tree(node)
+        ]
+        # Tree unicasts have exactly one planned pair: the span start row.
+        t_pairs = np.fromiter(
+            (spans[item][0] for item in t_positions),
+            dtype=np.int64,
+            count=num_t,
+        )
+        success = np.asarray(success_all, dtype=bool)[t_pairs]  # (num_t, E)
+
+        local = np.asarray(partials_blocks[level_idx], dtype=np.int64).T
+        rows = np.fromiter(
+            (index[node] for node in t_nodes), dtype=np.int64, count=num_t
+        )
+        out_partial = local + acc_partial[rows]
+        out_count = 1 + acc_count[rows]
+
+        for position, node in enumerate(t_nodes):
+            parent = parents[node]
+            parent_row = index.get(parent)
+            if parent_row is not None:
+                acc_partial[parent_row] += out_partial[position] * success[position]
+                acc_count[parent_row] += out_count[position] * success[position]
+            elif graph.is_multipath(parent) and parent != BASE_STATION:
+                # Boundary delivery: the M parent converts this payload.
+                # (Base-station tree payloads stay exact — never converted.)
+                for column in np.nonzero(success[position])[0]:
+                    conv_partials.append(int(out_partial[position, column]))
+                    conv_counts.append(int(out_count[position, column]))
+                    conv_senders.append(node)
+                    conv_epochs.append(epoch_list[column])
+
+    converted = aggregate.convert_block(conv_partials, conv_senders, conv_epochs)
+    if aggregate.synopsis_counts_contributors():
+        count_converted: List[Optional[FMSketch]] = [None] * len(converted)
+    else:
+        count_converted = counted_sketches(
+            scheme._count_bitmaps,
+            DEFAULT_BITS,
+            ("contrib-conv",),
+            conv_counts,
+            conv_senders,
+            conv_epochs,
+        )
+    return {
+        (sender, epoch): (synopsis, count_sketch)
+        for sender, epoch, synopsis, count_sketch in zip(
+            conv_senders, conv_epochs, converted, count_converted
+        )
+    }

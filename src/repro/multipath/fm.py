@@ -79,8 +79,21 @@ def _trailing_zeros_capped(value: int) -> int:
     return min(63, (value & -value).bit_length() - 1)
 
 
-@lru_cache(maxsize=64)
 def _correction_table(num_bitmaps: int, bits: int) -> Tuple[float, ...]:
+    """Cache-safe entry point for :func:`_correction_table_cached`.
+
+    Arguments are coerced to builtin ``int`` before touching the lru_cache:
+    numpy integer scalars hash equal to builtin ints, so a first call with
+    numpy-typed arguments would populate the *shared* cache entry with
+    whatever numpy-semantics arithmetic produced — every later builtin-int
+    caller would then be served it. Coercing at the single entry point
+    pins the cache key type and the computation semantics at once.
+    """
+    return _correction_table_cached(int(num_bitmaps), int(bits))
+
+
+@lru_cache(maxsize=64)
+def _correction_table_cached(num_bitmaps: int, bits: int) -> Tuple[float, ...]:
     """PCSA estimates indexed by the *total* lowest-zero sum across bitmaps.
 
     ``estimate()`` reduces a sketch to ``sum(R_j)`` — an integer in
@@ -103,8 +116,19 @@ def _correction_table(num_bitmaps: int, bits: int) -> Tuple[float, ...]:
     return tuple(values)
 
 
-@lru_cache(maxsize=1 << 15)
 def _packed_rle_words(packed: int, num_bitmaps: int, bits: int) -> int:
+    """Cache-safe entry point for :func:`_packed_rle_words_cached`.
+
+    Same contract as :func:`_correction_table`: coerce to builtin ``int``
+    so the memo key and the big-int shift arithmetic are type-uniform no
+    matter which backend's arrays the arguments came from (a numpy uint64
+    ``packed`` would silently wrap at 64 bits inside the RLE walk).
+    """
+    return _packed_rle_words_cached(int(packed), int(num_bitmaps), int(bits))
+
+
+@lru_cache(maxsize=1 << 15)
+def _packed_rle_words_cached(packed: int, num_bitmaps: int, bits: int) -> int:
     """RLE transmission size of a packed bitmap vector, in words (memoized).
 
     Sketch payloads repeat heavily within a run — every single-item sketch
@@ -271,11 +295,15 @@ class FMSketch:
 
     def fuse(self, other: "FMSketch") -> "FMSketch":
         """Return the union sketch (bitwise OR). ODI: order/dup insensitive."""
-        if (self.num_bitmaps, self.bits) != (other.num_bitmaps, other.bits):
+        if self.num_bitmaps != other.num_bitmaps or self.bits != other.bits:
             raise SketchError("cannot fuse sketches with different shapes")
-        return FMSketch.from_packed(
-            self.num_bitmaps, self.bits, self._packed | other._packed
-        )
+        # Hand-inlined ``from_packed``: fusion is the single hottest sketch
+        # operation in the multi-path waves (millions of calls per run).
+        fused = FMSketch.__new__(FMSketch)
+        fused.num_bitmaps = self.num_bitmaps
+        fused.bits = self.bits
+        fused._packed = self._packed | other._packed
+        return fused
 
     def __or__(self, other: "FMSketch") -> "FMSketch":
         return self.fuse(other)
@@ -585,6 +613,200 @@ def _counted_sketches_scalar(
         )
         sketches.append(sketch)
     return sketches
+
+
+def sketch_to_row(sketch: FMSketch):
+    """One packed uint32 row (little-endian words) for a 32-bit sketch.
+
+    Column ``j`` of the row is bitmap ``j`` — the exact byte layout of the
+    packed integer, so ``sketch_from_row(sketch_to_row(s)) == s``. This is
+    the bridge between the scalar sketch objects and the fused kernels'
+    ``(rows, num_bitmaps)`` matrices.
+    """
+    if sketch.bits != 32:
+        raise SketchError("packed rows require 32-bit bitmaps")
+    return _np.frombuffer(
+        sketch._packed.to_bytes(sketch.num_bitmaps * 4, "little"), dtype="<u4"
+    )
+
+
+def sketch_from_row(row) -> FMSketch:
+    """Rebuild the 32-bit sketch whose packed row is ``row``."""
+    words = _np.ascontiguousarray(row, dtype="<u4")
+    return FMSketch.from_packed(
+        len(words), 32, int.from_bytes(words.tobytes(), "little")
+    )
+
+
+def single_item_matrix(
+    num_bitmaps: int,
+    bits: int,
+    label: Tuple[object, ...],
+    *columns: Sequence[int],
+):
+    """Packed rows of ``single_item_sketches(...)``: one set bit per row.
+
+    Row ``i`` is ``sketch_to_row`` of the corresponding single-item sketch
+    — same hash substreams, same bit — without materializing any sketch
+    objects. Requires the standard 32-bit bitmap shape.
+    """
+    if bits != 32:
+        raise SketchError("packed matrices require 32-bit bitmaps")
+    buckets = _np.asarray(
+        hash_key_batch(hash_key_from(_BUCKET_STATE, *label), *columns),
+        dtype=_np.uint64,
+    ) % _np.uint64(num_bitmaps)
+    levels = _np.minimum(
+        _np.asarray(
+            geometric_level_batch(
+                hash_key_from(_LEVEL_STATE, *label), *columns
+            ),
+            dtype=_np.int64,
+        ),
+        bits - 1,
+    )
+    matrix = _np.zeros((len(buckets), num_bitmaps), dtype="<u4")
+    matrix[_np.arange(len(buckets)), buckets.astype(_np.int64)] = _np.uint32(
+        1
+    ) << levels.astype(_np.uint32)
+    return matrix
+
+
+def single_item_matrix_block(
+    num_bitmaps: int,
+    bits: int,
+    label: Tuple[object, ...],
+    nodes: Sequence[int],
+    epochs: Sequence[int],
+):
+    """Packed rows of ``single_item_sketches_block(...)``, epoch-major flat.
+
+    Row ``j * len(nodes) + i`` is node ``i``'s single-item sketch for epoch
+    ``epochs[j]`` — the same stacking convention as the sketch-object block
+    builder, returned as one ``(len(epochs) * len(nodes), num_bitmaps)``
+    uint32 matrix.
+    """
+    num = len(nodes)
+    if num == 0 or len(epochs) == 0:
+        return _np.zeros((num * len(epochs), num_bitmaps), dtype="<u4")
+    return single_item_matrix(
+        num_bitmaps,
+        bits,
+        label,
+        list(nodes) * len(epochs),
+        [epoch for epoch in epochs for _ in range(num)],
+    )
+
+
+def counted_matrix(
+    num_bitmaps: int,
+    bits: int,
+    label: Tuple[object, ...],
+    counts: Sequence[int],
+    *columns: Sequence[int],
+):
+    """Packed rows of ``counted_sketches(...)`` for the 32-bit shape.
+
+    Row ``i`` equals ``sketch_to_row`` of the weighted sketch for
+    ``counts[i]`` — the exact-insert regime ORs its bits straight into the
+    output matrix (one ``bitwise_or.at`` scatter per slice), while counts
+    above ``_EXACT_INSERT_LIMIT`` delegate to the scalar binomial path and
+    copy the resulting packed bytes in.
+    """
+    if bits != 32:
+        raise SketchError("packed matrices require 32-bit bitmaps")
+    total = len(counts)
+    if any(len(column) != total for column in columns):
+        raise SketchError("counted_matrix columns must match counts")
+    matrix = _np.zeros((total, num_bitmaps), dtype="<u4")
+    if total == 0:
+        return matrix
+    counts_array = _np.asarray(counts, dtype=_np.int64)
+    if bool((counts_array < 0).any()):
+        raise SketchError("cannot insert a negative count")
+    bucket_states = _np.asarray(
+        hash_key_batch(hash_key_from(_BUCKET_STATE, *label), *columns),
+        dtype=_np.uint64,
+    )
+    level_states = _np.asarray(
+        hash_key_batch(hash_key_from(_LEVEL_STATE, *label), *columns),
+        dtype=_np.uint64,
+    )
+    exact = _np.flatnonzero(
+        (counts_array > 0) & (counts_array <= _EXACT_INSERT_LIMIT)
+    )
+    start = 0
+    while start < len(exact):
+        stop = start + 1
+        budget = int(counts_array[exact[start]])
+        while (
+            stop < len(exact)
+            and budget + int(counts_array[exact[stop]]) <= _COUNTED_SLICE_ITEMS
+        ):
+            budget += int(counts_array[exact[stop]])
+            stop += 1
+        rows = exact[start:stop]
+        _counted_fill_matrix(
+            matrix,
+            rows,
+            counts_array[rows],
+            bucket_states[rows],
+            level_states[rows],
+            num_bitmaps,
+        )
+        start = stop
+    for index in _np.flatnonzero(counts_array > _EXACT_INSERT_LIMIT):
+        sketch = FMSketch(num_bitmaps, bits)
+        sketch.insert_count(
+            int(counts_array[index]),
+            *label,
+            *(int(column[index]) for column in columns),
+        )
+        matrix[index] = sketch_to_row(sketch)
+    return matrix
+
+
+def _counted_fill_matrix(
+    matrix,
+    rows,
+    counts,
+    bucket_states,
+    level_states,
+    num_bitmaps: int,
+) -> None:
+    """OR the exact-insert bits for one slice of rows into ``matrix``.
+
+    The 32-bit matrix twin of :func:`_counted_fill`: same virtual-item
+    expansion, same hashes, same bits — scattered with global row indices
+    instead of packed big ints.
+    """
+    reps = counts.astype(_np.int64)
+    offsets = _np.concatenate(([0], _np.cumsum(reps)[:-1]))
+    cells = int(reps.sum())
+    cell_rows = _np.repeat(rows, reps)
+    virtual = _np.arange(cells, dtype=_np.uint64) - _np.repeat(
+        offsets, reps
+    ).astype(_np.uint64)
+    buckets = (
+        _np.asarray(
+            mix_state_batch(_np.repeat(bucket_states, reps), virtual),
+            dtype=_np.uint64,
+        )
+        % _np.uint64(num_bitmaps)
+    )
+    levels = _np.minimum(
+        _np.asarray(
+            levels_from_keys(
+                mix_state_batch(_np.repeat(level_states, reps), virtual)
+            )
+        ),
+        31,
+    )
+    _np.bitwise_or.at(
+        matrix,
+        (cell_rows, buckets.astype(_np.int64)),
+        _np.uint32(1) << (levels.astype(_np.uint32) & _np.uint32(31)),
+    )
 
 
 def _binomial(rng, n: int, p: float) -> int:

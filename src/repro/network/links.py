@@ -151,28 +151,19 @@ class DeliveryPlan:
             self._build_level(channel, level, epoch_list) for level in levels
         ]
 
-    def outcomes(
+    def _check_level(
         self,
         channel: "Channel",
         level: int,
-        epoch: int,
         transmissions: Sequence[Transmission],
-    ) -> Tuple[Sequence[bool], Tuple[Tuple[int, int], ...], Tuple[NodeId, ...]]:
-        """The planned (success column, spans, flat receivers) for one level.
-
-        Validates that the caller's transmissions still match the planned
-        structure and that the channel's failure model has not changed since
-        the plan was built — both would silently break byte-identity.
-        """
+    ) -> _PlanLevel:
+        """Validate channel identity, model freshness and level structure."""
         if channel is not self._channel:
             raise ConfigurationError("delivery plan belongs to another channel")
         if channel._model_version != self._model_version:
             raise ConfigurationError(
                 "stale delivery plan: the failure model changed after planning"
             )
-        column = self._epoch_columns.get(epoch)
-        if column is None:
-            raise ConfigurationError(f"epoch {epoch} is outside the planned block")
         entry = self._levels[level]
         if len(transmissions) != len(entry.senders):
             raise ConfigurationError(
@@ -189,12 +180,71 @@ class DeliveryPlan:
                 raise ConfigurationError(
                     "transmission schedule diverged from the delivery plan"
                 )
+        return entry
+
+    def outcomes(
+        self,
+        channel: "Channel",
+        level: int,
+        epoch: int,
+        transmissions: Sequence[Transmission],
+        check: bool = True,
+    ) -> Tuple[Sequence[bool], Tuple[Tuple[int, int], ...], Tuple[NodeId, ...]]:
+        """The planned (success column, spans, flat receivers) for one level.
+
+        Validates that the caller's transmissions still match the planned
+        structure and that the channel's failure model has not changed since
+        the plan was built — both would silently break byte-identity. A
+        caller that already validated the level for this block (via
+        :meth:`level_table`) may pass ``check=False`` to skip the per-item
+        structure walk; channel identity, model freshness and the epoch
+        column are always verified.
+        """
+        if check:
+            entry = self._check_level(channel, level, transmissions)
+        else:
+            if channel is not self._channel:
+                raise ConfigurationError(
+                    "delivery plan belongs to another channel"
+                )
+            if channel._model_version != self._model_version:
+                raise ConfigurationError(
+                    "stale delivery plan: the failure model changed after "
+                    "planning"
+                )
+            entry = self._levels[level]
+        column = self._epoch_columns.get(epoch)
+        if column is None:
+            raise ConfigurationError(f"epoch {epoch} is outside the planned block")
         success = entry.success
         if _np is not None and isinstance(success, _np.ndarray):
             column_flags = success[:, column]
         else:
             column_flags = [row[column] for row in success]
         return column_flags, entry.spans, entry.flat_receivers
+
+    def level_table(
+        self,
+        channel: "Channel",
+        level: int,
+        transmissions: Sequence[Transmission],
+    ):
+        """The whole (pairs x epochs) outcome block for one level, validated.
+
+        Returns ``(success, spans, flat_receivers)`` where ``success`` is a
+        bool matrix whose column ``j`` corresponds to the ``j``-th planned
+        epoch (the fused kernels run levels over the full block at once, so
+        they consume the matrix instead of per-epoch columns). Runs the
+        same structure validation as :meth:`outcomes` — once per block
+        instead of once per epoch.
+        """
+        entry = self._check_level(channel, level, transmissions)
+        success = entry.success
+        if _np is not None and not isinstance(success, _np.ndarray):
+            success = _np.asarray(
+                [list(row) for row in success], dtype=bool
+            ).reshape(len(entry.flat_receivers), len(self._epoch_columns))
+        return success, entry.spans, entry.flat_receivers
 
     @staticmethod
     def _build_level(
@@ -510,12 +560,34 @@ class Channel:
         """
         return DeliveryPlan(self, levels, epochs)
 
+    def account_bulk(
+        self,
+        words_by_node: Dict[NodeId, int],
+        messages_by_node: Dict[NodeId, int],
+    ) -> None:
+        """Merge block-level per-node billing into the cumulative load maps.
+
+        The fused kernels bill a whole epoch block per node in one pass and
+        hand the totals here; epoch-level counters (the
+        :class:`TransmissionLog` fields) stay with the kernels, which build
+        one log per epoch for the simulator's energy accounting. Addition is
+        commutative, so merging block totals is identical to the per-epoch
+        path's incremental ``get(node, 0) +`` updates.
+        """
+        per_words = self._per_node_words
+        per_messages = self._per_node_messages
+        for node, words in words_by_node.items():
+            per_words[node] = per_words.get(node, 0) + int(words)
+        for node, messages in messages_by_node.items():
+            per_messages[node] = per_messages.get(node, 0) + int(messages)
+
     def transmit_epochs(
         self,
         transmissions: Sequence[Transmission],
         epoch: int,
         plan: DeliveryPlan,
         level: int,
+        checked: bool = False,
     ) -> List[List[NodeId]]:
         """:meth:`transmit_batch` against outcomes precomputed by ``plan``.
 
@@ -523,10 +595,19 @@ class Channel:
         accounting runs in the same transmission order and the success
         flags were drawn from the same keyed hashes — only *when* the draws
         happened differs (once per block instead of once per epoch).
+        ``checked=True`` promises the caller already validated this level's
+        structure against the plan for the current block (one
+        :meth:`DeliveryPlan.level_table` call), skipping the per-epoch
+        re-walk.
         """
         success, spans, flat_receivers = plan.outcomes(
-            self, level, epoch, transmissions
+            self, level, epoch, transmissions, check=not checked
         )
+        # Scalar-indexing a numpy column pays ~100ns per element; the heard
+        # loop below touches every pair, so convert once.
+        tolist = getattr(success, "tolist", None)
+        if tolist is not None:
+            success = tolist()
         log = self.log
         per_words = self._per_node_words
         per_messages = self._per_node_messages

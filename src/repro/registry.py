@@ -171,6 +171,9 @@ class SchemeContext:
     threshold: float = 0.9
     tree_attempts: int = 1
     use_batch: bool = True
+    #: Kernel backend name for the fused array hot path (None = resolve
+    #: from REPRO_KERNEL_BACKEND / the "pure" default at run time).
+    kernel_backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -446,6 +449,7 @@ def _build_tag(context: SchemeContext) -> TagScheme:
         context.aggregate,
         attempts=context.tree_attempts,
         use_batch=context.use_batch,
+        kernel_backend=context.kernel_backend,
     )
 
 
@@ -456,6 +460,7 @@ def _build_sd(context: SchemeContext) -> SynopsisDiffusionScheme:
         context.rings,
         context.aggregate,
         use_batch=context.use_batch,
+        kernel_backend=context.kernel_backend,
     )
 
 
@@ -471,6 +476,7 @@ def _build_td(context: SchemeContext, policy, name: str) -> TributaryDeltaScheme
         tree_attempts=context.tree_attempts,
         name=name,
         use_batch=context.use_batch,
+        kernel_backend=context.kernel_backend,
     )
 
 
