@@ -74,6 +74,7 @@ from repro.registry import (
     build_aggregate,
     build_churn_model,
     build_failure_model,
+    build_fault_plan,
     build_reading,
 )
 from repro.tree.construction import build_bushy_tree
@@ -81,10 +82,11 @@ from repro.tree.construction import build_bushy_tree
 #: Version of the RunConfig JSON schema; bump on breaking field changes.
 #: v2 added the dynamic-topology fields (``churn``, ``churn_interval``);
 #: v3 added multi-query workloads (the ``queries`` field); v4 added the
-#: execution-engine options (the ``engine`` field). Configs without the
-#: newer fields still encode as the older payloads — every pre-existing
-#: digest and cache entry stays valid.
-CONFIG_SCHEMA_VERSION = 4
+#: execution-engine options (the ``engine`` field); v5 added deterministic
+#: fault injection (the ``faults`` field). Configs without the newer
+#: fields still encode as the older payloads — every pre-existing digest
+#: and cache entry stays valid.
+CONFIG_SCHEMA_VERSION = 5
 
 #: Version of the run-result cache keyed by :func:`config_digest`. Bumped
 #: to 2 when cache keys moved from the ad-hoc SweepSpec encoding to the
@@ -335,6 +337,17 @@ class RunConfig:
             ``None``, so only configs that actually pin an engine choice
             encode the field (schema v4); everything else digests exactly
             as before.
+        faults: optional tuple of fault-injector spec strings
+            (``corrupt:RATE[:SEED]``, ``duplicate:RATE[:SEED]``,
+            ``delay:EPOCHS``, ``bscrash:START:DURATION``,
+            ``partition:NODE:START:DURATION``), composed in order into one
+            deterministic fault plan applied to the measurement run.
+            Fault draws are keyed hashes, so a faulted config is still a
+            pure function of its fields — same digest, same result, either
+            engine. ``None`` (or an empty list, which normalizes to it)
+            means the chaos hooks stay disengaged and the run is
+            byte-identical to a pre-fault build; only configs that set the
+            field encode it (schema v5).
     """
 
     scheme: str
@@ -359,8 +372,24 @@ class RunConfig:
     churn: str = "none"
     churn_interval: int = 0
     engine: Optional[EngineOptions] = None
+    faults: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.faults is not None:
+            if isinstance(self.faults, str):
+                raise ConfigurationError(
+                    "'faults' must be a list of fault spec strings, got "
+                    f"{self.faults!r}; wrap a single spec in a list"
+                )
+            specs = tuple(self.faults)
+            for spec in specs:
+                if not isinstance(spec, str):
+                    raise ConfigurationError(
+                        "'faults' entries must be spec strings, got "
+                        f"{spec!r} ({type(spec).__name__})"
+                    )
+            object.__setattr__(self, "faults", specs or None)
+            build_fault_plan(self.faults)  # validate eagerly
         if self.engine is not None:
             engine = self.engine
             if isinstance(engine, Mapping):
@@ -427,7 +456,9 @@ class RunConfig:
         multi_target = (
             self.query is not None and len(parse_queries(self.query)) > 1
         )
-        if self.engine is not None:
+        if self.faults is not None:
+            version = 5
+        elif self.engine is not None:
             version = 4
         elif self.queries is not None or multi_target:
             version = 3
@@ -446,6 +477,10 @@ class RunConfig:
             del payload["engine"]
         else:
             payload["engine"] = self.engine.to_jsonable()
+        if self.faults is None:
+            del payload["faults"]
+        else:
+            payload["faults"] = list(self.faults)
         return payload
 
     @classmethod
@@ -524,6 +559,15 @@ def _check_field_type(name: str, value: object) -> object:
             return value
         raise ConfigurationError(
             f"run-config key 'engine' expects an object of engine options, "
+            f"got {value!r} ({type(value).__name__})"
+        )
+    if name == "faults":
+        # Entry types and spec validity are checked by the config's own
+        # __post_init__; here only the container shape is checked.
+        if value is None or isinstance(value, (list, tuple)):
+            return value
+        raise ConfigurationError(
+            f"run-config key 'faults' expects a list of fault specs, "
             f"got {value!r} ({type(value).__name__})"
         )
     if name == "queries":
@@ -673,7 +717,9 @@ class QueryWorkload:
 # -- execution -------------------------------------------------------------
 
 
-def run_config_result(config: RunConfig) -> RunResult:
+def run_config_result(
+    config: RunConfig, checkpoint=None, audit=None
+) -> RunResult:
     """Execute one config end-to-end and return the raw :class:`RunResult`.
 
     Module-level (not a method) so process pools can pickle it. The
@@ -682,6 +728,14 @@ def run_config_result(config: RunConfig) -> RunResult:
     ``scenario_seed``, stabilise adaptive schemes (adapting every epoch,
     channel seeded by ``scenario_seed``), then measure ``epochs`` epochs
     from ``start_epoch`` under the measurement ``seed``.
+
+    ``checkpoint`` (a :class:`repro.chaos.Checkpointer`) and ``audit`` (a
+    :class:`repro.chaos.Auditor`) attach the chaos subsystem's crash-safe
+    resume and online invariant auditing to the *measurement* run; both
+    are observers — a checkpointed, audited run returns the same
+    :class:`RunResult` as a bare one. Fault injection, in contrast, is
+    part of the config itself (the ``faults`` field), because it changes
+    the result.
 
     Multi-query workloads (``queries`` with two or more entries, or a
     multi-target ``query``) run the *same* sequence once: the queries zip
@@ -748,6 +802,9 @@ def run_config_result(config: RunConfig) -> RunResult:
         use_blocked=config.use_blocked,
         membership=membership,
         churn_interval=config.churn_interval or None,
+        faults=build_fault_plan(config.faults),
+        auditor=audit,
+        checkpoint=checkpoint,
     )
     return simulator.run(
         config.epochs,

@@ -1,0 +1,52 @@
+"""Chaos subsystem: fault injection, invariant auditing, checkpoint/resume.
+
+Three coupled robustness tools for the Tributary-Delta reproduction:
+
+* :mod:`repro.chaos.faults` — deterministic fault plans (message corruption,
+  replayed deliveries, delayed control billing, base-station crashes, node
+  partitions) plus the :class:`ChaosRuntime` the simulator hangs off the
+  channel;
+* :mod:`repro.chaos.auditor` — the online :class:`Auditor` that re-checks
+  Property 1/2, billing conservation, FM OR-monotonicity and membership
+  consistency while a run executes;
+* :mod:`repro.chaos.checkpoint` — crash-safe block-boundary checkpoints and
+  byte-identical resume.
+
+Fault specs are parsed by :func:`repro.registry.build_fault_plan` and reach
+runs through ``RunConfig.faults``; checkpointing and auditing are run-time
+harness choices (CLI flags), not part of the experiment identity.
+"""
+
+from repro.chaos.auditor import Auditor
+from repro.chaos.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    capture_run_state,
+    restore_run_state,
+)
+from repro.chaos.faults import (
+    BaseStationCrash,
+    ChaosRuntime,
+    CompositeFaultPlan,
+    CorruptSynopsis,
+    DelayControl,
+    DuplicateDelivery,
+    FaultPlan,
+    Partition,
+)
+
+__all__ = [
+    "Auditor",
+    "BaseStationCrash",
+    "CHECKPOINT_VERSION",
+    "ChaosRuntime",
+    "Checkpointer",
+    "CompositeFaultPlan",
+    "CorruptSynopsis",
+    "DelayControl",
+    "DuplicateDelivery",
+    "FaultPlan",
+    "Partition",
+    "capture_run_state",
+    "restore_run_state",
+]

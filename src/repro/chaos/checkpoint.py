@@ -1,0 +1,395 @@
+"""Crash-safe checkpoint/resume for simulation runs.
+
+At every checkpoint boundary (a multiple of the checkpoint interval, before
+the churn event of that offset) the simulator snapshots everything its
+remaining epochs depend on: recorded results, energy totals, the channel's
+cumulative per-node bills, membership (alive set, tree, dark-parent memory),
+the scheme's evolved state (TD modes and policy smoothing, repaired trees,
+live populations), the chaos runtime's deferred control bills and the
+auditor's conservation totals. Everything else — delivery draws, readings,
+fault decisions — is a pure keyed-hash function of (seed, node, epoch), so
+it needs no state: a resumed run re-derives it identically.
+
+That is the crash-safety argument in one line: **state that is not pure is
+checkpointed; state that is pure is recomputed** — so a run killed at any
+boundary and resumed from its checkpoint produces a byte-identical
+:class:`~repro.network.simulator.RunResult`.
+
+The checkpoint file is plain JSON (atomic write: temp file + rename), with
+the result/energy items encoded through :mod:`repro.serialization` codecs.
+A fingerprint of the run configuration guards against resuming with a
+mismatched config.
+
+:class:`Checkpointer` also hosts the crash drill used by tests and the CI
+smoke job: ``kill_at=k`` raises :class:`~repro.errors.SimulationKilled`
+right after the boundary-``k`` checkpoint is written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro import serialization
+from repro.core.graph import TDGraph
+from repro.core.modes import Mode
+from repro.errors import ConfigurationError, SimulationKilled
+from repro.network.placement import BASE_STATION
+from repro.network.rings import RingsTopology
+from repro.tree.structure import Tree
+
+#: Bump when the checkpoint payload layout changes.
+CHECKPOINT_VERSION = 1
+
+#: File name inside the checkpoint directory.
+CHECKPOINT_FILE = "checkpoint.json"
+
+
+class Checkpointer:
+    """Writes, loads and (in crash drills) kills at block boundaries.
+
+    Attributes:
+        directory: where ``checkpoint.json`` lives.
+        interval: epochs between checkpoints; boundaries are the offsets
+            divisible by it. The blocked engine caps its spans so block
+            edges always land on these boundaries.
+        resume: when True, :meth:`load` feeds an existing checkpoint back
+            into the simulator before the run starts.
+        kill_at: crash-drill offset — the run raises
+            :class:`~repro.errors.SimulationKilled` at the first checkpoint
+            boundary at or past it, right after writing the checkpoint.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        interval: int = 10,
+        resume: bool = False,
+        kill_at: Optional[int] = None,
+    ) -> None:
+        if interval < 1:
+            raise ConfigurationError(
+                "checkpoint interval must be at least 1 epoch"
+            )
+        self.directory = directory
+        self.interval = interval
+        self.resume = resume
+        self.kill_at = kill_at
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, CHECKPOINT_FILE)
+
+    def due(self, offset: int) -> bool:
+        """Whether ``offset`` is a checkpoint boundary (offset 0 is not —
+        there is nothing to save before the first epoch)."""
+        return offset > 0 and offset % self.interval == 0
+
+    def span_cap(self, offset: int) -> int:
+        """Epochs the blocked engine may run from ``offset`` before the
+        next checkpoint boundary."""
+        return self.interval - offset % self.interval
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        """Atomically persist a checkpoint payload (temp file + rename)."""
+        os.makedirs(self.directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The stored payload, or None if no checkpoint exists yet."""
+        if not os.path.exists(self.path):
+            return None
+        with open(self.path) as handle:
+            return json.load(handle)
+
+    def maybe_kill(self, offset: int) -> None:
+        """Crash drill: die loudly once the kill offset is reached.
+
+        Called right after a checkpoint write, so the on-disk state is
+        always resumable when this raises.
+        """
+        if self.kill_at is not None and offset >= self.kill_at:
+            raise SimulationKilled(
+                f"run deliberately killed at checkpointed offset {offset}; "
+                "resume with --resume",
+                offset=offset,
+            )
+
+
+# -- capture ----------------------------------------------------------------
+
+
+def _capture_policy(policy) -> Optional[Dict[str, Any]]:
+    """Snapshot an adaptation policy's mutable state, duck-typed.
+
+    Damped wrappers carry oscillation history and recurse into their inner
+    policy; the TD policies carry a bounded loss-smoothing window. Stateless
+    (or absent) policies snapshot to None.
+    """
+    if policy is None:
+        return None
+    state: Dict[str, Any] = {}
+    inner = getattr(policy, "_inner", None)
+    if inner is not None:
+        state["damped"] = {
+            "history": list(policy._history),
+            "skip": policy._skip,
+            "last_penalty": policy._last_penalty,
+        }
+        state["inner"] = _capture_policy(inner)
+        return state
+    smoother = getattr(policy, "_smoother", None)
+    if smoother is not None:
+        state["smoother"] = list(smoother._values)
+    return state or None
+
+
+def _restore_policy(policy, state: Optional[Dict[str, Any]]) -> None:
+    if policy is None or state is None:
+        return
+    damped = state.get("damped")
+    if damped is not None:
+        policy._history = list(damped["history"])
+        policy._skip = damped["skip"]
+        policy._last_penalty = damped["last_penalty"]
+        _restore_policy(policy._inner, state.get("inner"))
+        return
+    smoother_values = state.get("smoother")
+    if smoother_values is not None:
+        smoother = policy._smoother
+        smoother._values.clear()
+        smoother._values.extend(smoother_values)
+
+
+def _encode_tree(tree: Tree) -> Dict[str, int]:
+    return {str(child): parent for child, parent in tree.parents.items()}
+
+
+def _decode_tree(data: Dict[str, int]) -> Tree:
+    return Tree(
+        parents={int(child): parent for child, parent in data.items()},
+        root=BASE_STATION,
+    )
+
+
+def _capture_scheme(scheme) -> Dict[str, Any]:
+    """Duck-typed scheme snapshot: only what churn/adaptation mutates."""
+    graph = getattr(scheme, "graph", None)
+    if graph is not None:
+        return {
+            "kind": "td",
+            "modes": {
+                str(node): mode.name for node, mode in graph.modes().items()
+            },
+            "tree": _encode_tree(graph.tree),
+            "alive": list(scheme._alive_sensors),
+            "policy": _capture_policy(scheme._policy),
+            "adaptation_log": [list(entry) for entry in scheme.adaptation_log],
+            "control_messages": scheme.control_messages,
+        }
+    if hasattr(scheme, "replace_tree"):
+        return {
+            "kind": "tag",
+            "tree": _encode_tree(scheme.tree),
+            "alive": list(scheme._alive_sensors),
+        }
+    if hasattr(scheme, "rings"):
+        return {"kind": "sd", "alive": list(scheme._alive_sensors)}
+    return {"kind": "opaque"}
+
+
+def _restore_scheme(scheme, state: Dict[str, Any], membership) -> None:
+    kind = state["kind"]
+    if kind == "opaque":
+        return
+    if kind == "td":
+        rings = (
+            membership.rings if membership is not None else scheme.graph.rings
+        )
+        modes = {
+            int(node): Mode[name] for node, name in state["modes"].items()
+        }
+        # The TDGraph constructor re-validates Property 1 and the
+        # tree-follows-rings invariant, so a corrupt checkpoint fails loudly.
+        scheme._graph = TDGraph(rings, _decode_tree(state["tree"]), modes)
+        scheme._rebuild_schedule()
+        scheme._alive_sensors = list(state["alive"])
+        _restore_policy(scheme._policy, state["policy"])
+        scheme.adaptation_log = [
+            tuple(entry) for entry in state["adaptation_log"]
+        ]
+        scheme.control_messages = state["control_messages"]
+        return
+    if kind == "tag":
+        scheme.replace_tree(_decode_tree(state["tree"]))
+        scheme._alive_sensors = list(state["alive"])
+        return
+    if kind == "sd":
+        if membership is not None:
+            scheme._rings = membership.rings
+            scheme._rebuild_schedule()
+        scheme._alive_sensors = list(state["alive"])
+        return
+    raise ConfigurationError(f"unknown scheme kind in checkpoint: {kind!r}")
+
+
+def _capture_membership(membership) -> Optional[Dict[str, Any]]:
+    if membership is None:
+        return None
+    return {
+        "alive": sorted(membership.alive),
+        "stranded": list(membership.stranded),
+        "last_boundary": membership._last_boundary,
+        "tree": _encode_tree(membership.tree),
+        "dark_parents": {
+            str(child): parent
+            for child, parent in membership._dark_parents.items()
+        },
+    }
+
+
+def _restore_membership(membership, state: Optional[Dict[str, Any]]) -> None:
+    if state is None:
+        if membership is not None:
+            raise ConfigurationError(
+                "checkpoint has no membership state but churn is configured"
+            )
+        return
+    if membership is None:
+        raise ConfigurationError(
+            "checkpoint carries membership state but churn is not configured"
+        )
+    membership.alive = set(state["alive"])
+    # Rings are a pure function of (full radio graph, alive set): rebuild
+    # instead of serialising — every rings accessor is deterministic.
+    rings, stranded = RingsTopology.build_restricted(
+        membership._connectivity, membership.alive
+    )
+    if sorted(stranded) != sorted(state["stranded"]):
+        raise ConfigurationError(
+            "rebuilt stranded set diverges from the checkpoint "
+            f"({sorted(stranded)} != {sorted(state['stranded'])})"
+        )
+    membership.rings = rings
+    membership.stranded = tuple(stranded)
+    membership.tree = _decode_tree(state["tree"])
+    membership._last_boundary = state["last_boundary"]
+    membership._dark_parents = {
+        int(child): parent
+        for child, parent in state["dark_parents"].items()
+    }
+
+
+def capture_run_state(
+    simulator,
+    offset: int,
+    results: List,
+    energy,
+    readings,
+    fingerprint: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Snapshot everything a resumed run cannot re-derive from hashes."""
+    channel = simulator._channel
+    payload: Dict[str, Any] = {
+        "version": CHECKPOINT_VERSION,
+        "offset": offset,
+        "fingerprint": fingerprint,
+        "results": [serialization.to_jsonable(result) for result in results],
+        "energy": serialization.to_jsonable(energy),
+        "channel": {
+            "words": {
+                str(node): words
+                for node, words in channel._per_node_words.items()
+            },
+            "messages": {
+                str(node): messages
+                for node, messages in channel._per_node_messages.items()
+            },
+        },
+        "membership": _capture_membership(simulator._membership),
+        "scheme": _capture_scheme(simulator._scheme),
+    }
+    chaos = channel.chaos
+    if chaos is not None:
+        chaos_state: Dict[str, Any] = {
+            "epoch": chaos.epoch,
+            "deferred": [list(entry) for entry in chaos.deferred],
+        }
+        if chaos.auditor is not None:
+            chaos_state["auditor"] = {
+                "words": chaos.auditor._observed_words,
+                "messages": chaos.auditor._observed_messages,
+            }
+        payload["chaos"] = chaos_state
+    state_hook = getattr(readings, "checkpoint_state", None)
+    if callable(state_hook):
+        payload["readings"] = state_hook()
+    return payload
+
+
+def restore_run_state(
+    simulator,
+    payload: Dict[str, Any],
+    results: List,
+    energy,
+    readings,
+    fingerprint: Dict[str, Any],
+) -> int:
+    """Feed a checkpoint payload back into a freshly built run.
+
+    Returns the epoch offset the run should continue from. Raises
+    :class:`~repro.errors.ConfigurationError` when the checkpoint does not
+    match the configured run.
+    """
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint version {payload.get('version')!r}"
+        )
+    if payload["fingerprint"] != fingerprint:
+        raise ConfigurationError(
+            "checkpoint fingerprint does not match this run: "
+            f"{payload['fingerprint']} != {fingerprint}"
+        )
+    _restore_membership(simulator._membership, payload["membership"])
+    _restore_scheme(
+        simulator._scheme, payload["scheme"], simulator._membership
+    )
+    channel = simulator._channel
+    channel._per_node_words.clear()
+    channel._per_node_words.update(
+        {int(node): words for node, words in payload["channel"]["words"].items()}
+    )
+    channel._per_node_messages.clear()
+    channel._per_node_messages.update(
+        {
+            int(node): messages
+            for node, messages in payload["channel"]["messages"].items()
+        }
+    )
+    chaos = channel.chaos
+    chaos_state = payload.get("chaos")
+    if chaos is not None and chaos_state is not None:
+        chaos.epoch = chaos_state["epoch"]
+        chaos.deferred = [tuple(entry) for entry in chaos_state["deferred"]]
+        auditor_state = chaos_state.get("auditor")
+        if chaos.auditor is not None and auditor_state is not None:
+            chaos.auditor._observed_words = auditor_state["words"]
+            chaos.auditor._observed_messages = auditor_state["messages"]
+    restored_energy = serialization.from_jsonable(payload["energy"])
+    energy.total_messages = restored_energy.total_messages
+    energy.total_words = restored_energy.total_words
+    energy.total_uj = restored_energy.total_uj
+    energy.per_node_uj.clear()
+    energy.per_node_uj.update(restored_energy.per_node_uj)
+    results.extend(
+        serialization.from_jsonable(item) for item in payload["results"]
+    )
+    restore_hook = getattr(readings, "restore_state", None)
+    if callable(restore_hook) and "readings" in payload:
+        restore_hook(payload["readings"])
+    return payload["offset"]

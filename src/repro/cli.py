@@ -9,6 +9,9 @@ Usage::
         --failures global:0.0,global:0.3 --jobs 4 --cache-dir .sweep-cache
     python -m repro.cli describe fig2 > fig2.json
     python -m repro.cli run-config fig2.json --epochs 10
+    python -m repro.cli run-config fig2.json --audit strict \
+        --set faults=corrupt:0.05,delay:3
+    python -m repro.cli run-config fig2.json --checkpoint-dir ckpt/ --resume
 
 ``run`` regenerates a figure/table; each experiment prints (and optionally
 writes) the same rows/series the paper reports, with ``--full`` switching
@@ -294,6 +297,47 @@ def _build_parser() -> argparse.ArgumentParser:
     config_parser.add_argument(
         "--out", type=pathlib.Path, default=None, help="file for the report"
     )
+    config_parser.add_argument(
+        "--audit",
+        choices=("strict", "record"),
+        default=None,
+        help=(
+            "attach the online invariant auditor: 'strict' aborts on the "
+            "first violation (exit code 4), 'record' collects violations "
+            "and prints a summary"
+        ),
+    )
+    config_parser.add_argument(
+        "--checkpoint-dir",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "directory for crash-safe checkpoints written at block "
+            "boundaries; a killed run restarts from the latest one with "
+            "--resume"
+        ),
+    )
+    config_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir (if any)",
+    )
+    config_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=10,
+        help="epoch offsets between checkpoints (default 10)",
+    )
+    config_parser.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="OFFSET",
+        help=(
+            "crash-drill switch: abort the run (exit code 3) at the first "
+            "checkpoint at or past this epoch offset"
+        ),
+    )
     return parser
 
 
@@ -377,6 +421,10 @@ def _coerce_field(name: str, raw: str) -> object:
                 f"queries expects a JSON list of query specs, got {raw!r}: "
                 f"{error}"
             ) from error
+    if name == "faults":
+        # Comma-separated fault specs (specs themselves use colons), e.g.
+        # --set faults=corrupt:0.05,delay:3. Empty clears the field.
+        return [token.strip() for token in raw.split(",") if token.strip()]
     default = fields[name].default
     if isinstance(default, bool):
         if raw.lower() in ("true", "1", "yes"):
@@ -438,13 +486,55 @@ def _run_config(args) -> int:
                 overrides[name] = value
         if overrides:
             config = config.replace(**overrides)
-        session = Session(cache_dir=args.cache_dir)
+        if (args.resume or args.kill_at is not None) and (
+            args.checkpoint_dir is None
+        ):
+            raise ConfigurationError(
+                "--resume/--kill-at need --checkpoint-dir"
+            )
         started = time.time()
-        report = session.run(config)
+        auditor = None
+        if args.audit is not None or args.checkpoint_dir is not None:
+            # The chaos observers bypass the result cache: an audited or
+            # checkpointed run must actually execute.
+            from repro.api import RunReport, run_config_result
+            from repro.chaos import Auditor, Checkpointer
+            from repro.errors import PropertyViolation, SimulationKilled
+
+            if args.audit is not None:
+                auditor = Auditor(strict=args.audit == "strict")
+            checkpointer = None
+            if args.checkpoint_dir is not None:
+                checkpointer = Checkpointer(
+                    args.checkpoint_dir,
+                    interval=args.checkpoint_interval,
+                    resume=args.resume,
+                    kill_at=args.kill_at,
+                )
+            try:
+                result = run_config_result(
+                    config, checkpoint=checkpointer, audit=auditor
+                )
+            except SimulationKilled as killed:
+                print(
+                    f"run killed at epoch offset {killed.offset}; checkpoint "
+                    f"written to {checkpointer.path} — restart with --resume",
+                    file=sys.stderr,
+                )
+                return 3
+            except PropertyViolation as violation:
+                print(f"audit violation: {violation}", file=sys.stderr)
+                return 4
+            report = RunReport(config=config, result=result)
+        else:
+            session = Session(cache_dir=args.cache_dir)
+            report = session.run(config)
     except ConfigurationError as error:
         print(f"invalid run config: {error}", file=sys.stderr)
         return 2
     text = report.render()
+    if auditor is not None:
+        text += "\n" + auditor.summary()
     elapsed = time.time() - started
     print(f"== run-config [{elapsed:.1f}s]")
     print(text)

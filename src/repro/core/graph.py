@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.core.modes import Mode
-from repro.errors import CorrectnessError, TopologyError
+from repro.errors import CorrectnessError, PropertyViolation, TopologyError
 from repro.network.placement import BASE_STATION, NodeId
 from repro.network.rings import RingsTopology
 from repro.tree.structure import Tree
@@ -87,11 +87,15 @@ class TDGraph:
         for child, parent in self._tree.parents.items():
             if self._rings.level(child) != self._rings.level(parent) + 1:
                 raise TopologyError(
-                    f"tree link {child}->{parent} does not go one ring level up"
+                    f"tree link {child}->{parent} does not go one ring level up",
+                    level=self._rings.level(child),
+                    nodes=(child, parent),
                 )
             if not self._rings.connectivity.has_edge(child, parent):
                 raise TopologyError(
-                    f"tree link {child}->{parent} is not a radio link"
+                    f"tree link {child}->{parent} is not a radio link",
+                    level=self._rings.level(child),
+                    nodes=(child, parent),
                 )
 
     def validate(self) -> None:
@@ -106,9 +110,12 @@ class TDGraph:
             if mode.is_multipath and node != self._tree.root:
                 parent = self._tree.parent(node)
                 if parent is None or not self._modes[parent].is_multipath:
-                    raise CorrectnessError(
+                    raise PropertyViolation(
                         f"M node {node} has non-M tree parent {parent}: "
-                        "an M edge would be incident on a T vertex"
+                        "an M edge would be incident on a T vertex",
+                        invariant="edge-correctness",
+                        level=self._rings.level(node),
+                        nodes=(node,) if parent is None else (node, parent),
                     )
 
     # -- accessors ---------------------------------------------------------

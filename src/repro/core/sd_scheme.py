@@ -202,7 +202,12 @@ class SynopsisDiffusionScheme:
         """
         epoch_list = [int(epoch) for epoch in epochs]
         backend = get_backend(self._kernel_backend)
-        if backend.fused and sd_eligible is not None and sd_eligible(self):
+        if (
+            backend.fused
+            and sd_eligible is not None
+            and sd_eligible(self)
+            and channel.chaos is None
+        ):
             return run_sd_block(self, epoch_list, channel, readings, backend)
         plan = channel.plan_epochs(self._plan_levels(), epoch_list)
         aggregate = self._aggregate
@@ -292,9 +297,17 @@ class SynopsisDiffusionScheme:
                 heard_lists = channel.transmit_batch(transmissions, epoch)
             else:
                 heard_lists = transmit_sequential(channel, transmissions, epoch)
-            for payload, heard in zip(outgoing, heard_lists):
+            chaos = channel.chaos
+            for node, payload, heard in zip(nodes, outgoing, heard_lists):
                 for receiver in heard:
-                    inbox.setdefault(receiver, []).append(payload)
+                    if chaos is None:
+                        inbox.setdefault(receiver, []).append(payload)
+                        continue
+                    delivered = chaos.corrupt(payload, node, receiver, epoch)
+                    target = inbox.setdefault(receiver, [])
+                    target.append(delivered)
+                    if chaos.duplicate(node, receiver, epoch):
+                        target.append(delivered)
 
         received = inbox.pop(BASE_STATION, [])
         if not received:
@@ -316,6 +329,18 @@ class SynopsisDiffusionScheme:
             if count_sketch is not None and extra_payload.count_sketch is not None:
                 count_sketch = count_sketch.fuse(extra_payload.count_sketch)
             contributors |= extra_payload.contributors
+        chaos = channel.chaos
+        if (
+            chaos is not None
+            and chaos.auditor is not None
+            and count_sketch is not None
+        ):
+            # SD's contributing-count sketch is a pure OR-fold of per-node
+            # single-item insertions, so the base station can audit it for
+            # invented bits (corrupted synopsis rows) exactly.
+            chaos.auditor.check_contrib_sketch(
+                count_sketch, self._alive_sensors, epoch
+            )
         if count_sketch is not None:
             contributing_estimate = count_sketch.estimate()
         else:

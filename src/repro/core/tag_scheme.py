@@ -163,7 +163,12 @@ class TagScheme:
         """
         epoch_list = [int(epoch) for epoch in epochs]
         backend = get_backend(self._kernel_backend)
-        if backend.fused and tag_eligible is not None and tag_eligible(self):
+        if (
+            backend.fused
+            and tag_eligible is not None
+            and tag_eligible(self)
+            and channel.chaos is None
+        ):
             return run_tag_block(self, epoch_list, channel, readings, backend)
         plan = channel.plan_epochs(self._plan_levels(), epoch_list)
         aggregate = self._aggregate
@@ -237,9 +242,15 @@ class TagScheme:
                 )
             else:
                 heard_lists = self._transmit(channel, transmissions, epoch)
+            chaos = channel.chaos
             for (parent, payload), heard in zip(outgoing, heard_lists):
                 if heard:
-                    inbox.setdefault(parent, []).append(payload)
+                    target = inbox.setdefault(parent, [])
+                    target.append(payload)
+                    if chaos is not None and chaos.duplicate(
+                        payload.sender, parent, epoch
+                    ):
+                        target.append(payload)
 
         received = inbox.pop(BASE_STATION, [])
         if not received:

@@ -332,7 +332,12 @@ class TributaryDeltaScheme:
         # with checked=True.
         checked = False
         backend = get_backend(self._kernel_backend)
-        if backend.fused and td_eligible is not None and td_eligible(self):
+        if (
+            backend.fused
+            and td_eligible is not None
+            and td_eligible(self)
+            and channel.chaos is None
+        ):
             self._conversions = precompute_conversions(
                 self,
                 epoch_list,
@@ -448,16 +453,35 @@ class TributaryDeltaScheme:
             else:
                 heard_lists = transmit_sequential(channel, transmissions, epoch)
 
-            for (is_tree, parent, payload), heard in zip(outgoing, heard_lists):
+            chaos = channel.chaos
+            for node, (is_tree, parent, payload), heard in zip(
+                nodes, outgoing, heard_lists
+            ):
                 if is_tree:
                     if heard:
-                        inbox_tree.setdefault(parent, []).append(payload)
+                        target = inbox_tree.setdefault(parent, [])
+                        target.append(payload)
+                        if chaos is not None and chaos.duplicate(
+                            node, parent, epoch
+                        ):
+                            target.append(payload)
                 else:
                     for receiver in heard:
                         # T receivers ignore M broadcasts (edge correctness,
                         # Property 1).
                         if graph.is_multipath(receiver):
-                            inbox_syn.setdefault(receiver, []).append(payload)
+                            if chaos is None:
+                                inbox_syn.setdefault(receiver, []).append(
+                                    payload
+                                )
+                                continue
+                            delivered = chaos.corrupt(
+                                payload, node, receiver, epoch
+                            )
+                            target = inbox_syn.setdefault(receiver, [])
+                            target.append(delivered)
+                            if chaos.duplicate(node, receiver, epoch):
+                                target.append(delivered)
         return self._evaluate_base_station(epoch, inbox_tree, inbox_syn)
 
     def _prepare_tree_node(

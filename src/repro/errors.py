@@ -2,6 +2,27 @@
 
 from __future__ import annotations
 
+from typing import Optional, Sequence, Tuple
+
+
+def _render_context(
+    invariant: Optional[str],
+    epoch: Optional[int],
+    level: Optional[int],
+    nodes: Sequence[int],
+) -> str:
+    """Format structured fault context as a bracketed message suffix."""
+    parts = []
+    if invariant is not None:
+        parts.append(f"invariant={invariant}")
+    if epoch is not None:
+        parts.append(f"epoch={epoch}")
+    if level is not None:
+        parts.append(f"level={level}")
+    if nodes:
+        parts.append(f"nodes={list(nodes)}")
+    return f" [{' '.join(parts)}]" if parts else ""
+
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
@@ -13,11 +34,61 @@ class TopologyError(ReproError):
     Raised, e.g., when a node is unreachable from the base station, when a
     tree link is not a subset of the rings links, or when an edge-correctness
     violation (an M edge incident on a T vertex) would be created.
+
+    Structured context (all optional, keyword-only) is carried as attributes
+    so auditors and tests can dispatch on *what* failed rather than parsing
+    the message: ``epoch``, ``level`` and ``nodes``.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        epoch: Optional[int] = None,
+        level: Optional[int] = None,
+        nodes: Sequence[int] = (),
+    ) -> None:
+        super().__init__(message + _render_context(None, epoch, level, nodes))
+        self.epoch = epoch
+        self.level = level
+        self.nodes: Tuple[int, ...] = tuple(nodes)
 
 
 class CorrectnessError(ReproError):
     """A Tributary-Delta correctness property (Property 1/2) was violated."""
+
+
+class PropertyViolation(CorrectnessError):
+    """A named runtime invariant failed, with structured context.
+
+    Raised by :class:`repro.chaos.Auditor` and by Property 1/2 checks on the
+    live :class:`~repro.core.graph.TDGraph`. Besides the human-readable
+    message, the violation carries machine-checkable context:
+
+    Attributes:
+        invariant: the short invariant name (e.g. ``"edge-correctness"``,
+            ``"billing-conservation"``, ``"fm-or-monotonicity"``).
+        epoch: the epoch at which the violation was observed, if known.
+        level: the ring level involved, if the violation is local to one.
+        nodes: the node ids involved, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: Optional[str] = None,
+        epoch: Optional[int] = None,
+        level: Optional[int] = None,
+        nodes: Sequence[int] = (),
+    ) -> None:
+        super().__init__(
+            message + _render_context(invariant, epoch, level, nodes)
+        )
+        self.invariant = invariant
+        self.epoch = epoch
+        self.level = level
+        self.nodes: Tuple[int, ...] = tuple(nodes)
 
 
 class ConfigurationError(ReproError):
@@ -30,3 +101,16 @@ class SketchError(ReproError):
     Raised, e.g., when fusing sketches with mismatched shapes or when a
     class-indexed frequent-items synopsis is fused across classes.
     """
+
+
+class SimulationKilled(ReproError):
+    """A run was deliberately stopped after writing a checkpoint.
+
+    Raised by the checkpoint machinery when a kill offset is configured
+    (crash-drill mode); the run can be resumed from the checkpoint with
+    ``repro run-config --resume``.
+    """
+
+    def __init__(self, message: str, *, offset: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.offset = offset

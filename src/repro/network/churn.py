@@ -52,7 +52,7 @@ from typing import (
     Tuple,
 )
 
-from repro._hashing import stream_rng
+from repro._hashing import hash_unit, stream_rng
 from repro.errors import ConfigurationError
 from repro.network.energy import EnergyModel
 from repro.network.placement import BASE_STATION, Deployment, NodeId, Point
@@ -285,6 +285,60 @@ class LifetimeChurn:
         return ChurnBatch(deaths=dead)
 
 
+@dataclass(frozen=True)
+class BirthDeathChurn:
+    """Memoryless per-epoch birth/death churn (the constant-churn regime).
+
+    At every epoch each live sensor dies with probability ``death_rate``
+    and each dead sensor rejoins with probability ``birth_rate`` — the
+    birth-death process the ROADMAP's 100k-node tier expects, where churn
+    is continuous background noise rather than an episodic event.
+
+    Draws are keyed hashes of ``(seed, node, epoch)``, so the process is a
+    pure function of the window: a boundary at epoch ``e`` sees exactly the
+    same flips whether the simulator ran blocked or per-epoch, and the
+    window's net state is computed by replaying each node's per-epoch flips
+    inside ``(start, end]``.
+    """
+
+    death_rate: float
+    birth_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("death_rate", "birth_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1)")
+
+    def events_in(
+        self, start: Optional[int], end: int, ctx: ChurnContext
+    ) -> ChurnBatch:
+        if self.death_rate <= 0.0 and self.birth_rate <= 0.0:
+            return ChurnBatch()
+        first = 0 if start is None else start + 1
+        if first > end:
+            return ChurnBatch()
+        deaths: List[NodeId] = []
+        joins: List[NodeId] = []
+        for node in ctx.deployment.node_ids:
+            if node == BASE_STATION:
+                continue
+            was_alive = node in ctx.alive
+            alive = was_alive
+            for epoch in range(first, end + 1):
+                draw = hash_unit("churn-birthdeath", self.seed, node, epoch)
+                if alive:
+                    alive = draw >= self.death_rate
+                else:
+                    alive = draw < self.birth_rate
+            if alive != was_alive:
+                (joins if alive else deaths).append(node)
+        return ChurnBatch(
+            deaths=tuple(sorted(deaths)), joins=tuple(sorted(joins))
+        )
+
+
 # -- the runtime -----------------------------------------------------------
 
 
@@ -352,6 +406,12 @@ class DynamicMembership:
         self.alive = set(deployment.node_ids)
         self.stranded: Tuple[NodeId, ...] = ()
         self._last_boundary: Optional[int] = None
+        #: Stranded subtree memory: node -> the tree parent it held when it
+        #: went dark. When a bridge rejoin makes the node reachable again,
+        #: repair re-attaches it to this parent if the link is still valid
+        #: under the new rings (wholesale re-admission instead of a
+        #: nearest-distance scatter).
+        self._dark_parents: Dict[NodeId, NodeId] = {}
         #: Every applied update, in order (experiment diagnostics).
         self.updates: List[MembershipUpdate] = []
 
@@ -425,7 +485,21 @@ class DynamicMembership:
         rings, stranded = RingsTopology.build_restricted(
             self._connectivity, self.alive
         )
-        tree, repair = repair_tree(self.tree, rings, self._deployment)
+        # Remember the dark subtrees' links before repair drops them, and
+        # forget the memory of anything that is no longer alive (a dead
+        # node rejoining later is a fresh joiner, not a re-admission).
+        for node in stranded:
+            parent = self.tree.parents.get(node)
+            if parent is not None and node not in self._dark_parents:
+                self._dark_parents[node] = parent
+        for node in list(self._dark_parents):
+            if node not in self.alive:
+                del self._dark_parents[node]
+        tree, repair = repair_tree(
+            self.tree, rings, self._deployment, preferred=self._dark_parents
+        )
+        for node in tree.parents:
+            self._dark_parents.pop(node, None)
         for child, _parent in repair.reattached:
             channel.account_control(
                 child, words=REPAIR_WORDS, messages=REPAIR_MESSAGES

@@ -326,35 +326,50 @@ class DeliveryPlan:
                     for sender, receiver in zip(senders, receivers)
                 ]
         success = loss <= 0.0
-        if bool(success.all()):
-            return success
-        attempts_column = _np.asarray(attempts_per_pair, dtype=_np.int64)[:, None]
-        cells = num_pairs * num_epochs
-        sender_grid = _np.repeat(_np.asarray(senders, dtype=_np.int64), num_epochs)
-        receiver_grid = _np.repeat(
-            _np.asarray(receivers, dtype=_np.int64), num_epochs
-        )
-        epoch_grid = _np.tile(_np.asarray(epochs, dtype=_np.int64), num_pairs)
-        prefix = ("channel", channel._seed)
-        for attempt in range(int(attempts_column.max())):
-            undecided = (~success) & (attempts_column > attempt) & (loss < 1.0)
-            if not bool(undecided.any()):
-                break
-            draws = _np.asarray(
-                hash_unit_batch(
-                    prefix,
-                    sender_grid,
-                    receiver_grid,
-                    epoch_grid,
-                    _np.full(cells, attempt, dtype=_np.int64),
-                )
-            ).reshape(num_pairs, num_epochs)
-            success |= undecided & (draws >= loss)
+        if not bool(success.all()):
+            attempts_column = _np.asarray(attempts_per_pair, dtype=_np.int64)[
+                :, None
+            ]
+            cells = num_pairs * num_epochs
+            sender_grid = _np.repeat(
+                _np.asarray(senders, dtype=_np.int64), num_epochs
+            )
+            receiver_grid = _np.repeat(
+                _np.asarray(receivers, dtype=_np.int64), num_epochs
+            )
+            epoch_grid = _np.tile(_np.asarray(epochs, dtype=_np.int64), num_pairs)
+            prefix = ("channel", channel._seed)
+            for attempt in range(int(attempts_column.max())):
+                undecided = (~success) & (attempts_column > attempt) & (loss < 1.0)
+                if not bool(undecided.any()):
+                    break
+                draws = _np.asarray(
+                    hash_unit_batch(
+                        prefix,
+                        sender_grid,
+                        receiver_grid,
+                        epoch_grid,
+                        _np.full(cells, attempt, dtype=_np.int64),
+                    )
+                ).reshape(num_pairs, num_epochs)
+                success |= undecided & (draws >= loss)
+        chaos = channel.chaos
+        if chaos is not None:
+            chaos.override_table(success, senders, receivers, epochs)
         return success
 
 
 class Channel:
-    """Draws delivery outcomes for transmissions under a failure model."""
+    """Draws delivery outcomes for transmissions under a failure model.
+
+    ``chaos`` (class default ``None``) is the fault-injection/audit runtime
+    the simulator attaches when a :class:`~repro.chaos.FaultPlan` or
+    :class:`~repro.chaos.Auditor` is configured. Every hook below guards on
+    it, so fault-free channels run the exact original code path.
+    """
+
+    #: Attached :class:`~repro.chaos.ChaosRuntime`, or None (the default).
+    chaos = None
 
     def __init__(
         self,
@@ -412,10 +427,18 @@ class Channel:
         energy report) and in the current log. No delivery is drawn:
         control handshakes are acknowledged exchanges, not payloads whose
         loss the schemes model.
+
+        When a delayed-control fault is active, the log is billed now but
+        the per-node load update is deferred (the chaos runtime replays it
+        at the release epoch) — the asymmetry a billing-conservation audit
+        exists to catch.
         """
         self.log.transmissions += 1
         self.log.words_sent += words
         self.log.messages_sent += messages
+        chaos = self.chaos
+        if chaos is not None and chaos.defer_control(sender, words, messages):
+            return
         self._per_node_words[sender] = (
             self._per_node_words.get(sender, 0) + words
         )
@@ -436,6 +459,11 @@ class Channel:
 
         Deterministic in (seed, sender, receiver, epoch, attempt).
         """
+        chaos = self.chaos
+        if chaos is not None:
+            forced = chaos.deliver_override(sender, receiver, epoch)
+            if forced is not None:
+                return forced
         loss = self.loss_rate(sender, receiver, epoch)
         if loss <= 0.0:
             return True
@@ -660,22 +688,28 @@ class Channel:
         # loss <= 0 always delivers; loss >= 1 never does — the comparison
         # draw >= loss yields exactly those outcomes, so no special cases.
         success = loss_array <= 0.0
-        if bool(success.all()):
-            return success
-        attempts_array = _np.asarray(attempts_per_pair, dtype=_np.int64)
-        epoch_column = _np.full(count, epoch, dtype=_np.int64)
-        for attempt in range(int(attempts_array.max())):
-            undecided = (~success) & (attempts_array > attempt) & (loss_array < 1.0)
-            if not bool(undecided.any()):
-                break
-            draws = hash_unit_batch(
-                ("channel", self._seed),
-                senders,
-                receivers,
-                epoch_column,
-                _np.full(count, attempt, dtype=_np.int64),
-            )
-            success |= undecided & (draws >= loss_array)
+        if not bool(success.all()):
+            attempts_array = _np.asarray(attempts_per_pair, dtype=_np.int64)
+            epoch_column = _np.full(count, epoch, dtype=_np.int64)
+            for attempt in range(int(attempts_array.max())):
+                undecided = (
+                    (~success) & (attempts_array > attempt) & (loss_array < 1.0)
+                )
+                if not bool(undecided.any()):
+                    break
+                draws = hash_unit_batch(
+                    ("channel", self._seed),
+                    senders,
+                    receivers,
+                    epoch_column,
+                    _np.full(count, attempt, dtype=_np.int64),
+                )
+                success |= undecided & (draws >= loss_array)
+        chaos = self.chaos
+        if chaos is not None:
+            # Draws are pure keyed hashes, so forcing an outcome after the
+            # sweep is identical to the scalar path's pre-draw short-circuit.
+            chaos.override_pairs(success, senders, receivers, epoch)
         return success
 
     def per_node_words(self) -> Dict[NodeId, int]:

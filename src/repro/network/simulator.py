@@ -200,6 +200,21 @@ class EpochSimulator:
         churn_interval: boundary cadence for churn application; ``None``
             follows ``adapt_interval`` (or 10 when adaptation is off, the
             paper's cadence).
+        faults: a :class:`~repro.chaos.faults.FaultPlan` injecting
+            deterministic faults (delivery kills, payload corruption,
+            replays, delayed control billing) through the channel. ``None``
+            (the default) attaches nothing: the channel's chaos hooks stay
+            unset and runs are byte-identical to a simulator without the
+            parameter.
+        auditor: a :class:`~repro.chaos.auditor.Auditor` re-checking
+            runtime invariants (Property 1/2, billing conservation,
+            membership consistency, ...) after every epoch and every
+            adaptation/membership event.
+        checkpoint: a :class:`~repro.chaos.checkpoint.Checkpointer`
+            persisting run state at block boundaries; with ``resume`` set
+            it restores a stored checkpoint before the first epoch, and the
+            resumed run's :class:`RunResult` is byte-identical to the
+            uninterrupted run's.
     """
 
     #: Upper bound on one block's epoch span (bounds the delivery-plan
@@ -219,6 +234,9 @@ class EpochSimulator:
         use_blocked: bool = True,
         membership: Optional[DynamicMembership] = None,
         churn_interval: Optional[int] = None,
+        faults=None,
+        auditor=None,
+        checkpoint=None,
     ) -> None:
         if adapt_interval < 0:
             raise ConfigurationError("adapt_interval cannot be negative")
@@ -240,6 +258,17 @@ class EpochSimulator:
         self._use_blocked = use_blocked
         self._membership = membership
         self._churn_interval = churn_interval
+        self._seed = seed
+        self._auditor = auditor
+        self._checkpoint = checkpoint
+        self._fingerprint: Optional[Dict[str, object]] = None
+        if faults is not None or auditor is not None:
+            # Lazy import: repro.chaos.auditor/checkpoint import back into
+            # this module's dependents; faults is leaf-safe but keeping all
+            # chaos imports run-time makes the layering obvious.
+            from repro.chaos.faults import ChaosRuntime
+
+            self._channel.chaos = ChaosRuntime(plan=faults, auditor=auditor)
 
     @property
     def channel(self) -> Channel:
@@ -282,18 +311,29 @@ class EpochSimulator:
         must not leak stale windowed values, so the boundary is forwarded
         to them after the scheme rebuilds.
         """
+        chaos = self._channel.chaos
+        if chaos is not None:
+            # Control billing issued at this boundary is stamped with its
+            # epoch, and deferred bills due by now land first — both before
+            # the membership step, identically in both execution engines.
+            chaos.epoch = epoch
+            chaos.flush_control(self._channel, epoch)
         update = self._membership.advance(
             epoch, offset, self._channel, self._energy_model
         )
         if update is None:
             return
         control_log = self._channel.reset_log()
+        if self._auditor is not None:
+            self._auditor.observe_log(control_log)
         if offset >= warmup:
             energy.add_log(control_log, self._energy_model)
         self._scheme.on_membership_change(update)
         readings_hook = getattr(readings, "on_membership_change", None)
         if callable(readings_hook):
             readings_hook(update)
+        if self._auditor is not None:
+            self._auditor.check_structure(self._scheme, self._membership, epoch)
 
     def run(
         self,
@@ -313,12 +353,41 @@ class EpochSimulator:
         results: List[EpochResult] = []
         energy = EnergyReport()
         total = warmup + num_epochs
+        start_offset = 0
+        if self._checkpoint is not None:
+            self._fingerprint = {
+                "scheme": self._scheme.name,
+                "total": total,
+                "warmup": warmup,
+                "start_epoch": start_epoch,
+                "seed": self._seed,
+                "adapt_interval": self._adapt_interval,
+                "churn_interval": self._churn_interval,
+            }
+            if self._checkpoint.resume:
+                payload = self._checkpoint.load()
+                if payload is not None:
+                    from repro.chaos.checkpoint import restore_run_state
+
+                    start_offset = restore_run_state(
+                        self, payload, results, energy, readings,
+                        self._fingerprint,
+                    )
         if self._blocked_capable():
-            self._run_blocked(total, warmup, start_epoch, readings, results, energy)
+            self._run_blocked(
+                total, warmup, start_epoch, readings, results, energy,
+                start_offset,
+            )
         else:
             self._run_per_epoch(
-                total, warmup, start_epoch, readings, results, energy
+                total, warmup, start_epoch, readings, results, energy,
+                start_offset,
             )
+        chaos = self._channel.chaos
+        if chaos is not None:
+            # Bills still deferred past the last boundary must land before
+            # per-node words are converted to energy.
+            chaos.flush_control(self._channel)
         energy.add_node_words(self._channel.per_node_words(), self._energy_model)
         return RunResult(
             scheme_name=self._scheme.name, epochs=results, energy=energy
@@ -354,19 +423,35 @@ class EpochSimulator:
         readings: ReadingFn,
         results: List[EpochResult],
         energy: EnergyReport,
+        start_offset: int = 0,
     ) -> None:
         churn_interval = self._effective_churn_interval()
-        for offset in range(total):
+        auditor = self._auditor
+        for offset in range(start_offset, total):
             epoch = start_epoch + offset
+            if self._checkpoint is not None and offset > start_offset:
+                self._maybe_checkpoint(offset, results, energy, readings)
             if self._membership is not None and offset % churn_interval == 0:
                 self._apply_churn(epoch, offset, energy, warmup, readings)
-            self._channel.reset_log()
+            stray_log = self._channel.reset_log()
+            if auditor is not None:
+                auditor.observe_log(stray_log)
             outcome = self._scheme.run_epoch(epoch, self._channel, readings)
             log = self._channel.reset_log()
+            if auditor is not None:
+                auditor.observe_log(log)
+                auditor.check_epoch(
+                    self._scheme, self._channel, outcome, log, epoch
+                )
+                auditor.check_billing(self._channel, epoch)
             if offset >= warmup:
                 self._record(results, energy, epoch, outcome, log, readings)
             if self._adapt_interval and (offset + 1) % self._adapt_interval == 0:
                 self._scheme.adapt(epoch, outcome)
+                if auditor is not None:
+                    auditor.check_structure(
+                        self._scheme, self._membership, epoch
+                    )
             if self._on_epoch is not None:
                 self._on_epoch(epoch, self._channel)
 
@@ -378,6 +463,7 @@ class EpochSimulator:
         readings: ReadingFn,
         results: List[EpochResult],
         energy: EnergyReport,
+        start_offset: int = 0,
     ) -> None:
         """Execute in adaptation-interval blocks via ``scheme.run_epochs``.
 
@@ -389,8 +475,11 @@ class EpochSimulator:
         """
         interval = self._adapt_interval
         churn_interval = self._effective_churn_interval()
-        offset = 0
+        auditor = self._auditor
+        offset = start_offset
         while offset < total:
+            if self._checkpoint is not None and offset > start_offset:
+                self._maybe_checkpoint(offset, results, energy, readings)
             if self._membership is not None and offset % churn_interval == 0:
                 self._apply_churn(
                     start_epoch + offset, offset, energy, warmup, readings
@@ -401,16 +490,56 @@ class EpochSimulator:
                 span = min(
                     span, churn_interval - (offset % churn_interval)
                 )
+            if self._checkpoint is not None:
+                # Blocks additionally split at checkpoint boundaries; draws
+                # are keyed by epoch, so splitting never changes results.
+                span = min(span, self._checkpoint.span_cap(offset))
             epochs = [start_epoch + offset + i for i in range(span)]
             pairs = self._scheme.run_epochs(epochs, self._channel, readings)
             for i, (outcome, log) in enumerate(pairs):
+                if auditor is not None:
+                    auditor.observe_log(log)
+                    auditor.check_epoch(
+                        self._scheme, self._channel, outcome, log, epochs[i]
+                    )
                 if offset + i >= warmup:
                     self._record(
                         results, energy, epochs[i], outcome, log, readings
                     )
+            if auditor is not None:
+                # The blocked engine bills per-node loads block-at-a-time,
+                # so conservation holds exactly at block edges only.
+                auditor.check_billing(self._channel, epochs[-1])
             offset += span
             if interval and offset % interval == 0:
                 self._scheme.adapt(epochs[-1], pairs[-1][0])
+                if auditor is not None:
+                    auditor.check_structure(
+                        self._scheme, self._membership, epochs[-1]
+                    )
+
+    def _maybe_checkpoint(
+        self,
+        offset: int,
+        results: List[EpochResult],
+        energy: EnergyReport,
+        readings: ReadingFn,
+    ) -> None:
+        """Write a checkpoint if ``offset`` is a boundary (and maybe die).
+
+        Called before the boundary's churn event, so a resumed run replays
+        that churn from the restored membership state — identically, since
+        churn events are pure keyed-hash functions of (seed, node, epoch).
+        """
+        if not self._checkpoint.due(offset):
+            return
+        from repro.chaos.checkpoint import capture_run_state
+
+        payload = capture_run_state(
+            self, offset, results, energy, readings, self._fingerprint
+        )
+        self._checkpoint.write(payload)
+        self._checkpoint.maybe_kill(offset)
 
     def _record(
         self,

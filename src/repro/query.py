@@ -159,6 +159,22 @@ class WindowedReadings:
             self._windows.pop(node, None)
             self._segment_starts[node] = update.epoch
 
+    def checkpoint_state(self) -> Dict[str, int]:
+        """Checkpoint hook: the segment starts are the only real state.
+
+        The window cache is a pure function of (source, segment starts) and
+        rebuilds on demand, so a resumed run that restores the segment
+        starts produces byte-identical windowed values.
+        """
+        return {str(node): start for node, start in self._segment_starts.items()}
+
+    def restore_state(self, state: Dict[str, int]) -> None:
+        """Inverse of :meth:`checkpoint_state` (drops any cached windows)."""
+        self._windows.clear()
+        self._segment_starts = {
+            int(node): start for node, start in state.items()
+        }
+
 
 class FilteredAggregate(Aggregate):
     """WHERE-clause wrapper: non-matching sensors contribute nothing.

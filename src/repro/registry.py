@@ -18,8 +18,10 @@ topologies      ``(num_sensors, seed) -> topology``  synthetic, labdata
 datasets        spec-string constructor              constant, uniform,
                                                      diurnal
 churn models    spec-string constructor              none, deaths, blackout,
-                                                     lifetime
+                                                     lifetime, birthdeath
 summaries       spec-string ``Aggregate`` factory    heavy_hitters, quantiles
+fault plans     spec-string constructor              corrupt, duplicate,
+                                                     delay, bscrash, partition
 ==============  ===================================  =======================
 
 Aggregates resolve from *spec strings* too (:func:`build_aggregate`): a
@@ -83,8 +85,18 @@ from repro.datasets.streams import (
     UniformReadings,
 )
 from repro.datasets.synthetic import make_synthetic_scenario
+from repro.chaos.faults import (
+    BaseStationCrash,
+    CompositeFaultPlan,
+    CorruptSynopsis,
+    DelayControl,
+    DuplicateDelivery,
+    FaultPlan,
+    Partition,
+)
 from repro.errors import ConfigurationError
 from repro.network.churn import (
+    BirthDeathChurn,
     LifetimeChurn,
     RandomDeaths,
     RegionalBlackout,
@@ -196,6 +208,7 @@ TOPOLOGIES: Registry[Callable[..., object]] = Registry("topology")
 DATASETS: Registry[Callable[..., object]] = Registry("dataset")
 CHURN_MODELS: Registry[Callable[..., object]] = Registry("churn model")
 SUMMARIES: Registry[Callable[..., Aggregate]] = Registry("summary")
+FAULTS: Registry[Callable[..., FaultPlan]] = Registry("fault injector")
 
 
 def register_scheme(name: str, adaptive: bool = False):
@@ -298,11 +311,28 @@ def register_churn(name: str):
     return decorator
 
 
+def register_fault(name: str):
+    """Register a fault-injector constructor for ``name[:arg...]`` specs.
+
+    The constructor receives the spec's remaining tokens as positional
+    strings and returns a :class:`~repro.chaos.faults.FaultPlan`. Fault
+    plans are the deterministic chaos layer: every draw they make is a
+    keyed hash of (seed, sender, receiver, epoch), so a plan perturbs a run
+    identically under the per-epoch and blocked engines.
+    """
+
+    def decorator(constructor: Callable[..., FaultPlan]):
+        FAULTS.register(name, constructor)
+        return constructor
+
+    return decorator
+
+
 def available() -> Dict[str, Tuple[str, ...]]:
     """Every registry's names: the discovery surface of the component system.
 
     >>> sorted(available())
-    ['aggregates', 'churn_models', 'datasets', 'failure_models', 'schemes', 'summaries', 'topologies']
+    ['aggregates', 'churn_models', 'datasets', 'failure_models', 'faults', 'schemes', 'summaries', 'topologies']
     >>> available()['schemes']
     ('TAG', 'SD', 'TD-Coarse', 'TD')
     >>> available()['summaries']
@@ -316,6 +346,7 @@ def available() -> Dict[str, Tuple[str, ...]]:
         "datasets": DATASETS.available(),
         "churn_models": CHURN_MODELS.available(),
         "summaries": SUMMARIES.available(),
+        "faults": FAULTS.available(),
     }
 
 
@@ -434,6 +465,45 @@ def build_churn_model(spec: str):
         raise ConfigurationError(
             f"bad churn spec {spec!r}: {error}"
         ) from error
+
+
+def build_fault_plan(specs) -> Optional[FaultPlan]:
+    """Construct a fault plan from one spec string or a sequence of them.
+
+    A single spec resolves to the bare injector; several compose into a
+    :class:`~repro.chaos.faults.CompositeFaultPlan` (all injectors apply,
+    in order). ``None`` or an empty sequence means no faults at all — the
+    chaos hooks stay disengaged and the run is byte-identical to one
+    without the subsystem.
+
+    >>> build_fault_plan(None) is None
+    True
+    >>> build_fault_plan("corrupt:0.05").describe()
+    'corrupt:0.05:0'
+    >>> build_fault_plan(["delay:3", "partition:7:10:5"]).describe()
+    'delay:3+partition:7:10:5'
+    """
+    if specs is None:
+        return None
+    if isinstance(specs, str):
+        specs = (specs,)
+    plans = []
+    for spec in specs:
+        head, args = _spec_parts(spec, "fault")
+        constructor = FAULTS.resolve(head)
+        try:
+            plans.append(constructor(*args))
+        except ConfigurationError:
+            raise
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"bad fault spec {spec!r}: {error}"
+            ) from error
+    if not plans:
+        return None
+    if len(plans) == 1:
+        return plans[0]
+    return CompositeFaultPlan(tuple(plans))
 
 
 # -- built-in schemes ------------------------------------------------------
@@ -649,6 +719,55 @@ def _build_scheduled(epoch: str, nodes: str) -> ScheduledChurn:
     return ScheduledChurn.of(
         deaths=[(int(epoch), [int(node) for node in nodes.split("+")])]
     )
+
+
+@register_churn("birthdeath")
+def _build_birthdeath(
+    death: str, birth: str, seed: str = "0"
+) -> BirthDeathChurn:
+    """``birthdeath:DEATH:BIRTH[:SEED]`` — steady-state per-boundary churn.
+
+    Every live sensor dies with probability ``DEATH`` at each churn
+    boundary and every dead one rejoins with probability ``BIRTH`` — the
+    continuous-turnover regime (equilibrium live fraction
+    ``BIRTH / (BIRTH + DEATH)``).
+    """
+    return BirthDeathChurn(
+        death_rate=float(death), birth_rate=float(birth), seed=int(seed)
+    )
+
+
+# -- built-in fault injectors ----------------------------------------------
+
+
+@register_fault("corrupt")
+def _build_corrupt(rate: str, seed: str = "0") -> CorruptSynopsis:
+    """``corrupt:RATE[:SEED]`` — flip a synopsis MSB on delivery."""
+    return CorruptSynopsis(float(rate), seed=int(seed))
+
+
+@register_fault("duplicate")
+def _build_duplicate(rate: str, seed: str = "0") -> DuplicateDelivery:
+    """``duplicate:RATE[:SEED]`` — deliver some payloads twice."""
+    return DuplicateDelivery(float(rate), seed=int(seed))
+
+
+@register_fault("delay")
+def _build_delay(epochs: str) -> DelayControl:
+    """``delay:EPOCHS`` — defer control-message billing by N epochs."""
+    return DelayControl(int(epochs))
+
+
+@register_fault("bscrash")
+def _build_bscrash(start: str, duration: str) -> BaseStationCrash:
+    """``bscrash:START:DURATION`` — the base station hears nothing."""
+    return BaseStationCrash(int(start), int(duration))
+
+
+@register_fault("partition")
+def _build_partition(node: str, start: str, duration: str) -> Partition:
+    """``partition:NODE:START:DURATION`` — one node drops off the air."""
+    return Partition(int(node), int(start), int(duration))
 
 
 # -- built-in datasets -----------------------------------------------------

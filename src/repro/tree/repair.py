@@ -31,7 +31,7 @@ repaired tree can seed a new :class:`~repro.core.graph.TDGraph` directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.placement import BASE_STATION, Deployment, NodeId
 from repro.network.rings import RingsTopology
@@ -79,7 +79,10 @@ def nearest_upstream_parent(
 
 
 def repair_tree(
-    tree: Tree, rings: RingsTopology, deployment: Deployment
+    tree: Tree,
+    rings: RingsTopology,
+    deployment: Deployment,
+    preferred: Optional[Dict[NodeId, NodeId]] = None,
 ) -> Tuple[Tree, RepairReport]:
     """Repair ``tree`` against re-rung ``rings`` after membership changed.
 
@@ -88,6 +91,14 @@ def repair_tree(
     the link is still a one-level-up rings link, orphans and joiners
     reattach to their nearest live candidate parent. The report carries the
     reattachment list and its control-message bill.
+
+    ``preferred`` maps a node with no current tree link to the parent it
+    held before it went dark (a stranded subtree remembered by
+    :class:`~repro.network.churn.DynamicMembership`). A re-admitted node
+    whose remembered link is valid under the new rings re-attaches to it —
+    so a subtree stranded by a bridge death snaps back wholesale when the
+    bridge rejoins, instead of scattering to nearest-distance parents.
+    Re-admission is still billed: it is a reattachment like any other.
     """
     levels = rings.levels
     connectivity = rings.connectivity
@@ -106,7 +117,18 @@ def repair_tree(
         if keeps:
             parents[node] = old_parent
         else:
-            parent = nearest_upstream_parent(rings, deployment, node)
+            parent = None
+            if old_parent is None and preferred is not None:
+                remembered = preferred.get(node)
+                if (
+                    remembered is not None
+                    and remembered in levels
+                    and levels[remembered] == levels[node] - 1
+                    and connectivity.has_edge(node, remembered)
+                ):
+                    parent = remembered
+            if parent is None:
+                parent = nearest_upstream_parent(rings, deployment, node)
             parents[node] = parent
             reattached.append((node, parent))
     removed = tuple(sorted(set(tree.nodes) - set(levels)))

@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError, TopologyError
 from repro.experiments.fig_churn import run_churn_timeline
 from repro.experiments.parallel import SweepRunner, SweepSpec
 from repro.network.churn import (
+    BirthDeathChurn,
     ChurnBatch,
     ChurnContext,
     DynamicMembership,
@@ -156,6 +157,150 @@ class TestChurnModels:
         with pytest.raises(ConfigurationError, match="bad churn spec"):
             build_churn_model("deaths:x:y")
         assert "blackout" in CHURN_MODELS
+
+    def test_birthdeath_spec(self):
+        model = build_churn_model("birthdeath:0.01:0.2:5")
+        assert model == BirthDeathChurn(
+            death_rate=0.01, birth_rate=0.2, seed=5
+        )
+        assert build_churn_model("birthdeath:0.01:0.2") == BirthDeathChurn(
+            death_rate=0.01, birth_rate=0.2
+        )
+        assert "birthdeath" in CHURN_MODELS
+
+    def test_birthdeath_window_invariance(self, context):
+        """One 30-epoch window nets the same state as three 10-epoch ones:
+        the blocked and per-epoch engines see identical churn."""
+        model = BirthDeathChurn(death_rate=0.05, birth_rate=0.3, seed=4)
+        whole = model.events_in(None, 30, context)
+        alive = set(context.alive)
+        start = None
+        for end in (10, 20, 30):
+            ctx = ChurnContext(
+                epoch=end,
+                epochs_elapsed=end,
+                alive=frozenset(alive),
+                deployment=context.deployment,
+                per_node_uj={},
+            )
+            batch = model.events_in(start, end, ctx)
+            alive.difference_update(batch.deaths)
+            alive.update(batch.joins)
+            start = end
+        assert set(context.alive) - set(whole.deaths) | set(
+            whole.joins
+        ) == alive
+
+    def test_birthdeath_turns_over_and_rejoins(self, context):
+        model = BirthDeathChurn(death_rate=0.1, birth_rate=0.5, seed=4)
+        batch = model.events_in(None, 30, context)
+        assert batch.deaths  # sustained death rate kills someone in 30 epochs
+        assert BASE_STATION not in batch.deaths
+        # A node that died earlier can be alive again by the window's end:
+        # replay one dead node's flips and check some window revives it.
+        dead = batch.deaths[0]
+        ctx = ChurnContext(
+            epoch=60,
+            epochs_elapsed=60,
+            alive=frozenset(set(context.alive) - set(batch.deaths)),
+            deployment=context.deployment,
+            per_node_uj={},
+        )
+        later = model.events_in(30, 60, ctx)
+        assert later.joins, "birth rate 0.5 revives dead nodes"
+        assert dead not in later.deaths
+
+    def test_birthdeath_validation(self):
+        with pytest.raises(ConfigurationError):
+            BirthDeathChurn(death_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            BirthDeathChurn(death_rate=0.1, birth_rate=-0.2)
+
+
+class TestDarkParentReadmission:
+    """Stranded subtrees snap back to their remembered parents on rejoin."""
+
+    def test_repair_prefers_remembered_parent(
+        self, small_scenario, small_tree
+    ):
+        rings = small_scenario.rings
+        deployment = small_scenario.deployment
+        # Pick a node with siblings under a non-base parent, pretend it
+        # went dark and came back: preferred routing restores the old link
+        # even when a different candidate is nearer.
+        candidates = [
+            node
+            for node, parent in small_tree.parents.items()
+            if parent != BASE_STATION
+            and node
+            != nearest_upstream_parent_probe(rings, deployment, node)
+        ]
+        assert candidates, "scenario has a node whose parent is not nearest"
+        node = candidates[0]
+        old_parent = small_tree.parents[node]
+        broken = dict(small_tree.parents)
+        del broken[node]
+        from repro.tree.structure import Tree
+
+        tree = Tree(parents=broken, root=BASE_STATION)
+        repaired, report = repair_tree(
+            tree, rings, deployment, preferred={node: old_parent}
+        )
+        assert repaired.parents[node] == old_parent
+        assert (node, old_parent) in report.reattached
+        # Without the memory, the same orphan scatters to the nearest.
+        scattered, _ = repair_tree(tree, rings, deployment)
+        assert scattered.parents[node] == nearest_upstream_parent_probe(
+            rings, deployment, node
+        )
+
+    def test_membership_remembers_through_blackout(self, small_scenario):
+        from repro.tree.construction import build_bushy_tree
+
+        tree = build_bushy_tree(small_scenario.rings, seed=11)
+        # Kill a mid-tree node with children: its subtree strands, then the
+        # bridge rejoins and the stranded children return to their parents.
+        children_of = {}
+        for child, parent in tree.parents.items():
+            children_of.setdefault(parent, []).append(child)
+        bridge = next(
+            node
+            for node, kids in children_of.items()
+            if node != BASE_STATION and kids
+        )
+        membership = DynamicMembership(
+            ScheduledChurn.of(
+                deaths=[(10, [bridge])], joins=[(30, [bridge])]
+            ),
+            small_scenario.deployment,
+            small_scenario.rings,
+            tree,
+        )
+        channel = Channel(
+            small_scenario.deployment, GlobalLoss(0.0), seed=1
+        )
+        update = membership.advance(10, 10, channel)
+        stranded = set(update.stranded)
+        remembered = dict(membership._dark_parents)
+        assert set(remembered) <= stranded
+        update = membership.advance(30, 30, channel)
+        assert bridge in update.joined
+        for node, parent in remembered.items():
+            # Each remembered node is back in the tree; those whose old
+            # link is valid again point at their remembered parent.
+            assert node in membership.tree.parents
+            if (
+                membership.rings.levels.get(parent)
+                == membership.rings.levels[node] - 1
+            ):
+                assert membership.tree.parents[node] == parent
+        assert not membership._dark_parents
+
+
+def nearest_upstream_parent_probe(rings, deployment, node):
+    from repro.tree.repair import nearest_upstream_parent
+
+    return nearest_upstream_parent(rings, deployment, node)
 
 
 class TestRestrictedRings:
