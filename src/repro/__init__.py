@@ -31,6 +31,24 @@ Drop ``queries`` for a classic single-query run (``aggregate="sum"`` or
 ``query="SELECT count, sum"`` — the multi-target one-liner expands into a
 workload).
 
+The same engine also runs as a **long-lived service**: one scenario
+executes continuously in epoch blocks and clients subscribe over HTTP
+while it runs — queries are admitted against per-message word budgets,
+folded into the live workload with subexpression sharing (two clients
+asking ``avg`` and ``count`` share one ``count`` slot, bit-exactly), and
+answered as a chunked NDJSON stream, one line per epoch::
+
+    repro serve --port 8377 --checkpoint-dir ckpt &
+    curl -sN -X POST --data 'SELECT avg, count' \\
+        http://127.0.0.1:8377/queries       # streams epoch records
+    curl -s http://127.0.0.1:8377/stats     # admission/planner/cache counters
+    curl -s -X POST http://127.0.0.1:8377/shutdown   # drain + checkpoint
+
+In-process, :class:`repro.service.AggregationServer` wraps the same
+engine (see :mod:`repro.service`); ``POST /run`` executes one-shot
+serialized configs through a shared thread-safe :class:`Session` with a
+bounded result LRU.
+
 Every name in a config (scheme, aggregate, failure model, topology,
 workload, churn model, frequent summary) resolves through the string-keyed
 registries of :mod:`repro.registry`; ``register_scheme`` /

@@ -83,6 +83,23 @@ class WorkloadReadings:
             if callable(hook):
                 hook(update)
 
+    # -- dynamic membership (the aggregation service mutates between
+    # blocks; see WorkloadAggregate.add_slot for the safety contract) ------
+
+    def add_component(self, fn: object) -> None:
+        """Append a query's reading stream as the new last slot."""
+        self._components = self._components + (fn,)
+
+    def remove_component(self, index: int) -> None:
+        """Drop the reading stream at ``index`` (workload slot order)."""
+        if not 0 <= index < len(self._components):
+            raise ConfigurationError(
+                f"no reading component at slot {index}"
+            )
+        self._components = (
+            self._components[:index] + self._components[index + 1 :]
+        )
+
 
 class WorkloadAggregate(CompositeAggregate):
     """N named queries computed in one shared aggregation wave.
@@ -112,6 +129,62 @@ class WorkloadAggregate(CompositeAggregate):
         self.name = "workload(" + "+".join(names) + ")"
         #: Per-query loss-free answers from the most recent :meth:`exact`.
         self.last_exact_evaluations: Optional[Tuple[float, ...]] = None
+
+    # -- dynamic membership ------------------------------------------------
+    #
+    # The aggregation service admits and evicts queries against a *running*
+    # workload. Because delivery draws are payload-independent and every
+    # slot's state lives in its own component, adding or removing a slot
+    # between epoch blocks cannot perturb the surviving queries' bytes.
+    # Safety contract: mutate only between ``EpochSimulator.run`` calls
+    # (block boundaries), and mutate the paired :class:`WorkloadReadings`
+    # in the same breath — slot order must stay aligned.
+
+    def slot_index(self, name: str) -> int:
+        """The workload-order slot of query ``name`` (raises if unknown)."""
+        try:
+            return self.workload_names.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"no query named {name!r} in {self.name}"
+            ) from None
+
+    def add_slot(self, name: str, aggregate: Aggregate) -> int:
+        """Admit ``aggregate`` as the new last slot; returns its index.
+
+        Stale per-epoch stashes are cleared: their tuples are sized to the
+        old slot count and the next evaluation repopulates them.
+        """
+        if name in self.workload_names:
+            raise ConfigurationError(
+                f"duplicate query name in workload: {name}"
+            )
+        self._aggregates = self._aggregates + (aggregate,)
+        self.workload_names = self.workload_names + (name,)
+        self._refresh_after_mutation()
+        return len(self._aggregates) - 1
+
+    def remove_slot(self, name: str) -> int:
+        """Evict query ``name``; returns the slot index it occupied.
+
+        The workload may become empty — callers (the service engine idles an
+        empty workload) must not run epochs until a slot is re-admitted.
+        """
+        index = self.slot_index(name)
+        self._aggregates = (
+            self._aggregates[:index] + self._aggregates[index + 1 :]
+        )
+        self.workload_names = (
+            self.workload_names[:index] + self.workload_names[index + 1 :]
+        )
+        self._refresh_after_mutation()
+        return index
+
+    def _refresh_after_mutation(self) -> None:
+        self._primary = 0
+        self.name = "workload(" + "+".join(self.workload_names) + ")"
+        self.last_evaluations = None
+        self.last_exact_evaluations = None
 
     # -- per-query local computation --------------------------------------
 

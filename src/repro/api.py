@@ -48,12 +48,14 @@ scheme and simulator — pinned by ``tests/test_api.py`` (and per query by
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import hashlib
 import itertools
 import json
 import os
 import pathlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -717,6 +719,117 @@ class QueryWorkload:
 # -- execution -------------------------------------------------------------
 
 
+@dataclass
+class Scenario:
+    """A config's resolved physical world, before any query binds to it.
+
+    The aggregation service builds one scenario and then folds a *changing*
+    query portfolio into it at block boundaries; ``run_config_result``
+    builds one and binds the config's own queries. Either way the pieces
+    are identical: deployment/rings from the registered topology, the
+    shared bushy tree, the reading source, the loss model (with the
+    topology's base loss composed in) and the scheme registry entry.
+    """
+
+    config: RunConfig
+    topology: object
+    tree: object
+    source: object
+    failure: object
+    entry: object
+
+    def build_scheme(self, aggregate):
+        """A fresh scheme instance over this scenario for ``aggregate``."""
+        return self.entry.builder(
+            SchemeContext(
+                deployment=self.topology.deployment,
+                rings=self.topology.rings,
+                tree=self.tree,
+                aggregate=aggregate,
+                threshold=self.config.threshold,
+                tree_attempts=self.config.tree_attempts,
+                use_batch=self.config.use_batch,
+                kernel_backend=(
+                    self.config.engine.backend
+                    if self.config.engine is not None
+                    else None
+                ),
+            )
+        )
+
+    def converge(self, scheme, readings) -> None:
+        """Stabilise an adaptive scheme (the paper's warm-up phase).
+
+        Adapts every epoch under the scenario seed, exactly as
+        ``run_config_result`` always has; non-adaptive schemes and
+        ``converge_epochs=0`` are no-ops.
+        """
+        if self.entry.adaptive and self.config.converge_epochs:
+            EpochSimulator(
+                self.topology.deployment,
+                self.failure,
+                scheme,
+                seed=self.config.scenario_seed,
+                adapt_interval=1,
+                use_blocked=self.config.use_blocked,
+            ).run(0, readings, warmup=self.config.converge_epochs)
+
+    def build_simulator(
+        self, scheme, checkpoint=None, audit=None, on_result=None
+    ) -> EpochSimulator:
+        """The measurement simulator, seeded and configured per the config."""
+        churn_model = build_churn_model(self.config.churn)
+        membership = None
+        if churn_model is not None:
+            membership = DynamicMembership(
+                churn_model,
+                self.topology.deployment,
+                self.topology.rings,
+                self.tree,
+            )
+        return EpochSimulator(
+            self.topology.deployment,
+            self.failure,
+            scheme,
+            seed=self.config.seed,
+            adapt_interval=(
+                self.config.adapt_interval if self.entry.adaptive else 0
+            ),
+            use_blocked=self.config.use_blocked,
+            membership=membership,
+            churn_interval=self.config.churn_interval or None,
+            faults=build_fault_plan(self.config.faults),
+            auditor=audit,
+            checkpoint=checkpoint,
+            on_result=on_result,
+        )
+
+
+def build_scenario(config: RunConfig) -> Scenario:
+    """Resolve a config's scenario: topology, tree, readings, loss, scheme.
+
+    Construction is deterministic (``scenario_seed`` keys it); queries are
+    *not* bound — callers pair the scenario with whatever aggregate they
+    are serving (the config's own, or the service's live workload).
+    """
+    topology = TOPOLOGIES.resolve(config.topology)(
+        num_sensors=config.num_sensors, seed=config.scenario_seed
+    )
+    tree = build_bushy_tree(topology.rings, seed=config.scenario_seed)
+    failure = build_failure_model(config.failure)
+    base_loss = getattr(topology, "base_loss", None)
+    if base_loss:
+        failure = ComposedLoss(base_rates=base_loss, failure=failure)
+    return Scenario(
+        config=config,
+        topology=topology,
+        tree=tree,
+        source=build_reading(config.reading),
+        failure=failure,
+        entry=SCHEMES.resolve(config.scheme),
+    )
+
+
 def run_config_result(
     config: RunConfig, checkpoint=None, audit=None
 ) -> RunResult:
@@ -746,65 +859,20 @@ def run_config_result(
     """
     config = _single_query_equivalent(config)
     workload = QueryWorkload.from_config(config)
-    topology = TOPOLOGIES.resolve(config.topology)(
-        num_sensors=config.num_sensors, seed=config.scenario_seed
-    )
-    tree = build_bushy_tree(topology.rings, seed=config.scenario_seed)
-    readings = build_reading(config.reading)
+    scenario = build_scenario(config)
+    readings = scenario.source
     if workload is not None:
         aggregate, readings = workload.build(readings)
     elif config.query is not None:
         aggregate, readings = parse_query(config.query).build(readings)
     else:
         aggregate = build_aggregate(config.aggregate)
-    entry = SCHEMES.resolve(config.scheme)
-    scheme = entry.builder(
-        SchemeContext(
-            deployment=topology.deployment,
-            rings=topology.rings,
-            tree=tree,
-            aggregate=aggregate,
-            threshold=config.threshold,
-            tree_attempts=config.tree_attempts,
-            use_batch=config.use_batch,
-            kernel_backend=(
-                config.engine.backend if config.engine is not None else None
-            ),
-        )
-    )
-    failure = build_failure_model(config.failure)
-    base_loss = getattr(topology, "base_loss", None)
-    if base_loss:
-        failure = ComposedLoss(base_rates=base_loss, failure=failure)
-    if entry.adaptive and config.converge_epochs:
-        EpochSimulator(
-            topology.deployment,
-            failure,
-            scheme,
-            seed=config.scenario_seed,
-            adapt_interval=1,
-            use_blocked=config.use_blocked,
-        ).run(0, readings, warmup=config.converge_epochs)
+    scheme = scenario.build_scheme(aggregate)
+    scenario.converge(scheme, readings)
     # Churn applies to the measurement run only: the paper stabilises
     # topologies over a healthy network, then the scenario perturbs it.
-    churn_model = build_churn_model(config.churn)
-    membership = None
-    if churn_model is not None:
-        membership = DynamicMembership(
-            churn_model, topology.deployment, topology.rings, tree
-        )
-    simulator = EpochSimulator(
-        topology.deployment,
-        failure,
-        scheme,
-        seed=config.seed,
-        adapt_interval=config.adapt_interval if entry.adaptive else 0,
-        use_blocked=config.use_blocked,
-        membership=membership,
-        churn_interval=config.churn_interval or None,
-        faults=build_fault_plan(config.faults),
-        auditor=audit,
-        checkpoint=checkpoint,
+    simulator = scenario.build_simulator(
+        scheme, checkpoint=checkpoint, audit=audit
     )
     return simulator.run(
         config.epochs,
@@ -1072,10 +1140,49 @@ class Session:
         cache_dir: directory of JSON result files keyed by
             :func:`config_digest`; ``None`` disables caching. Cached and
             fresh executions of a config are byte-identical.
+        memory_cache: capacity of the in-memory LRU of results keyed by
+            :func:`config_digest`; ``None`` (the default) disables it, so
+            short-lived sessions behave exactly as before. Long-running
+            processes (the aggregation service) set a bound: without one
+            the digest cache would grow without limit. Identical configs
+            fan out of the LRU without re-execution; hit/miss/eviction
+            counters surface via :meth:`cache_stats` (and the service's
+            ``GET /stats``).
+
+    A session is safe to share across threads: the LRU and the disk cache
+    are guarded by one lock, and concurrent :meth:`run` calls for the same
+    digest return digest-identical results (the run itself happens outside
+    the lock — at worst two threads race to compute the same entry, and
+    either result is byte-identical by the determinism contract).
     """
 
     jobs: Optional[int] = None
     cache_dir: Optional[Union[str, pathlib.Path]] = None
+    memory_cache: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.memory_cache is not None and self.memory_cache < 1:
+            raise ConfigurationError(
+                "memory_cache must be a positive capacity or None"
+            )
+        self._lock = threading.Lock()
+        self._memory: "collections.OrderedDict[str, RunResult]" = (
+            collections.OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters and occupancy of the in-memory LRU."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._memory),
+                "capacity": self.memory_cache,
+            }
 
     def run(self, config: RunConfig) -> RunReport:
         """Execute one config (through the cache, when configured)."""
@@ -1143,13 +1250,39 @@ class Session:
 
     # -- internals --------------------------------------------------------
 
-    def _path(self, config: RunConfig) -> Optional[pathlib.Path]:
+    def _path(self, digest: str) -> Optional[pathlib.Path]:
         if self.cache_dir is None:
             return None
-        return pathlib.Path(self.cache_dir) / f"{config_digest(config)}.json"
+        return pathlib.Path(self.cache_dir) / f"{digest}.json"
+
+    def _remember(self, digest: str, result: RunResult) -> None:
+        """Insert into the LRU, evicting the least recently used entry."""
+        if self.memory_cache is None:
+            return
+        with self._lock:
+            self._memory[digest] = result
+            self._memory.move_to_end(digest)
+            while len(self._memory) > self.memory_cache:
+                self._memory.popitem(last=False)
+                self._evictions += 1
 
     def _load(self, config: RunConfig) -> Optional[RunResult]:
-        path = self._path(config)
+        digest = config_digest(config)
+        if self.memory_cache is not None:
+            with self._lock:
+                cached = self._memory.get(digest)
+                if cached is not None:
+                    self._memory.move_to_end(digest)
+                    self._hits += 1
+                    return cached
+                self._misses += 1
+        result = self._load_disk(digest)
+        if result is not None:
+            self._remember(digest, result)
+        return result
+
+    def _load_disk(self, digest: str) -> Optional[RunResult]:
+        path = self._path(digest)
         if path is None or not path.exists():
             return None
         from repro.errors import ReproError
@@ -1165,19 +1298,24 @@ class Session:
             return None
 
     def _store(self, config: RunConfig, result: RunResult) -> None:
-        path = self._path(config)
+        digest = config_digest(config)
+        self._remember(digest, result)
+        path = self._path(digest)
         if path is None:
             return
         from repro.serialization import to_jsonable
 
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "config": config.to_jsonable(),
             "result": to_jsonable(result),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
+        # One writer at a time: concurrent threads storing the same digest
+        # would race on the shared .tmp name.
+        with self._lock:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
 
 
 # -- named figure experiments ---------------------------------------------

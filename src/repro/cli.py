@@ -338,6 +338,70 @@ def _build_parser() -> argparse.ArgumentParser:
             "checkpoint at or past this epoch offset"
         ),
     )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="long-running aggregation service over one shared scenario",
+    )
+    serve_parser.add_argument(
+        "--config",
+        default=None,
+        help=(
+            "RunConfig JSON file describing the served scenario "
+            "('-' for stdin); defaults to TD over 60 sensors with "
+            "global:0.2 loss and uniform readings"
+        ),
+    )
+    serve_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help="override any scenario field (repeatable), e.g. "
+        "--set num_sensors=40 --set failure=none",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve_parser.add_argument(
+        "--budget-words",
+        type=int,
+        default=256,
+        help="per-message word budget for admission control",
+    )
+    serve_parser.add_argument(
+        "--block-epochs",
+        type=int,
+        default=None,
+        help=(
+            "epochs per execution block (admission/eviction granularity); "
+            "must be a multiple of the scheme's adaptation interval — "
+            "defaults to one interval"
+        ),
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir",
+        type=pathlib.Path,
+        default=None,
+        help="directory for the final checkpoint written on shutdown",
+    )
+    serve_parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=128,
+        help="bound of the shared session's in-memory result LRU",
+    )
+    serve_parser.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep between blocks (0 = run epochs as fast as possible)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log HTTP requests to stderr"
+    )
     return parser
 
 
@@ -544,6 +608,71 @@ def _run_config(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    from repro.service import AggregationServer
+
+    try:
+        if args.config is not None:
+            if args.config == "-":
+                text = sys.stdin.read()
+            else:
+                text = pathlib.Path(args.config).read_text()
+            config = RunConfig.from_json(text)
+        else:
+            config = RunConfig(
+                scheme="TD",
+                failure="global:0.2",
+                num_sensors=60,
+                converge_epochs=20,
+                reading="uniform:10:100:0",
+                epochs=0,
+            )
+        overrides: Dict[str, object] = {}
+        for item in args.overrides:
+            key, separator, raw = item.partition("=")
+            if not separator:
+                raise ConfigurationError(
+                    f"--set expects KEY=VALUE, got {item!r}"
+                )
+            overrides[key] = _coerce_field(key, raw)
+        if overrides:
+            config = config.replace(**overrides)
+        server = AggregationServer(
+            config,
+            host=args.host,
+            port=args.port,
+            budget_words=args.budget_words,
+            block_epochs=args.block_epochs,
+            checkpoint_dir=(
+                str(args.checkpoint_dir)
+                if args.checkpoint_dir is not None
+                else None
+            ),
+            cache_entries=args.cache_entries,
+            pace_seconds=args.pace,
+            verbose=args.verbose,
+        )
+    except OSError as error:
+        print(f"cannot start service: {error}", file=sys.stderr)
+        return 2
+    except ConfigurationError as error:
+        print(f"invalid service configuration: {error}", file=sys.stderr)
+        return 2
+    host, port = server.address
+    print(
+        f"== serving {config.scheme} x {config.num_sensors} sensors "
+        f"({config.failure}) on http://{host}:{port}",
+        flush=True,
+    )
+    print(
+        "   POST /queries (SELECT ... | query-submit | run-config), "
+        "POST /run, GET /stats, POST /shutdown",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -556,6 +685,8 @@ def main(argv=None) -> int:
         return _describe(args)
     if args.command == "run-config":
         return _run_config(args)
+    if args.command == "serve":
+        return _serve(args)
     quick = not args.full
     if args.experiment == "all":
         for name in EXPERIMENTS:

@@ -215,6 +215,12 @@ class EpochSimulator:
             it restores a stored checkpoint before the first epoch, and the
             resumed run's :class:`RunResult` is byte-identical to the
             uninterrupted run's.
+        on_result: optional observer called with each :class:`EpochResult`
+            as it is recorded (measurement epochs only, in epoch order) —
+            the aggregation service's streaming tap. Pure observation: it
+            runs after the result is appended, cannot influence draws or
+            adaptation, and (unlike ``on_epoch``) leaves epoch blocking
+            enabled. ``None`` changes nothing.
     """
 
     #: Upper bound on one block's epoch span (bounds the delivery-plan
@@ -237,6 +243,7 @@ class EpochSimulator:
         faults=None,
         auditor=None,
         checkpoint=None,
+        on_result: Optional[Callable[["EpochResult"], None]] = None,
     ) -> None:
         if adapt_interval < 0:
             raise ConfigurationError("adapt_interval cannot be negative")
@@ -261,6 +268,7 @@ class EpochSimulator:
         self._seed = seed
         self._auditor = auditor
         self._checkpoint = checkpoint
+        self._on_result = on_result
         self._fingerprint: Optional[Dict[str, object]] = None
         if faults is not None or auditor is not None:
             # Lazy import: repro.chaos.auditor/checkpoint import back into
@@ -566,14 +574,15 @@ class EpochSimulator:
             truths = aggregate.last_exact_evaluations
             if truths is not None:
                 extra["workload_truths"] = list(truths)
-        results.append(
-            EpochResult(
-                epoch=epoch,
-                estimate=outcome.estimate,
-                true_value=true_value,
-                contributing=outcome.contributing,
-                contributing_estimate=outcome.contributing_estimate,
-                log=log,
-                extra=extra,
-            )
+        result = EpochResult(
+            epoch=epoch,
+            estimate=outcome.estimate,
+            true_value=true_value,
+            contributing=outcome.contributing,
+            contributing_estimate=outcome.contributing_estimate,
+            log=log,
+            extra=extra,
         )
+        results.append(result)
+        if self._on_result is not None:
+            self._on_result(result)

@@ -60,6 +60,7 @@ custom components at module import time if they must survive ``jobs > 1``.
 
 from __future__ import annotations
 
+import threading
 import types
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
@@ -118,36 +119,47 @@ class Registry(Generic[T]):
     Entries keep registration order (which fixes, for example, the order
     ``build_schemes`` assembles scheme comparisons in). Re-registering a
     name replaces the entry — tests and notebooks can shadow a built-in.
+
+    Lookups and mutation are lock-guarded: the aggregation service resolves
+    components from HTTP worker threads while a test (or a plugin loaded
+    late) may be registering, and CPython gives no ordering guarantee for a
+    dict being resized mid-iteration (``available`` snapshots under the
+    lock for exactly that reason).
     """
 
     def __init__(self, kind: str) -> None:
         self.kind = kind
         self._entries: Dict[str, T] = {}
+        self._lock = threading.RLock()
 
     def register(self, name: str, entry: T) -> T:
         if not name or not isinstance(name, str):
             raise ConfigurationError(
                 f"{self.kind} names must be non-empty strings, got {name!r}"
             )
-        self._entries[name] = entry
+        with self._lock:
+            self._entries[name] = entry
         return entry
 
     def unregister(self, name: str) -> None:
         """Remove an entry (tests shadowing built-ins clean up with this)."""
-        self._entries.pop(name, None)
+        with self._lock:
+            self._entries.pop(name, None)
 
     def resolve(self, name: str) -> T:
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown {self.kind} {name!r}; "
-                f"available: {', '.join(self.available())}"
-            ) from None
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown {self.kind} {name!r}; "
+                    f"available: {', '.join(self.available())}"
+                ) from None
 
     def available(self) -> Tuple[str, ...]:
         """Registered names, in registration order."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
 
     def view(self) -> types.MappingProxyType:
         """A live read-only mapping view (name -> entry)."""

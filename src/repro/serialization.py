@@ -345,8 +345,15 @@ def register_codec(
 
 
 def _bootstrap_api() -> None:
-    """Load :mod:`repro.api` so its codecs self-register (idempotent)."""
+    """Load the self-registering codec modules (idempotent).
+
+    :mod:`repro.api` registers the run-config/run-report codecs;
+    :mod:`repro.service.streams` the aggregation service's wire records
+    (``query-submit``, ``epoch-record``). Both join the format without
+    this module importing them at import time.
+    """
     import repro.api  # noqa: F401  (import-for-side-effect)
+    import repro.service.streams  # noqa: F401  (import-for-side-effect)
 
 
 def to_jsonable(obj: Any) -> Dict[str, Any]:

@@ -1,0 +1,70 @@
+"""Aggregation-as-a-service: a long-running query server over one scenario.
+
+The paper's core economy — many aggregate queries answered cheaply over
+one shared in-network pass — turned into a service: one scenario runs
+continuously in adaptation-interval blocks, clients POST queries over
+HTTP, an admission controller fits them into per-message word budgets
+(TinyDB packet-train style), a planner folds them into the live
+multi-query workload (sharing ``sum``/``count`` subexpressions across
+clients — an ``avg`` subscription is served bit-exactly from shared
+``sum`` and ``count`` slots), and per-epoch results stream back as
+NDJSON. Quickstart::
+
+    repro serve --port 8377 &
+    curl -sN -X POST --data 'SELECT avg, count' \\
+        http://127.0.0.1:8377/queries      # NDJSON: one line per epoch
+    curl -s http://127.0.0.1:8377/stats    # admission/planner/cache counters
+    curl -s -X POST http://127.0.0.1:8377/shutdown
+
+or in-process::
+
+    from repro import RunConfig
+    from repro.service import AggregationServer
+
+    server = AggregationServer(RunConfig(scheme="TD", failure="global:0.2",
+                                         num_sensors=60, converge_epochs=20))
+    host, port = server.start()
+    # POST /queries, /run; GET /stats, /health ...
+    server.close()   # drains the in-flight block, writes the checkpoint
+
+Layering: :mod:`~repro.service.streams` (wire records + subscriber
+queues) → :mod:`~repro.service.admission` (word budgets) →
+:mod:`~repro.service.planner` (decomposition, refcounted slot sharing) →
+:mod:`~repro.service.engine` (the block loop over the shared simulator)
+→ :mod:`~repro.service.server` (stdlib HTTP front end). Everything rides
+the same engine one-shot runs use; a subscription's per-epoch results are
+byte-identical to the equivalent ``Session.run`` workload.
+"""
+
+from repro.service.admission import Admission, AdmissionController, AdmissionError
+from repro.service.engine import (
+    AggregationService,
+    ScenarioMismatch,
+    scenario_fingerprint,
+)
+from repro.service.planner import PlannedQuery, QueryPlanner
+from repro.service.server import AggregationServer
+from repro.service.streams import (
+    EpochRecord,
+    QueryAnswer,
+    QuerySubmit,
+    Subscriber,
+    parse_submission,
+)
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "AdmissionError",
+    "AggregationServer",
+    "AggregationService",
+    "EpochRecord",
+    "PlannedQuery",
+    "QueryAnswer",
+    "QueryPlanner",
+    "QuerySubmit",
+    "ScenarioMismatch",
+    "Subscriber",
+    "parse_submission",
+    "scenario_fingerprint",
+]

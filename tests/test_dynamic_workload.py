@@ -1,0 +1,175 @@
+"""Dynamic workload membership: admissions and evictions at block
+boundaries must not perturb surviving queries.
+
+The physical argument: delivery draws are keyed hashes of
+``(seed, sender, receiver, epoch, attempt)`` — payload-independent — and
+every piggyback slot's state is per-slot, so adding or removing a slot
+between blocks changes the *message contents* but not the *delivery
+pattern* or any other slot's arithmetic. These suites check the strong
+form of that claim on the live service engine:
+
+* a query that outlives a departing co-tenant produces **byte-identical**
+  per-epoch results to a service that never admitted the departed query;
+* a query admitted at a later boundary produces byte-identical results
+  (over its own epochs) to one subscribed from the start;
+* the service engine's per-epoch answers equal the one-shot
+  ``Session.run`` of the equivalent workload config — the service is the
+  same engine, not a parallel implementation.
+
+TAG covers the non-adaptive path; TD covers the adaptive path (blocks
+aligned to the adaptation interval).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import QuerySpec, RunConfig, Session
+from repro.service import AggregationService
+from repro.service.streams import QuerySubmit
+
+
+def _config(scheme="TAG", **overrides) -> RunConfig:
+    merged = dict(
+        scheme=scheme,
+        failure="global:0.2",
+        num_sensors=24,
+        converge_epochs=0 if scheme == "TAG" else 10,
+        reading="uniform:10:100:0",
+        epochs=0,
+    )
+    merged.update(overrides)
+    return RunConfig(**merged)
+
+
+def _submit(queries, epochs=None) -> QuerySubmit:
+    specs = tuple(
+        QuerySpec(name=name, query=query) for name, query in queries
+    )
+    return QuerySubmit(queries=specs, epochs=epochs)
+
+
+def _records(subscriber):
+    """Drain a subscriber's queued records without blocking."""
+    collected = []
+    for item in subscriber.records(timeout=0.05):
+        if isinstance(item, str):
+            break
+        collected.append(item)
+    return collected
+
+
+def _estimates(records, name):
+    return [record.results[name].estimate for record in records]
+
+
+def _epochs(records):
+    return [record.epoch for record in records]
+
+
+class TestDeparture:
+    @pytest.mark.parametrize("scheme", ["TAG", "TD"])
+    def test_departure_leaves_survivor_bytes_untouched(self, scheme):
+        config = _config(scheme)
+
+        # Dynamic: count subscribes open-ended, sum leaves after block 1.
+        dynamic = AggregationService(config)
+        survivor = dynamic.subscribe(_submit([("c", "SELECT count")]))
+        block = dynamic.block_epochs
+        departing = dynamic.subscribe(
+            _submit([("s", "SELECT sum")], epochs=block)
+        )
+        assert dynamic.run_block() == block  # both queries live
+        assert departing.done  # limit reached: released at next boundary
+        assert dynamic.run_block() == block  # survivor only
+        dynamic_records = _records(survivor)
+
+        # Static: a service that never admitted sum.
+        static = AggregationService(config)
+        only = static.subscribe(_submit([("c", "SELECT count")]))
+        assert static.run_block() == block
+        assert static.run_block() == block
+        static_records = _records(only)
+
+        assert _epochs(dynamic_records) == _epochs(static_records)
+        assert _estimates(dynamic_records, "c") == _estimates(
+            static_records, "c"
+        )
+        # The departed query's slot is really gone.
+        assert dynamic.stats()["planner"]["keys"] == ["SELECT count"]
+
+    def test_workload_may_empty_and_refill(self):
+        service = AggregationService(_config())
+        block = service.block_epochs
+        first = service.subscribe(_submit([("c", "SELECT count")], epochs=block))
+        assert service.run_block() == block
+        assert first.done
+        # All subscribers gone: the boundary empties the workload and the
+        # engine idles instead of running dead epochs.
+        assert service.run_block() == 0
+        # A later arrival picks up at the cursor, on the same scenario.
+        second = service.subscribe(_submit([("c", "SELECT count")], epochs=block))
+        assert service.run_block() == block
+        records = _records(second)
+        assert len(records) == block
+        assert records[0].epoch == config_start(service) + block
+        assert service.stats()["engine"]["epochs_run"] == 2 * block
+
+
+def config_start(service) -> int:
+    return service.config.start_epoch
+
+
+class TestArrival:
+    @pytest.mark.parametrize("scheme", ["TAG", "TD"])
+    def test_late_arrival_matches_day_one_subscriber(self, scheme):
+        config = _config(scheme)
+
+        # Dynamic: count from the start, sum admitted at the boundary.
+        dynamic = AggregationService(config)
+        dynamic.subscribe(_submit([("c", "SELECT count")]))
+        block = dynamic.block_epochs
+        assert dynamic.run_block() == block
+        late = dynamic.subscribe(_submit([("s", "SELECT sum")]))
+        assert dynamic.run_block() == block
+        late_records = _records(late)
+
+        # Static: sum subscribed from the very first block.
+        static = AggregationService(config)
+        early = static.subscribe(_submit([("s", "SELECT sum")]))
+        assert static.run_block() == block
+        assert static.run_block() == block
+        early_records = _records(early)
+
+        # Over the late subscriber's own epochs (block 2), its results are
+        # byte-identical to the day-one subscription's.
+        tail = [r for r in early_records if r.epoch >= late_records[0].epoch]
+        assert _epochs(late_records) == _epochs(tail)
+        assert _estimates(late_records, "s") == _estimates(tail, "s")
+
+
+class TestSessionEquivalence:
+    @pytest.mark.parametrize("scheme", ["TAG", "TD"])
+    def test_service_answers_equal_one_shot_workload_run(self, scheme):
+        config = _config(scheme)
+        service = AggregationService(config)
+        block = service.block_epochs
+        subscriber = service.subscribe(
+            _submit([("mean", "SELECT avg"), ("n", "SELECT count")])
+        )
+        assert service.run_block() == block
+        records = _records(subscriber)
+
+        workload = config.replace(
+            queries=[
+                {"name": "mean", "query": "SELECT avg"},
+                {"name": "n", "query": "SELECT count"},
+            ],
+            epochs=block,
+        )
+        report = Session().run(workload)
+
+        assert _estimates(records, "mean") == report.query("mean").estimates
+        assert _estimates(records, "n") == report.query("n").estimates
+        truths = [record.results["mean"].truth for record in records]
+        assert truths == report.query("mean").true_values
