@@ -20,7 +20,7 @@ Emits a JSON perf record (``engine_perf.json`` is always the latest;
 across PRs). Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--out PATH]
-        [--append] [--min-blocked-speedup X] [--profile]
+        [--append] [--min-blocked-speedup X] [--profile] [--mem]
 
 or through pytest (records both files). ``--profile`` instead runs each
 scheme's blocked Fig-6 timeline under cProfile and records the top-20
@@ -429,6 +429,33 @@ def measure_workload_amortization(
     }
 
 
+def start_memory_trace() -> None:
+    """Begin allocation tracing for a ``--mem`` run (tracemalloc)."""
+    import tracemalloc
+
+    tracemalloc.start()
+
+
+def memory_snapshot() -> dict:
+    """Peak allocation footprint of the traced run, plus the OS high-water.
+
+    ``tracemalloc`` counts python-visible allocations (numpy buffers
+    included), so it is the apples-to-apples number across hosts;
+    ``ru_maxrss`` is the kernel's resident high-water mark for the whole
+    process (interpreter and imports included), in kilobytes on Linux.
+    """
+    import resource
+    import tracemalloc
+
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "tracemalloc_peak_bytes": peak,
+        "tracemalloc_peak_mb": round(peak / 1e6, 3),
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
 def run_benchmark(quick: bool = False) -> dict:
     """The full perf record: epoch throughput, blocked timeline, sweeps.
 
@@ -524,6 +551,15 @@ def main() -> int:
         ),
     )
     parser.add_argument(
+        "--mem",
+        action="store_true",
+        help=(
+            "trace allocations (tracemalloc) and add a 'memory' block — "
+            "peak traced bytes plus the OS ru_maxrss high-water — to the "
+            "perf JSON record"
+        ),
+    )
+    parser.add_argument(
         "--workload",
         action="store_true",
         help=(
@@ -535,6 +571,8 @@ def main() -> int:
         ),
     )
     args = parser.parse_args()
+    if args.mem:
+        start_memory_trace()
     if args.profile:
         record = {
             "benchmark": "engine_profile",
@@ -546,6 +584,8 @@ def main() -> int:
                 epochs=40 if args.quick else 100,
             ),
         }
+        if args.mem:
+            record["memory"] = memory_snapshot()
         text = json.dumps(record, indent=2)
         print(text)
         out = args.out or (
@@ -565,6 +605,8 @@ def main() -> int:
                 epochs=20 if args.quick else 40,
             ),
         }
+        if args.mem:
+            record["memory"] = memory_snapshot()
         text = json.dumps(record, indent=2)
         print(text)
         out = args.out or (
@@ -585,6 +627,8 @@ def main() -> int:
             return 1
         return 0
     record = run_benchmark(quick=args.quick)
+    if args.mem:
+        record["memory"] = memory_snapshot()
     text = json.dumps(record, indent=2)
     print(text)
     if args.out is not None:

@@ -65,8 +65,14 @@ from repro.errors import ConfigurationError
 from repro.kernels import validate_backend_name
 from repro.network.churn import DynamicMembership
 from repro.network.failures import ComposedLoss
-from repro.network.simulator import EpochResult, EpochSimulator, RunResult
+from repro.network.simulator import (
+    EpochResult,
+    EpochSimulator,
+    RunResult,
+    _parse_retention,
+)
 from repro.query import parse_queries, parse_query
+from repro.storage import validate_store_spec
 from repro.registry import (
     AGGREGATES,
     SCHEMES,
@@ -85,10 +91,11 @@ from repro.tree.construction import build_bushy_tree
 #: v2 added the dynamic-topology fields (``churn``, ``churn_interval``);
 #: v3 added multi-query workloads (the ``queries`` field); v4 added the
 #: execution-engine options (the ``engine`` field); v5 added deterministic
-#: fault injection (the ``faults`` field). Configs without the newer
-#: fields still encode as the older payloads — every pre-existing digest
-#: and cache entry stays valid.
-CONFIG_SCHEMA_VERSION = 5
+#: fault injection (the ``faults`` field); v6 added the scale tier (the
+#: ``retention``/``storage`` fields and ``engine.state``). Configs without
+#: the newer fields still encode as the older payloads — every
+#: pre-existing digest and cache entry stays valid.
+CONFIG_SCHEMA_VERSION = 6
 
 #: Version of the run-result cache keyed by :func:`config_digest`. Bumped
 #: to 2 when cache keys moved from the ad-hoc SweepSpec encoding to the
@@ -118,9 +125,17 @@ class EngineOptions:
             the ``pure`` default at run time. Validated against the
             backend *registry* only — naming ``numba`` on a host without
             numba is a valid config that fails loudly when run.
+        state: node-state tier for the scenario's deployment and rings:
+            ``dict`` (the seed representation — per-node dicts, the
+            byte-identity oracle) or ``packed`` (id-indexed ndarrays
+            behind the same API; the memory-lean tier that makes
+            100k-node networks buildable). ``None`` means ``dict``. Like
+            every engine option, result-neutral by invariant — the scale
+            suite pins packed runs byte-identical to dict runs.
     """
 
     backend: Optional[str] = None
+    state: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -130,11 +145,18 @@ class EngineOptions:
                     f"{self.backend!r} ({type(self.backend).__name__})"
                 )
             validate_backend_name(self.backend)
+        if self.state is not None and self.state not in ("dict", "packed"):
+            raise ConfigurationError(
+                "engine.state expects 'dict' or 'packed', got "
+                f"{self.state!r}"
+            )
 
     def to_jsonable(self) -> Dict[str, object]:
         payload: Dict[str, object] = {}
         if self.backend is not None:
             payload["backend"] = self.backend
+        if self.state is not None:
+            payload["state"] = self.state
         return payload
 
     @classmethod
@@ -144,14 +166,14 @@ class EngineOptions:
                 "'engine' must be an object of engine options, got "
                 f"{type(data).__name__}"
             )
-        unknown = sorted(set(data) - {"backend"})
+        unknown = sorted(set(data) - {"backend", "state"})
         if unknown:
             raise ConfigurationError(
                 "unknown engine-option keys: "
                 + ", ".join(repr(key) for key in unknown)
-                + "; expected keys: 'backend'"
+                + "; expected keys: 'backend', 'state'"
             )
-        return cls(backend=data.get("backend"))
+        return cls(backend=data.get("backend"), state=data.get("state"))
 
 
 @dataclass(frozen=True)
@@ -350,6 +372,20 @@ class RunConfig:
             means the chaos hooks stay disengaged and the run is
             byte-identical to a pre-fault build; only configs that set the
             field encode it (schema v5).
+        retention: which recorded epochs the run keeps in RAM — ``all``
+            (the default: full timeline, byte-identical to the
+            pre-retention schema), ``window:N`` (the last N, drop-oldest)
+            or ``stream`` (none). Non-``all`` runs carry streaming
+            summary stats on the result so RMS error and contributing
+            fractions still cover every measured epoch. Limited to
+            single-query configs: workload splitting needs the full
+            timeline. Only non-default values encode (schema v6).
+        storage: optional result-store spec (``memory``, ``jsonl:DIR``,
+            ``sqlite:PATH``) — every recorded epoch is appended to the
+            store as it streams past, keyed by :func:`config_digest`, and
+            ``RunReport.load_epochs`` reloads the full timeline lazily
+            even when retention dropped it from RAM. Only set values
+            encode (schema v6).
     """
 
     scheme: str
@@ -375,6 +411,8 @@ class RunConfig:
     churn_interval: int = 0
     engine: Optional[EngineOptions] = None
     faults: Optional[Tuple[str, ...]] = None
+    retention: str = "all"
+    storage: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.faults is not None:
@@ -429,6 +467,27 @@ class RunConfig:
             parse_queries(self.query)
         else:
             build_aggregate(self.aggregate)
+        _parse_retention(self.retention)  # validate eagerly
+        if self.retention != "all":
+            multi_target = (
+                self.query is not None
+                and len(parse_queries(self.query)) > 1
+            )
+            if self.queries is not None and len(self.queries) > 1:
+                multi_target = True
+            if multi_target:
+                raise ConfigurationError(
+                    "retention policies other than 'all' need the full "
+                    "timeline a workload split consumes; multi-query "
+                    "configs must keep retention='all'"
+                )
+        if self.storage is not None:
+            if not isinstance(self.storage, str):
+                raise ConfigurationError(
+                    "'storage' expects a store spec string, got "
+                    f"{self.storage!r} ({type(self.storage).__name__})"
+                )
+            validate_store_spec(self.storage)
         if self.num_sensors < 1:
             raise ConfigurationError("num_sensors must be at least 1")
         if min(self.epochs, self.warmup, self.converge_epochs) < 0:
@@ -458,7 +517,13 @@ class RunConfig:
         multi_target = (
             self.query is not None and len(parse_queries(self.query)) > 1
         )
-        if self.faults is not None:
+        if (
+            self.retention != "all"
+            or self.storage is not None
+            or (self.engine is not None and self.engine.state is not None)
+        ):
+            version = 6
+        elif self.faults is not None:
             version = 5
         elif self.engine is not None:
             version = 4
@@ -483,6 +548,10 @@ class RunConfig:
             del payload["faults"]
         else:
             payload["faults"] = list(self.faults)
+        if self.retention == "all":
+            del payload["retention"]
+        if self.storage is None:
+            del payload["storage"]
         return payload
 
     @classmethod
@@ -802,6 +871,7 @@ class Scenario:
             auditor=audit,
             checkpoint=checkpoint,
             on_result=on_result,
+            retention=self.config.retention,
         )
 
 
@@ -811,10 +881,31 @@ def build_scenario(config: RunConfig) -> Scenario:
     Construction is deterministic (``scenario_seed`` keys it); queries are
     *not* bound — callers pair the scenario with whatever aggregate they
     are serving (the config's own, or the service's live workload).
+
+    With ``engine.state == "packed"`` the node state is built on the
+    packed ndarray tier: array-natively for the synthetic families, or by
+    converting the registered builder's dict-shaped result for everything
+    else. Either way the packed scenario is byte-identical to the dict
+    one — the representation is an engine choice, never a result choice.
     """
-    topology = TOPOLOGIES.resolve(config.topology)(
-        num_sensors=config.num_sensors, seed=config.scenario_seed
-    )
+    state = config.engine.state if config.engine is not None else None
+    if state == "packed":
+        from repro.network.packed import build_packed_topology, pack_topology
+
+        topology = build_packed_topology(
+            config.topology, config.num_sensors, config.scenario_seed
+        )
+        if topology is None:
+            topology = pack_topology(
+                TOPOLOGIES.resolve(config.topology)(
+                    num_sensors=config.num_sensors,
+                    seed=config.scenario_seed,
+                )
+            )
+    else:
+        topology = TOPOLOGIES.resolve(config.topology)(
+            num_sensors=config.num_sensors, seed=config.scenario_seed
+        )
     tree = build_bushy_tree(topology.rings, seed=config.scenario_seed)
     failure = build_failure_model(config.failure)
     base_loss = getattr(topology, "base_loss", None)
@@ -869,17 +960,34 @@ def run_config_result(
         aggregate = build_aggregate(config.aggregate)
     scheme = scenario.build_scheme(aggregate)
     scenario.converge(scheme, readings)
+    writer = None
+    if config.storage is not None:
+        from repro.storage import open_writer
+
+        # A checkpoint-resumed run keeps the epochs the interrupted run
+        # already spilled and appends after them; a fresh run replaces.
+        resuming = checkpoint is not None and checkpoint.resume
+        writer = open_writer(
+            config.storage, config_digest(config), append=resuming
+        )
     # Churn applies to the measurement run only: the paper stabilises
     # topologies over a healthy network, then the scenario perturbs it.
     simulator = scenario.build_simulator(
-        scheme, checkpoint=checkpoint, audit=audit
+        scheme,
+        checkpoint=checkpoint,
+        audit=audit,
+        on_result=writer.append if writer is not None else None,
     )
-    return simulator.run(
-        config.epochs,
-        readings,
-        start_epoch=config.start_epoch,
-        warmup=config.warmup,
-    )
+    try:
+        return simulator.run(
+            config.epochs,
+            readings,
+            start_epoch=config.start_epoch,
+            warmup=config.warmup,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
 
 
 # -- reports ---------------------------------------------------------------
@@ -1008,9 +1116,31 @@ class RunReport:
         return self.result.mean_contributing_fraction(self.num_sensors())
 
     def words_per_epoch(self) -> float:
-        if not self.result.epochs:
+        # num_epochs counts retention-dropped epochs too, so the average
+        # stays honest under window/stream retention.
+        if not self.result.num_epochs:
             return 0.0
-        return self.result.energy.total_words / len(self.result.epochs)
+        return self.result.energy.total_words / self.result.num_epochs
+
+    def load_epochs(self) -> List[EpochResult]:
+        """The run's full epoch timeline, reloaded lazily when needed.
+
+        Under ``all`` retention this is simply ``result.epochs``. When a
+        retention policy dropped epochs from RAM and the config names a
+        result store, the timeline is reloaded from the store (keyed by
+        the config's digest). A truncated run with no store returns just
+        the retained tail — the best the report can do.
+        """
+        if (
+            self.config.storage is not None
+            and len(self.result.epochs) < self.result.num_epochs
+        ):
+            from repro.storage import load_epochs
+
+            return load_epochs(
+                self.config.storage, config_digest(self.config)
+            )
+        return list(self.result.epochs)
 
     def render(self) -> str:
         if self.config.queries is not None:

@@ -295,6 +295,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for cached results",
     )
     config_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "spill epoch results to a pluggable store "
+            "(memory | jsonl:DIR | sqlite:PATH); shorthand for "
+            "--set storage=SPEC"
+        ),
+    )
+    config_parser.add_argument(
+        "--retention",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "in-RAM timeline retention: all (default), window:N, or "
+            "stream; shorthand for --set retention=POLICY"
+        ),
+    )
+    config_parser.add_argument(
         "--out", type=pathlib.Path, default=None, help="file for the report"
     )
     config_parser.add_argument(
@@ -385,6 +404,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         help="directory for the final checkpoint written on shutdown",
+    )
+    serve_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reload the shutdown checkpoint from --checkpoint-dir (epoch "
+            "cursor and energy ledger) and continue the stream from there"
+        ),
     )
     serve_parser.add_argument(
         "--cache-entries",
@@ -548,6 +575,10 @@ def _run_config(args) -> int:
             value = getattr(args, name)
             if value is not None:
                 overrides[name] = value
+        if args.store is not None:
+            overrides["storage"] = args.store
+        if args.retention is not None:
+            overrides["retention"] = args.retention
         if overrides:
             config = config.replace(**overrides)
         if (args.resume or args.kill_at is not None) and (
@@ -637,6 +668,8 @@ def _serve(args) -> int:
             overrides[key] = _coerce_field(key, raw)
         if overrides:
             config = config.replace(**overrides)
+        if args.resume and args.checkpoint_dir is None:
+            raise ConfigurationError("--resume needs --checkpoint-dir")
         server = AggregationServer(
             config,
             host=args.host,
@@ -650,6 +683,7 @@ def _serve(args) -> int:
             ),
             cache_entries=args.cache_entries,
             pace_seconds=args.pace,
+            resume=args.resume,
             verbose=args.verbose,
         )
     except OSError as error:

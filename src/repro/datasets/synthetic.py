@@ -46,6 +46,39 @@ def radio_range_for_density(density: float, target_degree: float = _TARGET_DEGRE
         raise ConfigurationError("density must be positive")
     return math.sqrt(target_degree / (math.pi * density))
 
+#: Sensor density of the ``synthetic-scale`` family: the paper's 600-node
+#: density (600 / 20x20 = 1.5), held constant as the node count grows so the
+#: mean degree — and thus per-node memory and tree bushiness — stays at the
+#: paper's regime instead of densifying quadratically.
+SCALE_DENSITY = 1.5
+
+
+def scale_area_side(num_sensors: int) -> float:
+    """Side of the square area that keeps ``synthetic-scale`` at the paper's
+    density for ``num_sensors`` motes.
+
+    Shared by the dict and packed builders so both tiers derive the exact
+    same float dimensions (and hence identical placement draws).
+    """
+    if num_sensors <= 0:
+        raise ConfigurationError("num_sensors must be positive")
+    return math.sqrt(num_sensors / SCALE_DENSITY)
+
+
+def make_scale_scenario(num_sensors: int, seed: int = 0) -> SyntheticScenario:
+    """The constant-density scale family: ``synthetic`` at any node count.
+
+    The classic ``synthetic`` topology fixes the 20x20 area, so its density
+    (and node degree) grows linearly with N — a 100k-node instance would
+    have ~1800 neighbours per node. This family grows the area instead,
+    keeping degree ~30 at every size.
+    """
+    side = scale_area_side(num_sensors)
+    return make_synthetic_scenario(
+        num_sensors=num_sensors, width=side, height=side, seed=seed
+    )
+
+
 #: Radio range for the Figure 7 sweeps (kept fixed across densities/widths so
 #: density genuinely changes node degree). Sized so the sparsest grid
 #: (density 0.2 => cell ~2.24) stays connected under the sweep jitter.

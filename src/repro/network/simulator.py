@@ -16,8 +16,9 @@ state.
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.network.churn import DynamicMembership
@@ -121,12 +122,139 @@ class EpochResult:
 
 
 @dataclass
+class RunningStats:
+    """Streaming accumulation of a run's summary metrics.
+
+    Mirrors :meth:`RunResult.rms_error` and
+    :meth:`RunResult.mean_contributing_fraction` term by term, in epoch
+    order with the same float operations — so a retention-truncated run
+    reports the exact summary numbers the full timeline would.
+    """
+
+    num_epochs: int = 0
+    error_sq_sum: float = 0.0
+    contributing_sum: int = 0
+
+    def add(self, result: "EpochResult") -> None:
+        self.num_epochs += 1
+        if result.true_value != 0:
+            deviation = (
+                result.estimate - result.true_value
+            ) / result.true_value
+            self.error_sq_sum += deviation * deviation
+        self.contributing_sum += result.contributing
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "num_epochs": self.num_epochs,
+            "error_sq_sum": self.error_sq_sum,
+            "contributing_sum": self.contributing_sum,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "RunningStats":
+        return cls(
+            num_epochs=int(data["num_epochs"]),
+            error_sq_sum=float(data["error_sq_sum"]),
+            contributing_sum=int(data["contributing_sum"]),
+        )
+
+
+def _parse_retention(retention: str) -> Tuple[str, Optional[int]]:
+    """Validate a retention policy spec: ``all``, ``stream``, ``window:N``.
+
+    Returns ``(kind, window)`` where ``window`` is the retained-epoch cap
+    (``None`` for ``all``, 0 for ``stream``).
+    """
+    if not isinstance(retention, str):
+        raise ConfigurationError(
+            f"'retention' expects a policy string, got {retention!r} "
+            f"({type(retention).__name__})"
+        )
+    if retention == "all":
+        return "all", None
+    if retention == "stream":
+        return "stream", 0
+    if retention.startswith("window:"):
+        raw = retention[len("window:"):]
+        try:
+            window = int(raw)
+        except ValueError:
+            window = -1
+        if window < 1:
+            raise ConfigurationError(
+                f"'window:N' retention needs a positive epoch count, "
+                f"got {retention!r}"
+            )
+        return "window", window
+    raise ConfigurationError(
+        f"unknown retention policy {retention!r}; expected 'all', "
+        "'stream', or 'window:N'"
+    )
+
+
+class _RetentionBuffer:
+    """The run's epoch-result sink, honouring a retention policy.
+
+    List-compatible where the engine needs it (``append`` from the record
+    path, ``extend`` from checkpoint restore, iteration from checkpoint
+    capture): ``all`` keeps the full timeline, ``window:N`` the last N
+    records (drop-oldest), ``stream`` none. Non-``all`` policies
+    additionally accumulate :class:`RunningStats` so summary metrics
+    survive the truncation.
+    """
+
+    def __init__(self, retention: str) -> None:
+        kind, window = _parse_retention(retention)
+        self.tracked = kind != "all"
+        self.stats = RunningStats()
+        self._items: "Deque[EpochResult] | List[EpochResult]"
+        if kind == "all":
+            self._items = []
+        else:
+            self._items = collections.deque(maxlen=window)
+
+    def append(self, result: "EpochResult") -> None:
+        self.stats.add(result)
+        self._items.append(result)
+
+    def extend(self, results: Iterable["EpochResult"]) -> None:
+        for result in results:
+            self.append(result)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def epochs(self) -> List["EpochResult"]:
+        return list(self._items)
+
+
+@dataclass
 class RunResult:
-    """A full run: per-epoch results plus aggregate accounting."""
+    """A full run: per-epoch results plus aggregate accounting.
+
+    Under the default ``all`` retention, ``epochs`` is the complete
+    timeline and ``stats`` is ``None`` (byte-identical to the pre-retention
+    schema). Under ``window:N``/``stream`` retention, ``epochs`` holds only
+    the retained tail and ``stats`` carries the streaming summary over
+    *every* measured epoch — the summary metrics below prefer it.
+    """
 
     scheme_name: str
     epochs: List[EpochResult]
     energy: EnergyReport
+    stats: Optional[RunningStats] = None
+
+    @property
+    def num_epochs(self) -> int:
+        """Measured epochs, counting those a retention policy dropped."""
+        if self.stats is not None:
+            return self.stats.num_epochs
+        return len(self.epochs)
 
     @property
     def estimates(self) -> List[float]:
@@ -148,6 +276,10 @@ class RunResult:
         by its own truth, which coincides with the paper's definition when
         the truth is constant.
         """
+        if self.stats is not None:
+            if not self.stats.num_epochs:
+                return 0.0
+            return (self.stats.error_sq_sum / self.stats.num_epochs) ** 0.5
         if not self.epochs:
             return 0.0
         total = 0.0
@@ -160,6 +292,12 @@ class RunResult:
 
     def mean_contributing_fraction(self, num_sensors: int) -> float:
         """Average fraction of sensors accounted for across epochs."""
+        if self.stats is not None:
+            if not self.stats.num_epochs or num_sensors == 0:
+                return 0.0
+            return self.stats.contributing_sum / (
+                self.stats.num_epochs * num_sensors
+            )
         if not self.epochs or num_sensors == 0:
             return 0.0
         total = sum(result.contributing for result in self.epochs)
@@ -221,6 +359,14 @@ class EpochSimulator:
             runs after the result is appended, cannot influence draws or
             adaptation, and (unlike ``on_epoch``) leaves epoch blocking
             enabled. ``None`` changes nothing.
+        retention: which recorded :class:`EpochResult` objects the run
+            keeps in RAM: ``all`` (the default — full timeline, the
+            pre-retention behaviour), ``window:N`` (the last N, drop-
+            oldest), or ``stream`` (none; pair with ``on_result`` or a
+            result store). Non-``all`` policies attach a
+            :class:`RunningStats` to the :class:`RunResult` so summary
+            metrics cover every measured epoch, dropped or not. Retention
+            is bookkeeping only — it never changes a single draw.
     """
 
     #: Upper bound on one block's epoch span (bounds the delivery-plan
@@ -244,7 +390,9 @@ class EpochSimulator:
         auditor=None,
         checkpoint=None,
         on_result: Optional[Callable[["EpochResult"], None]] = None,
+        retention: str = "all",
     ) -> None:
+        _parse_retention(retention)  # validate eagerly
         if adapt_interval < 0:
             raise ConfigurationError("adapt_interval cannot be negative")
         if churn_interval is not None and churn_interval < 1:
@@ -269,6 +417,7 @@ class EpochSimulator:
         self._auditor = auditor
         self._checkpoint = checkpoint
         self._on_result = on_result
+        self._retention = retention
         self._fingerprint: Optional[Dict[str, object]] = None
         if faults is not None or auditor is not None:
             # Lazy import: repro.chaos.auditor/checkpoint import back into
@@ -358,7 +507,7 @@ class EpochSimulator:
         """
         if num_epochs < 0:
             raise ConfigurationError("num_epochs cannot be negative")
-        results: List[EpochResult] = []
+        results = _RetentionBuffer(self._retention)
         energy = EnergyReport()
         total = warmup + num_epochs
         start_offset = 0
@@ -398,7 +547,10 @@ class EpochSimulator:
             chaos.flush_control(self._channel)
         energy.add_node_words(self._channel.per_node_words(), self._energy_model)
         return RunResult(
-            scheme_name=self._scheme.name, epochs=results, energy=energy
+            scheme_name=self._scheme.name,
+            epochs=results.epochs,
+            energy=energy,
+            stats=results.stats if results.tracked else None,
         )
 
     def _blocked_capable(self) -> bool:
@@ -429,7 +581,7 @@ class EpochSimulator:
         warmup: int,
         start_epoch: int,
         readings: ReadingFn,
-        results: List[EpochResult],
+        results: "_RetentionBuffer",
         energy: EnergyReport,
         start_offset: int = 0,
     ) -> None:
@@ -469,7 +621,7 @@ class EpochSimulator:
         warmup: int,
         start_epoch: int,
         readings: ReadingFn,
-        results: List[EpochResult],
+        results: "_RetentionBuffer",
         energy: EnergyReport,
         start_offset: int = 0,
     ) -> None:
@@ -529,7 +681,7 @@ class EpochSimulator:
     def _maybe_checkpoint(
         self,
         offset: int,
-        results: List[EpochResult],
+        results: "_RetentionBuffer",
         energy: EnergyReport,
         readings: ReadingFn,
     ) -> None:
@@ -551,7 +703,7 @@ class EpochSimulator:
 
     def _record(
         self,
-        results: List[EpochResult],
+        results: "_RetentionBuffer",
         energy: EnergyReport,
         epoch: int,
         outcome: EpochOutcome,

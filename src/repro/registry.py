@@ -85,7 +85,7 @@ from repro.datasets.streams import (
     DiurnalLightReadings,
     UniformReadings,
 )
-from repro.datasets.synthetic import make_synthetic_scenario
+from repro.datasets.synthetic import make_scale_scenario, make_synthetic_scenario
 from repro.chaos.faults import (
     BaseStationCrash,
     CompositeFaultPlan,
@@ -667,6 +667,16 @@ class ResolvedTopology:
 @register_topology("synthetic")
 def _build_synthetic(num_sensors: int, seed: int) -> ResolvedTopology:
     scenario = make_synthetic_scenario(num_sensors=num_sensors, seed=seed)
+    return ResolvedTopology(
+        deployment=scenario.deployment, rings=scenario.rings
+    )
+
+
+@register_topology("synthetic-scale")
+def _build_synthetic_scale(num_sensors: int, seed: int) -> ResolvedTopology:
+    # Constant-density variant of "synthetic": area grows with N so node
+    # degree stays at the paper's ~30 regardless of network size.
+    scenario = make_scale_scenario(num_sensors=num_sensors, seed=seed)
     return ResolvedTopology(
         deployment=scenario.deployment, rings=scenario.rings
     )

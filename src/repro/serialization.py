@@ -273,18 +273,27 @@ def _decode_epoch_result(data: Dict[str, Any]) -> EpochResult:
 
 
 def _encode_run_result(result: RunResult) -> Dict[str, Any]:
-    return {
+    payload = {
         "scheme_name": result.scheme_name,
         "epochs": [_encode_epoch_result(epoch) for epoch in result.epochs],
         "energy": _encode_energy_report(result.energy),
     }
+    # Present only under a non-default retention policy, so pre-retention
+    # payloads (and their bytes) are unchanged.
+    if result.stats is not None:
+        payload["stats"] = result.stats.to_jsonable()
+    return payload
 
 
 def _decode_run_result(data: Dict[str, Any]) -> RunResult:
+    from repro.network.simulator import RunningStats
+
+    stats = data.get("stats")
     return RunResult(
         scheme_name=data["scheme_name"],
         epochs=[_decode_epoch_result(epoch) for epoch in data["epochs"]],
         energy=_decode_energy_report(data["energy"]),
+        stats=None if stats is None else RunningStats.from_jsonable(stats),
     )
 
 

@@ -80,6 +80,12 @@ class AggregationService:
             checkpoint (``checkpoint.json``) here.
         pace_seconds: optional sleep between blocks — a real deployment
             paces epochs at sensor cadence; tests leave it 0.
+        resume: reload the shutdown checkpoint from ``checkpoint_dir``
+            (epoch cursor, epoch/word counters, energy ledger) and
+            continue the stream from where the previous service stopped.
+            A missing checkpoint is a fresh start; a checkpoint written
+            by a different config is a loud
+            :class:`~repro.errors.ConfigurationError`.
     """
 
     def __init__(
@@ -89,6 +95,7 @@ class AggregationService:
         block_epochs: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
         pace_seconds: float = 0.0,
+        resume: bool = False,
     ) -> None:
         if config.churn != "none":
             raise ConfigurationError(
@@ -151,8 +158,63 @@ class AggregationService:
         self._blocks_run = 0
         self._epochs_run = 0
         self._total_words = 0
+        self._records_dropped = 0
         self._energy = EnergyReport()
         self._energy_model = EnergyModel()
+
+        self._resumed_from: Optional[int] = None
+        if resume:
+            self._resume_from_checkpoint()
+
+        # Epoch-result spill (the scale tier's pluggable stores). A
+        # resumed service appends after the records the previous service
+        # already spilled instead of truncating them.
+        self._store_writer = None
+        if config.storage is not None:
+            from repro.storage import open_writer
+
+            self._store_writer = open_writer(
+                config.storage,
+                config_digest(config),
+                append=self._resumed_from is not None,
+            )
+
+    def _resume_from_checkpoint(self) -> None:
+        """Reload cursor/counters/energy from the shutdown checkpoint.
+
+        Only the *impure* stream position is restored: the scheme and its
+        convergence are rebuilt at the first admission exactly as a fresh
+        service builds them (the delta region does not rely on any one
+        query, so a rebuilt portfolio is a legal continuation).
+        """
+        if self._checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume needs a checkpoint directory to reload from"
+            )
+        from repro import serialization
+        from repro.chaos.checkpoint import Checkpointer
+
+        payload = Checkpointer(
+            self._checkpoint_dir, interval=1, resume=True
+        ).load()
+        if payload is None:
+            return  # nothing written yet: a fresh start
+        fingerprint = payload.get("fingerprint") or {}
+        digest = config_digest(self._config)
+        if fingerprint.get("service") != digest:
+            raise ConfigurationError(
+                "checkpoint in "
+                f"{self._checkpoint_dir!r} was written by a different "
+                f"service config ({fingerprint.get('service')!r} != "
+                f"{digest!r})"
+            )
+        self._cursor = int(fingerprint["cursor"])
+        self._epochs_run = int(fingerprint.get("epochs_run", 0))
+        self._total_words = int(fingerprint.get("total_words", 0))
+        self._records_dropped = int(fingerprint.get("records_dropped", 0))
+        self._energy = serialization.from_jsonable(payload["energy"])
+        self._warmup_done = self._cursor > self._config.start_epoch
+        self._resumed_from = self._cursor
 
     # -- subscriptions -----------------------------------------------------
 
@@ -231,6 +293,7 @@ class AggregationService:
             if subscriber.id in self._released:
                 return
             self._released.add(subscriber.id)
+            self._records_dropped += subscriber.dropped
             self._planner.release(subscriber.planned)
             self._active.pop(subscriber.id, None)
             if subscriber in self._pending:
@@ -298,6 +361,8 @@ class AggregationService:
         words = result.log.words_sent
         self._total_words += words
         self._energy.add_log(result.log, self._energy_model)
+        if self._store_writer is not None:
+            self._store_writer.append(result)
         for subscriber in self._block_subs:
             if subscriber.closed:
                 continue
@@ -362,7 +427,11 @@ class AggregationService:
                 subscriber.close(CLOSE_SHUTDOWN)
             self._active.clear()
             self._pending.clear()
-            return self._write_checkpoint()
+            checkpoint = self._write_checkpoint()
+            if self._store_writer is not None:
+                self._store_writer.close()
+                self._store_writer = None
+            return checkpoint
 
     def _write_checkpoint(self) -> Optional[str]:
         if self._checkpoint_dir is None or self._sim is None:
@@ -374,6 +443,8 @@ class AggregationService:
             "service": config_digest(self._config),
             "cursor": self._cursor,
             "epochs_run": self._epochs_run,
+            "total_words": self._total_words,
+            "records_dropped": self._records_dropped,
             "workload": list(self._block_names),
         }
         payload = capture_run_state(
@@ -387,13 +458,21 @@ class AggregationService:
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
-            return {
+            # Dropped records: the settled count from released
+            # subscriptions plus whatever the live ones have shed so far.
+            dropped = self._records_dropped + sum(
+                sub.dropped
+                for sub in list(self._active.values()) + self._pending
+            )
+            stats: Dict[str, object] = {
                 "engine": {
                     "cursor": self._cursor,
                     "block_epochs": self._block_epochs,
                     "blocks_run": self._blocks_run,
                     "epochs_run": self._epochs_run,
                     "total_words": self._total_words,
+                    "records_dropped": dropped,
+                    "resumed_from": self._resumed_from,
                     "converged": self._sim is not None,
                     "subscribers": len(self._active) + len(self._pending),
                     "workload": (
@@ -405,6 +484,16 @@ class AggregationService:
                 "admission": self._admission.stats(),
                 "planner": self._planner.stats(),
             }
+            if self._config.storage is not None:
+                stats["storage"] = {
+                    "spec": self._config.storage,
+                    "records": (
+                        self._store_writer.records
+                        if self._store_writer is not None
+                        else 0
+                    ),
+                }
+            return stats
 
 
 __all__ = ["AggregationService", "ScenarioMismatch", "scenario_fingerprint"]

@@ -206,6 +206,7 @@ class AggregationServer:
         cache_entries: int = 128,
         pace_seconds: float = 0.0,
         stream_timeout: Optional[float] = 300.0,
+        resume: bool = False,
         verbose: bool = False,
     ) -> None:
         self.engine = AggregationService(
@@ -214,6 +215,7 @@ class AggregationServer:
             block_epochs=block_epochs,
             checkpoint_dir=checkpoint_dir,
             pace_seconds=pace_seconds,
+            resume=resume,
         )
         #: One shared thread-safe session with a bounded result LRU: the
         #: fan-out path for identical one-shot configs.

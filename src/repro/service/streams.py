@@ -244,13 +244,22 @@ def parse_submission(body: bytes) -> Tuple[QuerySubmit, Optional[object]]:
     )
 
 
+#: Default bound of a subscriber's record queue. A consumer that falls
+#: this many epochs behind starts losing its *oldest* queued records.
+MAX_QUEUE_RECORDS = 1024
+
+
 class Subscriber:
     """One client's live subscription: planned queries plus a record queue.
 
     The engine thread produces (``push``/``close``); exactly one HTTP
-    worker consumes (``records``). The queue is unbounded — block sizes
-    bound the burst, and a slow consumer's backlog lives here rather than
-    stalling the simulator.
+    worker consumes (``records``). The queue is **bounded**
+    (``max_queue`` records, default :data:`MAX_QUEUE_RECORDS`): a slow
+    consumer's backlog lives here rather than stalling the simulator, but
+    it cannot grow without bound — once full, ``push`` drops the oldest
+    queued record and counts it in ``dropped`` (surfaced on the service's
+    ``GET /stats`` as ``records_dropped``). The engine thread is the sole
+    producer, so the drop-oldest dance never races another writer.
     """
 
     def __init__(
@@ -258,27 +267,55 @@ class Subscriber:
         subscriber_id: int,
         planned,  # Sequence[PlannedQuery]
         epochs: Optional[int],
+        max_queue: int = MAX_QUEUE_RECORDS,
     ) -> None:
+        if max_queue < 1:
+            raise ConfigurationError(
+                "a subscriber's queue bound must be at least 1 record"
+            )
         self.id = subscriber_id
         self.planned = tuple(planned)
         self.limit = epochs
         self.delivered = 0
-        self._queue: "queue.Queue[object]" = queue.Queue()
+        self.dropped = 0
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queue)
         self._closed = False
 
     @property
     def names(self) -> Tuple[str, ...]:
         return tuple(pq.name for pq in self.planned)
 
+    def _put_drop_oldest(self, item: object) -> None:
+        """Enqueue ``item``, evicting the oldest record when full.
+
+        Single-producer only (the engine thread): between the failed
+        ``put_nowait`` and the compensating ``get_nowait`` the queue can
+        only *shrink* (the consumer drains), so the loop terminates.
+        """
+        while True:
+            try:
+                self._queue.put_nowait(item)
+                return
+            except queue.Full:
+                try:
+                    self._queue.get_nowait()
+                    self.dropped += 1
+                except queue.Empty:
+                    pass
+
     def push(self, record: EpochRecord) -> None:
-        self._queue.put(record)
+        self._put_drop_oldest(record)
         self.delivered += 1
 
     def close(self, reason: str) -> None:
-        """Terminate the stream (idempotent); the consumer sees ``reason``."""
+        """Terminate the stream (idempotent); the consumer sees ``reason``.
+
+        Never blocks: a full queue sheds its oldest record so the sentinel
+        always lands — shutdown must not wait on a stalled consumer.
+        """
         if not self._closed:
             self._closed = True
-            self._queue.put(reason)
+            self._put_drop_oldest(reason)
 
     @property
     def closed(self) -> bool:
@@ -309,6 +346,7 @@ class Subscriber:
 __all__ = [
     "CLOSE_COMPLETE",
     "CLOSE_SHUTDOWN",
+    "MAX_QUEUE_RECORDS",
     "EpochRecord",
     "QueryAnswer",
     "QuerySubmit",

@@ -309,6 +309,110 @@ class TestEviction:
         assert gone, f"stale subscription after disconnect: {stats}"
 
 
+class TestBoundedQueues:
+    def test_push_drops_oldest_when_full(self):
+        from repro.service.streams import EpochRecord, Subscriber
+
+        subscriber = Subscriber(1, [], None, max_queue=3)
+        for epoch in range(5):
+            subscriber.push(EpochRecord(epoch=epoch, results={}, words=1))
+        assert subscriber.delivered == 5
+        assert subscriber.dropped == 2
+        subscriber.close("complete")
+        # The sentinel never blocks: it evicts one more from the full queue.
+        assert subscriber.dropped == 3
+        items = list(subscriber.records(timeout=0.1))
+        assert [record.epoch for record in items[:-1]] == [3, 4]
+        assert items[-1] == "complete"
+
+    def test_drained_queue_closes_without_dropping(self):
+        from repro.service.streams import EpochRecord, Subscriber
+
+        subscriber = Subscriber(2, [], None, max_queue=3)
+        subscriber.push(EpochRecord(epoch=0, results={}, words=1))
+        subscriber.close("complete")
+        assert subscriber.dropped == 0
+
+    def test_dropped_records_surface_on_stats(self, tmp_path):
+        from repro.service.engine import AggregationService
+        from repro.service.streams import parse_submission
+
+        engine = AggregationService(_config(), block_epochs=BLOCK)
+        submit, _ = parse_submission(b"SELECT SUM")
+        subscriber = engine.subscribe(submit)
+        subscriber._queue.maxsize = 3  # shrink the bound for the test
+        for _ in range(2):
+            engine.run_block()
+        live = engine.stats()["engine"]["records_dropped"]
+        assert live == subscriber.dropped == 2 * BLOCK - 3
+        engine.release(subscriber)
+        # Released subscribers fold into the settled counter.
+        assert engine.stats()["engine"]["records_dropped"] == live
+        engine.shutdown()
+
+
+class TestResumeAndStorage:
+    def _engine(self, tmp_path, **kwargs):
+        from repro.service.engine import AggregationService
+
+        config = _config(storage=f"jsonl:{tmp_path / 'spill'}")
+        return config, AggregationService(
+            config, checkpoint_dir=str(tmp_path / "ckpt"), **kwargs
+        )
+
+    def test_resume_continues_cursor_energy_and_store(self, tmp_path):
+        from repro.api import config_digest
+        from repro.service.streams import parse_submission
+        from repro.storage import count_epochs
+
+        config, engine = self._engine(tmp_path)
+        submit, _ = parse_submission(b"SELECT SUM")
+        engine.subscribe(submit)
+        ran = engine.run_block() + engine.run_block()
+        stats = engine.stats()
+        assert stats["storage"]["records"] == ran
+        assert engine.shutdown() is not None
+        cursor = stats["engine"]["cursor"]
+        words = stats["engine"]["total_words"]
+        energy_uj = engine._energy.total_uj
+        digest = config_digest(config)
+        assert count_epochs(config.storage, digest) == ran
+
+        _, resumed = self._engine(tmp_path, resume=True)
+        stats2 = resumed.stats()
+        assert stats2["engine"]["cursor"] == cursor
+        assert stats2["engine"]["resumed_from"] == cursor
+        assert stats2["engine"]["total_words"] == words
+        assert resumed._energy.total_uj == pytest.approx(energy_uj)
+        resumed.subscribe(parse_submission(b"SELECT SUM")[0])
+        more = resumed.run_block()
+        resumed.shutdown()
+        # The resumed run appended after the spilled records, not over them.
+        assert count_epochs(config.storage, digest) == ran + more
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path):
+        from repro.errors import ConfigurationError
+        from repro.service.engine import AggregationService
+        from repro.service.streams import parse_submission
+
+        config, engine = self._engine(tmp_path)
+        engine.subscribe(parse_submission(b"SELECT SUM")[0])
+        engine.run_block()
+        engine.shutdown()
+        other = _config(num_sensors=30)
+        with pytest.raises(ConfigurationError, match="different service"):
+            AggregationService(
+                other, checkpoint_dir=str(tmp_path / "ckpt"), resume=True
+            )
+
+    def test_resume_without_checkpoint_is_fresh(self, tmp_path):
+        config, engine = self._engine(tmp_path / "fresh", resume=True)
+        stats = engine.stats()
+        assert stats["engine"]["resumed_from"] is None
+        assert stats["engine"]["cursor"] == config.start_epoch
+        engine.shutdown()
+
+
 class TestShutdown:
     def test_shutdown_writes_checkpoint(self, tmp_path):
         server = AggregationServer(
