@@ -1,0 +1,156 @@
+"""GK vs q-digest: accuracy and message size of the two quantile summaries.
+
+Both tree-side quantile summaries promise rank error ``epsilon * n`` —
+GK (`quantiles`) by keeping value-space tuples with tracked rank slack,
+q-digest (`quantiles_qd`) by counting dyadic ranges of a fixed integer
+universe. This benchmark runs both over the same merge topology (a
+simulated aggregation tree: per-leaf summaries merged pairwise to the
+root, the shape that actually stresses mergeability) and records, per
+epsilon:
+
+* the observed worst rank error at a spread of quantiles (as a fraction
+  of n — must stay under epsilon for both);
+* the root summary's wire size in words (the Table-1-style message-size
+  comparison: GK grows with distinct values, q-digest with the universe
+  log and budget).
+
+Writes ``results/quantiles_gk_vs_qdigest.json``. Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_quantiles.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULT_NAME = "quantiles_gk_vs_qdigest.json"
+
+PHIS = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def _leaf_values(leaf: int, per_leaf: int) -> list:
+    # Deterministic, value-rich stream in [0, 1024).
+    return [
+        float((leaf * 977 + i * 7919) % 1024) for i in range(per_leaf)
+    ]
+
+
+def _tree_merge_all(aggregate, leaves):
+    """Merge per-leaf partials pairwise up a binary tree to one root."""
+    level = [
+        aggregate.tree_merge(
+            aggregate.tree_empty(),
+            _leaf_partial(aggregate, leaf_id, values),
+        )
+        for leaf_id, values in leaves
+    ]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(aggregate.tree_merge(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _leaf_partial(aggregate, leaf_id, values):
+    partial = aggregate.tree_empty()
+    for offset, value in enumerate(values):
+        partial = aggregate.tree_merge(
+            partial, aggregate.tree_local(leaf_id, offset, value)
+        )
+    return partial
+
+
+def _rank(values, answer) -> int:
+    return sum(1 for value in values if value <= answer)
+
+
+def run_benchmark(quick: bool) -> dict:
+    from repro.aggregates.frequent import (
+        QuantilesAggregate,
+        QuantilesQDAggregate,
+    )
+
+    num_leaves = 16 if quick else 64
+    per_leaf = 40 if quick else 200
+    leaves = [
+        (leaf, _leaf_values(leaf, per_leaf)) for leaf in range(num_leaves)
+    ]
+    all_values = sorted(v for _, values in leaves for v in values)
+    n = len(all_values)
+
+    rows = []
+    for epsilon in (0.02, 0.05, 0.1):
+        row = {"epsilon": epsilon, "n": n}
+        for label, factory in (
+            ("gk", lambda phi: QuantilesAggregate(epsilon=epsilon, phi=phi)),
+            (
+                "qdigest",
+                lambda phi: QuantilesQDAggregate(
+                    epsilon=epsilon, phi=phi, log_universe=10
+                ),
+            ),
+        ):
+            worst = 0.0
+            words = 0
+            for phi in PHIS:
+                aggregate = factory(phi)
+                root = _tree_merge_all(aggregate, leaves)
+                answer = aggregate.tree_eval(root)
+                target = max(1, round(phi * n))
+                worst = max(worst, abs(_rank(all_values, answer) - target) / n)
+                words = max(words, aggregate.tree_words(root))
+            row[label] = {
+                "worst_rank_error": worst,
+                "root_words": words,
+                "within_bound": worst <= epsilon,
+            }
+        rows.append(row)
+
+    return {
+        "benchmark": "quantiles",
+        "quick": quick,
+        "leaves": num_leaves,
+        "values_per_leaf": per_leaf,
+        "phis": list(PHIS),
+        "rows": rows,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args()
+
+    record = run_benchmark(args.quick)
+    out = args.out or (
+        pathlib.Path(__file__).parent / "results" / RESULT_NAME
+    )
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    failed = False
+    for row in record["rows"]:
+        for label in ("gk", "qdigest"):
+            cell = row[label]
+            print(
+                f"eps={row['epsilon']:<5} {label:8} "
+                f"rank_err={cell['worst_rank_error']:.4f} "
+                f"words={cell['root_words']}"
+            )
+            failed |= not cell["within_bound"]
+    if failed:
+        print("FAIL: a summary exceeded its rank-error bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

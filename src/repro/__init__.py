@@ -31,6 +31,24 @@ Drop ``queries`` for a classic single-query run (``aggregate="sum"`` or
 ``query="SELECT count, sum"`` — the multi-target one-liner expands into a
 workload).
 
+Aggregates slice **spatially** too — a ``GROUP BY`` one-liner answers
+every region of a hierarchy in the same pass, per-region partial cubes
+riding the scheme's ordinary messages::
+
+    report = Session().run(RunConfig(
+        scheme="TD", failure="global:0.3", reading="uniform:10:100:0",
+        query="SELECT avg GROUP BY region:2"))
+    for path in report.group_names():        # "r/0/3", "r/1/0", ...
+        print(path, report.group_rms_error(path))
+
+``region`` is the built-in quadtree (``grid`` the 9-way variant; add
+your own via ``register_regions``), ``:2`` the reporting depth, and an
+optional third token a per-message word budget under which deep regions
+coarsen into their ancestors instead of overflowing the message
+(multiresolution cubes). One grouped pass bills a fraction of the words
+of per-region standalone runs — ``repro describe groupby_regions``
+shows the named experiment.
+
 The same engine also runs as a **long-lived service**: one scenario
 executes continuously in epoch blocks and clients subscribe over HTTP
 while it runs — queries are admitted against per-message word budgets,
@@ -126,13 +144,22 @@ from repro.query import ContinuousQuery, parse_queries, parse_query
 from repro.multipath import FMSketch, KMVSketch
 from repro.registry import (
     available,
+    build_regions,
     register_aggregate,
     register_churn,
     register_dataset,
     register_failure_model,
+    register_regions,
     register_scheme,
     register_summary,
     register_topology,
+)
+from repro.spatial import (
+    GroupedAggregate,
+    RegionFilteredAggregate,
+    RegionHierarchy,
+    grid_hierarchy,
+    quadtree_hierarchy,
 )
 from repro.network import (
     Channel,
@@ -179,13 +206,20 @@ __all__ = [
     "run_config_result",
     "split_workload_result",
     "available",
+    "build_regions",
     "register_aggregate",
     "register_churn",
     "register_dataset",
     "register_failure_model",
+    "register_regions",
     "register_scheme",
     "register_summary",
     "register_topology",
+    "GroupedAggregate",
+    "RegionFilteredAggregate",
+    "RegionHierarchy",
+    "grid_hierarchy",
+    "quadtree_hierarchy",
     "DynamicMembership",
     "LifetimeChurn",
     "RandomDeaths",

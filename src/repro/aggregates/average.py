@@ -98,3 +98,6 @@ class AverageAggregate(Aggregate[TreePair, SketchPair]):
         if not readings:
             return 0.0
         return sum(int(round(r)) for r in readings) / len(readings)
+
+    def supports_group_by(self) -> bool:
+        return True

@@ -215,6 +215,20 @@ class Aggregate(ABC, Generic[P, S]):
         piggybacked contributing-count sketch."""
         return False
 
+    def supports_group_by(self) -> bool:
+        """Whether this aggregate may be wrapped by a spatial GROUP BY.
+
+        Contract for returning ``True``: cell-wise merging over any
+        partition of the sensors composes exactly — merging the per-region
+        partials of a partition yields the same state as aggregating
+        globally, and the same for synopsis fusion.  This holds for
+        count/sum/avg/min/max and the synopsis-backed distinct, but not
+        for e.g. rank-based summaries whose answers are not decomposable
+        per cell.  The default ``False`` makes GROUP BY an actionable
+        parse error for unsupported aggregates.
+        """
+        return False
+
     def tree_partials_additive(self) -> bool:
         """Whether tree partials are plain integers merged by addition.
 

@@ -166,3 +166,6 @@ class CountAggregate(Aggregate[int, FMSketch]):
 
     def synopsis_counts_contributors(self) -> bool:
         return True
+
+    def supports_group_by(self) -> bool:
+        return True

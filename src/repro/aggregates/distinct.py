@@ -127,3 +127,6 @@ class DistinctCountAggregate(Aggregate[ValueSet, FMSketch]):
 
     def exact(self, readings: Sequence[float]) -> float:
         return float(len({self.quantize(reading) for reading in readings}))
+
+    def supports_group_by(self) -> bool:
+        return True

@@ -37,7 +37,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.aggregates.base import Aggregate
 from repro.errors import ConfigurationError
+from repro._hashing import hash_key
 from repro.frequent.gk import GKSummary
+from repro.frequent.qdigest import MAX_LOG_UNIVERSE, QDigest
 from repro.frequent.mp_fi import (
     CountOperator,
     FMOperator,
@@ -311,4 +313,146 @@ class QuantilesAggregate(Aggregate[GKSummary, QuantileSynopsis]):
         return ordered[rank - 1]
 
 
-__all__ = ["HeavyHittersAggregate", "QuantilesAggregate"]
+class QuantilesQDAggregate(Aggregate[QDigest, QuantileSynopsis]):
+    """The phi-quantile via q-digest summaries (Shrivastava et al.).
+
+    The duplicate-sensitive sibling of :class:`QuantilesAggregate`: tree
+    partials are q-digests over the integer universe
+    ``[0, 2**log_universe)`` with compression budget
+    ``k = ceil(log_universe / epsilon)``, giving the SenSys'04 space bound
+    (at most ~3k counted ranges) and rank error at most ``epsilon * n``.
+    The multi-path side reuses the duplicate-insensitive weighted sample
+    of :mod:`repro.frequent.td_quantiles` (q-digests are not ODI — range
+    counts double under multi-path duplication — so the delta side needs
+    the sample either way); conversion draws stratified representatives
+    from the digest, keyed in a dedicated ``qdq-conv`` namespace.
+
+    Args:
+        epsilon: rank-error tolerance; sets the q-digest budget and the
+            sample capacity.
+        phi: the reported quantile (0.5 = median).
+        log_universe: universe exponent — readings are rounded and clamped
+            into ``[0, 2**log_universe)``.
+        sample_size: bottom-k capacity of the multi-path sample; defaults
+            from epsilon.
+        representatives: stratified representatives per converted digest.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.05,
+        phi: float = 0.5,
+        log_universe: int = 10,
+        sample_size: Optional[int] = None,
+        representatives: int = 16,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be in (0, 1)")
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError("phi must be in [0, 1]")
+        if not 1 <= log_universe <= MAX_LOG_UNIVERSE:
+            raise ConfigurationError(
+                f"log_universe must be in [1, {MAX_LOG_UNIVERSE}]"
+            )
+        if representatives < 1:
+            raise ConfigurationError("representatives must be at least 1")
+        self.epsilon = epsilon
+        self.phi = phi
+        self.log_universe = log_universe
+        self._budget = max(4, math.ceil(log_universe / epsilon))
+        self._capacity = sample_size or max(16, math.ceil(2.0 / epsilon))
+        if self._capacity < 1:
+            raise ConfigurationError("sample_size must be at least 1")
+        self._representatives = representatives
+        self.name = f"quantiles_qd:{epsilon:g}:{phi:g}"
+
+    # -- tree ------------------------------------------------------------
+
+    def tree_local(self, node: int, epoch: int, reading: float) -> QDigest:
+        return QDigest.from_values(
+            [float(reading)], self.log_universe, self._budget
+        )
+
+    def tree_merge(self, a: QDigest, b: QDigest) -> QDigest:
+        return a.merge(b)
+
+    def tree_eval(self, partial: QDigest) -> float:
+        if partial.n == 0:
+            return 0.0
+        return partial.query_quantile(self.phi)
+
+    def tree_words(self, partial: QDigest) -> int:
+        return partial.words()
+
+    def tree_empty(self) -> QDigest:
+        return QDigest.empty(self.log_universe, self._budget)
+
+    # -- multi-path ----------------------------------------------------------
+
+    def synopsis_local(
+        self, node: int, epoch: int, reading: float
+    ) -> QuantileSynopsis:
+        return synopsis_from_readings(
+            node, epoch, [float(reading)], self._capacity
+        )
+
+    def synopsis_fuse(
+        self, a: QuantileSynopsis, b: QuantileSynopsis
+    ) -> QuantileSynopsis:
+        return a.merge(b)
+
+    def synopsis_eval(self, synopsis: QuantileSynopsis) -> float:
+        if not synopsis.entries:
+            return 0.0
+        return synopsis.quantile(self.phi)
+
+    def synopsis_words(self, synopsis: QuantileSynopsis) -> int:
+        return synopsis.words()
+
+    def synopsis_empty(self) -> QuantileSynopsis:
+        return QuantileSynopsis.empty(self._capacity)
+
+    # -- conversion --------------------------------------------------------------
+
+    def convert(
+        self, partial: QDigest, sender: int, epoch: int
+    ) -> QuantileSynopsis:
+        """Digest -> weighted sample: r stratified representatives.
+
+        Mirrors the GK conversion of Section 6.3: representative j carries
+        the ``(j + 0.5) / r`` quantile with weight ``n / r``, keyed
+        deterministically by ``(sender, epoch, j)`` so duplicated
+        conversions fuse idempotently (the ODI requirement).
+        """
+        n = partial.n
+        if n == 0:
+            return QuantileSynopsis.empty(self._capacity)
+        r = min(self._representatives, n)
+        weight = n / r
+        keyed_values = [
+            (
+                hash_key("qdq-conv", sender, epoch, j),
+                partial.query_quantile((j + 0.5) / r),
+                weight,
+            )
+            for j in range(r)
+        ]
+        return QuantileSynopsis.from_weighted_values(
+            self._capacity, keyed_values
+        )
+
+    # -- truth ---------------------------------------------------------------------
+
+    def exact(self, readings: Sequence[float]) -> float:
+        if not readings:
+            return 0.0
+        ordered = sorted(float(value) for value in readings)
+        rank = max(1, round(self.phi * len(ordered)))
+        return ordered[rank - 1]
+
+
+__all__ = [
+    "HeavyHittersAggregate",
+    "QuantilesAggregate",
+    "QuantilesQDAggregate",
+]

@@ -1,0 +1,36 @@
+"""Scheme-side helpers for grouped (GROUP BY) aggregates.
+
+Mirrors :func:`repro.aggregates.workload.annotate_workload`: the schemes
+call :func:`annotate_groups` on every epoch outcome's extra dict, and the
+helper is a no-op unless the aggregate is grouped (duck-typed on the
+``group_by_spec`` marker attribute, the way workloads are detected via
+``workload_names``).  Keeping the helper here — not in ``repro.spatial`` —
+lets the core schemes stay free of spatial imports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def group_evaluations(aggregate, empty: bool = False) -> Optional[Dict[str, float]]:
+    """Per-group estimates from the aggregate's most recent evaluation.
+
+    Returns ``None`` for ungrouped aggregates (callers then skip the extra
+    key entirely, keeping ungrouped outcomes byte-identical to before).
+    ``empty=True`` is the no-messages-arrived path: an empty breakdown.
+    """
+    if getattr(aggregate, "group_by_spec", None) is None:
+        return None
+    if empty:
+        return {}
+    evaluations = getattr(aggregate, "last_group_evaluations", None)
+    return dict(evaluations) if evaluations is not None else {}
+
+
+def annotate_groups(aggregate, extra: Dict, empty: bool = False) -> Dict:
+    """Attach per-group estimates to an epoch outcome's extra dict."""
+    evaluations = group_evaluations(aggregate, empty=empty)
+    if evaluations is not None:
+        extra["group_estimates"] = evaluations
+    return extra

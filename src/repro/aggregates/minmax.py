@@ -60,6 +60,9 @@ class MinAggregate(Aggregate[float, float]):
     def exact(self, readings: Sequence[float]) -> float:
         return float(min(readings))
 
+    def supports_group_by(self) -> bool:
+        return True
+
 
 class MaxAggregate(Aggregate[float, float]):
     """Maximum reading across contributing sensors."""
@@ -107,3 +110,6 @@ class MaxAggregate(Aggregate[float, float]):
 
     def exact(self, readings: Sequence[float]) -> float:
         return float(max(readings))
+
+    def supports_group_by(self) -> bool:
+        return True

@@ -175,3 +175,6 @@ class SumAggregate(Aggregate[int, FMSketch]):
 
     def exact(self, readings: Sequence[float]) -> float:
         return float(sum(self._as_int(reading) for reading in readings))
+
+    def supports_group_by(self) -> bool:
+        return True

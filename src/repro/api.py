@@ -71,10 +71,13 @@ from repro.network.simulator import (
     RunResult,
     _parse_retention,
 )
-from repro.query import parse_queries, parse_query
+from repro.query import groupable_aggregates, parse_queries, parse_query
+from repro.spatial.grouped import apply_grouping
+from repro.spatial.regions import parse_region_spec
 from repro.storage import validate_store_spec
 from repro.registry import (
     AGGREGATES,
+    REGIONS,
     SCHEMES,
     TOPOLOGIES,
     SchemeContext,
@@ -84,6 +87,7 @@ from repro.registry import (
     build_failure_model,
     build_fault_plan,
     build_reading,
+    build_regions,
 )
 from repro.tree.construction import build_bushy_tree
 
@@ -92,10 +96,12 @@ from repro.tree.construction import build_bushy_tree
 #: v3 added multi-query workloads (the ``queries`` field); v4 added the
 #: execution-engine options (the ``engine`` field); v5 added deterministic
 #: fault injection (the ``faults`` field); v6 added the scale tier (the
-#: ``retention``/``storage`` fields and ``engine.state``). Configs without
-#: the newer fields still encode as the older payloads — every
-#: pre-existing digest and cache entry stays valid.
-CONFIG_SCHEMA_VERSION = 6
+#: ``retention``/``storage`` fields and ``engine.state``); v7 added
+#: spatial GROUP BY (the ``group_by`` field and the query grammar's
+#: ``GROUP BY`` clause). Configs without the newer fields still encode as
+#: the older payloads — every pre-existing digest and cache entry stays
+#: valid.
+CONFIG_SCHEMA_VERSION = 7
 
 #: Version of the run-result cache keyed by :func:`config_digest`. Bumped
 #: to 2 when cache keys moved from the ad-hoc SweepSpec encoding to the
@@ -386,6 +392,14 @@ class RunConfig:
             ``RunReport.load_epochs`` reloads the full timeline lazily
             even when retention dropped it from RAM. Only set values
             encode (schema v6).
+        group_by: optional region spec (``NAME[:DEPTH[:BUDGET]]``, e.g.
+            ``region:2``) grouping the run's single query by spatial
+            region: partial aggregates travel as per-region cubes inside
+            the scheme's ordinary messages, and :class:`RunReport`
+            exposes per-group series beside the global answer.
+            Equivalent to a ``GROUP BY`` clause in the ``query``
+            one-liner (setting both is a conflict, as is grouping a
+            multi-query workload). Only set values encode (schema v7).
     """
 
     scheme: str
@@ -413,6 +427,7 @@ class RunConfig:
     faults: Optional[Tuple[str, ...]] = None
     retention: str = "all"
     storage: Optional[str] = None
+    group_by: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.faults is not None:
@@ -467,6 +482,7 @@ class RunConfig:
             parse_queries(self.query)
         else:
             build_aggregate(self.aggregate)
+        self._validate_group_by()
         _parse_retention(self.retention)  # validate eagerly
         if self.retention != "all":
             multi_target = (
@@ -501,6 +517,73 @@ class RunConfig:
         if self.tree_attempts < 1:
             raise ConfigurationError("tree_attempts must be at least 1")
 
+    def _validate_group_by(self) -> None:
+        """Eagerly reject grouping conflicts and ungroupable targets.
+
+        A grouped run is one query sliced by region — the per-group cubes
+        already multiply the payload, and per-group records key off the
+        single query's extras — so grouping composes with exactly one
+        query. Workload members carrying their own ``GROUP BY`` are
+        rejected for the same reason; run grouped queries standalone.
+        """
+        parsed = parse_queries(self.query) if self.query is not None else []
+        if self.queries is not None or len(parsed) > 1:
+            grouped_members = [
+                query.render() for query in parsed if query.group_by
+            ]
+            if self.queries is not None:
+                for spec in self.queries:
+                    if spec.query is not None:
+                        member = parse_query(spec.query)
+                        if member.group_by:
+                            grouped_members.append(member.render())
+            if self.group_by is not None:
+                raise ConfigurationError(
+                    "'group_by' applies to single-query runs; a multi-query"
+                    " workload cannot be grouped — run the grouped query as"
+                    " its own config"
+                )
+            if grouped_members:
+                raise ConfigurationError(
+                    "workload members cannot carry GROUP BY clauses (got "
+                    + ", ".join(repr(member) for member in grouped_members)
+                    + "); run grouped queries standalone"
+                )
+            return
+        if self.group_by is None:
+            return
+        if not isinstance(self.group_by, str):
+            raise ConfigurationError(
+                "'group_by' expects a region spec string, got "
+                f"{self.group_by!r} ({type(self.group_by).__name__})"
+            )
+        name, _, _ = parse_region_spec(self.group_by)
+        if name not in REGIONS:
+            raise ConfigurationError(
+                f"unknown region hierarchy {name!r} in group_by "
+                f"{self.group_by!r}; registered hierarchies: "
+                + ", ".join(REGIONS.available())
+            )
+        if parsed:
+            query = parsed[0]
+            if query.group_by is not None:
+                raise ConfigurationError(
+                    "config sets 'group_by' while its query already has a "
+                    f"GROUP BY clause ({query.render()!r}); specify the "
+                    "grouping once"
+                )
+            # Re-validating with the clause attached reuses the query
+            # layer's groupability checks (and their actionable errors).
+            dataclasses.replace(query, group_by=self.group_by)
+        else:
+            aggregate = build_aggregate(self.aggregate)
+            if not aggregate.supports_group_by():
+                raise ConfigurationError(
+                    f"aggregate {self.aggregate!r} does not support GROUP "
+                    "BY (its partials don't compose cell-wise); groupable "
+                    "aggregates: " + ", ".join(groupable_aggregates())
+                )
+
     # -- codec ------------------------------------------------------------
 
     def to_jsonable(self) -> Dict[str, object]:
@@ -514,10 +597,14 @@ class RunConfig:
         not execute it, so the version guard must stop them with the
         schema error, not a parse error deep in the query layer).
         """
-        multi_target = (
-            self.query is not None and len(parse_queries(self.query)) > 1
+        parsed = parse_queries(self.query) if self.query is not None else []
+        multi_target = len(parsed) > 1
+        grouped = self.group_by is not None or any(
+            query.group_by for query in parsed
         )
-        if (
+        if grouped:
+            version = 7
+        elif (
             self.retention != "all"
             or self.storage is not None
             or (self.engine is not None and self.engine.state is not None)
@@ -552,6 +639,8 @@ class RunConfig:
             del payload["retention"]
         if self.storage is None:
             del payload["storage"]
+        if self.group_by is None:
+            del payload["group_by"]
         return payload
 
     @classmethod
@@ -951,13 +1040,28 @@ def run_config_result(
     config = _single_query_equivalent(config)
     workload = QueryWorkload.from_config(config)
     scenario = build_scenario(config)
+    deployment = scenario.topology.deployment
     readings = scenario.source
     if workload is not None:
         aggregate, readings = workload.build(readings)
     elif config.query is not None:
-        aggregate, readings = parse_query(config.query).build(readings)
+        aggregate, readings = parse_query(config.query).build(
+            readings, deployment=deployment
+        )
     else:
         aggregate = build_aggregate(config.aggregate)
+    if config.group_by is not None:
+        hierarchy, depth, word_budget = build_regions(
+            config.group_by, deployment
+        )
+        aggregate, readings = apply_grouping(
+            aggregate,
+            readings,
+            hierarchy,
+            depth,
+            word_budget=word_budget,
+            spec=config.group_by,
+        )
     scheme = scenario.build_scheme(aggregate)
     scenario.converge(scheme, readings)
     writer = None
@@ -1121,6 +1225,63 @@ class RunReport:
         if not self.result.num_epochs:
             return 0.0
         return self.result.energy.total_words / self.result.num_epochs
+
+    # -- spatial GROUP BY --------------------------------------------------
+
+    def is_grouped(self) -> bool:
+        """Whether the run recorded per-region group series."""
+        return any(
+            "group_estimates" in epoch.extra for epoch in self.result.epochs
+        )
+
+    def _group_extras(self, key: str) -> List[Mapping[str, float]]:
+        if not self.is_grouped():
+            raise ConfigurationError(
+                "run result carries no per-group records; was it produced "
+                "by a GROUP BY config (the 'group_by' field or a GROUP BY "
+                "clause)?"
+            )
+        return [epoch.extra.get(key) or {} for epoch in self.result.epochs]
+
+    def group_names(self) -> List[str]:
+        """Every region path that appeared in any recorded epoch, sorted.
+
+        Coarsening makes the set epoch-dependent: an epoch that folded a
+        region into its parent reports the parent path instead, so the
+        union over epochs can hold both a region and its ancestor.
+        """
+        names: set = set()
+        for extra in self._group_extras("group_estimates"):
+            names.update(extra)
+        for extra in self._group_extras("group_truths"):
+            names.update(extra)
+        return sorted(names)
+
+    def group_estimates(self, path: str) -> List[float]:
+        """The region's per-epoch estimates (0.0 when absent that epoch)."""
+        return [
+            float(extra.get(path, 0.0))
+            for extra in self._group_extras("group_estimates")
+        ]
+
+    def group_truths(self, path: str) -> List[float]:
+        """The region's per-epoch loss-free truths (0.0 when absent)."""
+        return [
+            float(extra.get(path, 0.0))
+            for extra in self._group_extras("group_truths")
+        ]
+
+    def group_rms_error(self, path: str) -> float:
+        """RMS of estimate - truth over the region's recorded epochs."""
+        estimates = self.group_estimates(path)
+        truths = self.group_truths(path)
+        if not estimates:
+            return 0.0
+        total = sum(
+            (estimate - truth) ** 2
+            for estimate, truth in zip(estimates, truths)
+        )
+        return (total / len(estimates)) ** 0.5
 
     def load_epochs(self) -> List[EpochResult]:
         """The run's full epoch timeline, reloaded lazily when needed.
@@ -1554,6 +1715,18 @@ EXPERIMENT_CONFIGS: Dict[str, RunConfig] = {
             ),
             QuerySpec(name="heavy", aggregate="heavy_hitters:0.05"),
         ),
+    ),
+    # The Fig-2 setting sliced spatially: one grouped pass answers the
+    # network-wide mean AND a depth-2 quadtree's per-region means, with
+    # per-region cubes riding the scheme's ordinary messages (combined
+    # word billing — cheaper than running the regions standalone).
+    "groupby_regions": RunConfig(
+        scheme="TD",
+        failure="global:0.3",
+        reading="uniform:10:100:0",
+        query="SELECT avg GROUP BY region:2",
+        epochs=60,
+        converge_epochs=150,
     ),
 }
 

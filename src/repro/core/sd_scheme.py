@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
+from repro.aggregates.grouping import annotate_groups
 from repro.aggregates.workload import annotate_workload
 from repro.core.payloads import MultipathPayload, missing_stats_words
 from repro.errors import ConfigurationError
@@ -315,9 +316,13 @@ class SynopsisDiffusionScheme:
                 estimate=0.0,
                 contributing=0,
                 contributing_estimate=0.0,
-                extra=annotate_workload(
+                extra=annotate_groups(
                     aggregate,
-                    {"latency_epochs": self._rings.depth},
+                    annotate_workload(
+                        aggregate,
+                        {"latency_epochs": self._rings.depth},
+                        empty=True,
+                    ),
                     empty=True,
                 ),
             )
@@ -350,8 +355,11 @@ class SynopsisDiffusionScheme:
             estimate=estimate,
             contributing=contributors.bit_count(),
             contributing_estimate=contributing_estimate,
-            extra=annotate_workload(
-                aggregate, {"latency_epochs": self._rings.depth}
+            extra=annotate_groups(
+                aggregate,
+                annotate_workload(
+                    aggregate, {"latency_epochs": self._rings.depth}
+                ),
             ),
         )
 

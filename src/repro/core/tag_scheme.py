@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
+from repro.aggregates.grouping import annotate_groups
 from repro.aggregates.workload import annotate_workload
 from repro.core.payloads import TreePayload
 from repro.errors import ConfigurationError
@@ -258,8 +259,12 @@ class TagScheme:
                 estimate=0.0,
                 contributing=0,
                 contributing_estimate=0.0,
-                extra=annotate_workload(
-                    aggregate, {"latency_epochs": self._depth}, empty=True
+                extra=annotate_groups(
+                    aggregate,
+                    annotate_workload(
+                        aggregate, {"latency_epochs": self._depth}, empty=True
+                    ),
+                    empty=True,
                 ),
             )
         partial = received[0].partial
@@ -274,8 +279,9 @@ class TagScheme:
             estimate=estimate,
             contributing=contributors.bit_count(),
             contributing_estimate=float(count),
-            extra=annotate_workload(
-                aggregate, {"latency_epochs": self._depth}
+            extra=annotate_groups(
+                aggregate,
+                annotate_workload(aggregate, {"latency_epochs": self._depth}),
             ),
         )
 

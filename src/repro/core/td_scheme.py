@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import Aggregate
+from repro.aggregates.grouping import annotate_groups
 from repro.aggregates.workload import annotate_workload
 from repro.core.adaptation import AdaptationAction, AdaptationPolicy
 from repro.core.graph import TDGraph
@@ -654,7 +655,14 @@ class TributaryDeltaScheme:
             # All-tree configuration: behave exactly like TAG's root.
             if not tree_payloads:
                 return EpochOutcome(
-                    0.0, 0, 0.0, annotate_workload(aggregate, extra, empty=True)
+                    0.0,
+                    0,
+                    0.0,
+                    annotate_groups(
+                        aggregate,
+                        annotate_workload(aggregate, extra, empty=True),
+                        empty=True,
+                    ),
                 )
             partial = tree_payloads[0].partial
             count = tree_payloads[0].count
@@ -668,7 +676,9 @@ class TributaryDeltaScheme:
                 estimate=estimate,
                 contributing=contributors.bit_count(),
                 contributing_estimate=float(count),
-                extra=annotate_workload(aggregate, extra),
+                extra=annotate_groups(
+                    aggregate, annotate_workload(aggregate, extra)
+                ),
             )
 
         # M-mode base station: keep direct tree partials exact (they are
@@ -707,10 +717,17 @@ class TributaryDeltaScheme:
         partials = [payload.partial for payload in tree_payloads]
         if synopsis is None and not partials:
             return EpochOutcome(
-                0.0, 0, 0.0, annotate_workload(aggregate, extra, empty=True)
+                0.0,
+                0,
+                0.0,
+                annotate_groups(
+                    aggregate,
+                    annotate_workload(aggregate, extra, empty=True),
+                    empty=True,
+                ),
             )
         estimate = aggregate.mixed_eval(partials, synopsis)
-        extra = annotate_workload(aggregate, extra)
+        extra = annotate_groups(aggregate, annotate_workload(aggregate, extra))
         if aggregate.synopsis_counts_contributors():
             sketch_count = synopsis and aggregate.synopsis_eval(synopsis) or 0.0
             contributing_estimate = exact_count + sketch_count

@@ -1,0 +1,207 @@
+"""q-digest: duplicate-sensitive quantile summaries with proven space bounds.
+
+Shrivastava, Buragohain, Agrawal, Suri, "Medians and Beyond: New
+Aggregation Techniques for Sensor Networks" (SenSys 2004).  A q-digest
+summarises integer values from the universe ``[0, 2**log_universe)`` as a
+set of counted nodes of the complete binary tree over that range.  The
+compression invariant keeps every (parent, children) triple's total count
+at or above ``n / k`` — low-count ranges collapse upward — which bounds
+the digest at ``3 * k`` nodes while guaranteeing quantile rank error at
+most ``log_universe * n / k``.  Choosing ``k = ceil(log_universe /
+epsilon)`` therefore gives epsilon-approximate quantiles in O(log(U)/eps)
+space, the paper's Theorem 1/2.
+
+This is the tree-side sibling of the Greenwald-Khanna summaries in
+:mod:`repro.frequent.gk`: GK bounds error by rank bookkeeping over
+arbitrary reals, q-digest by range counting over a bounded integer
+universe.  Both are mergeable, so both ride TAG/TD tributaries;
+:class:`repro.aggregates.frequent.QuantilesQDAggregate` wires this class
+into the standard aggregate protocol.
+
+Heap numbering: node 1 is the root covering ``[0, U)``; node ``v`` has
+children ``2v`` and ``2v + 1``; leaves sit at depth ``log_universe`` with
+ids ``U + value``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Practical ceiling for the universe exponent: 2**20 buckets is already
+#: far beyond any sensor ADC in the reproduced workloads.
+MAX_LOG_UNIVERSE = 20
+
+
+@dataclass(frozen=True)
+class QDigest:
+    """An immutable q-digest over ``[0, 2**log_universe)``.
+
+    Attributes:
+        log_universe: universe exponent (leaf depth of the heap).
+        budget: the compression parameter k.
+        n: total count summarised.
+        counts: sorted ``(heap_node_id, count)`` pairs, every count > 0.
+    """
+
+    log_universe: int
+    budget: int
+    n: int
+    counts: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.log_universe <= MAX_LOG_UNIVERSE:
+            raise ConfigurationError(
+                f"log_universe must be in [1, {MAX_LOG_UNIVERSE}], "
+                f"got {self.log_universe}"
+            )
+        if self.budget < 1:
+            raise ConfigurationError("q-digest budget must be at least 1")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def empty(cls, log_universe: int, budget: int) -> "QDigest":
+        return cls(log_universe, budget, 0, ())
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[float], log_universe: int, budget: int
+    ) -> "QDigest":
+        """Build from readings (rounded and clamped into the universe)."""
+        universe = 1 << log_universe
+        counts: Dict[int, int] = {}
+        n = 0
+        for value in values:
+            bucket = min(max(int(round(float(value))), 0), universe - 1)
+            leaf = universe + bucket
+            counts[leaf] = counts.get(leaf, 0) + 1
+            n += 1
+        return cls(log_universe, budget, n, ())._with(counts, n)
+
+    def _with(self, counts: Dict[int, int], n: int) -> "QDigest":
+        compressed = _compress(counts, n, self.budget, self.log_universe)
+        return QDigest(
+            self.log_universe,
+            self.budget,
+            n,
+            tuple(sorted(compressed.items())),
+        )
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.counts)
+
+    def words(self) -> int:
+        """Wire size: (node id, count) per entry plus an (n, k, U) header."""
+        return 3 + 2 * len(self.counts)
+
+    def rank_error_bound(self) -> float:
+        """Theorem 2: absolute rank error is at most ``log(U) * n / k``."""
+        return self.log_universe * self.n / self.budget
+
+    # -- merge ------------------------------------------------------------
+
+    def merge(self, other: "QDigest") -> "QDigest":
+        """Pointwise-add two digests over the same universe, re-compress."""
+        if other.log_universe != self.log_universe:
+            raise ConfigurationError(
+                "cannot merge q-digests over different universes "
+                f"({self.log_universe} vs {other.log_universe})"
+            )
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            return other
+        counts = dict(self.counts)
+        for node, count in other.counts:
+            counts[node] = counts.get(node, 0) + count
+        merged_n = self.n + other.n
+        budget = min(self.budget, other.budget)
+        return QDigest(self.log_universe, budget, 0, ())._with(
+            counts, merged_n
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def _postorder(self) -> List[Tuple[int, int, int]]:
+        """Entries as ``(range_hi, depth, count)`` in postorder.
+
+        Postorder = increasing upper bound, deeper node first on ties, so
+        a prefix sum walks ranges left to right with descendants counted
+        before their ancestors (the paper's quantile query order).
+        """
+        leaf_depth = self.log_universe
+        ordered = []
+        for node, count in self.counts:
+            depth = node.bit_length() - 1
+            width = 1 << (leaf_depth - depth)
+            low = (node - (1 << depth)) * width
+            ordered.append((low + width - 1, -depth, count))
+        ordered.sort()
+        return ordered
+
+    def query_rank(self, rank: int) -> float:
+        """Value whose estimated rank covers ``rank`` (1-based)."""
+        if self.n == 0:
+            return 0.0
+        rank = min(max(rank, 1), self.n)
+        cumulative = 0
+        ordered = self._postorder()
+        for hi, _neg_depth, count in ordered:
+            cumulative += count
+            if cumulative >= rank:
+                return float(hi)
+        return float(ordered[-1][0])
+
+    def query_quantile(self, phi: float) -> float:
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError("phi must be in [0, 1]")
+        if self.n == 0:
+            return 0.0
+        return self.query_rank(max(1, round(phi * self.n)))
+
+
+def _compress(
+    counts: Dict[int, int], n: int, budget: int, log_universe: int
+) -> Dict[int, int]:
+    """Enforce the q-digest property bottom-up.
+
+    A (parent, left child, right child) triple whose total count is below
+    ``floor(n / k)`` folds into the parent.  One bottom-up sweep restores
+    the invariant everywhere (folding only grows parents, never shrinks a
+    triple below threshold afterwards), keeping at most ``3k`` nodes.
+    """
+    threshold = n // budget if budget else 0
+    if threshold <= 1:
+        return {node: count for node, count in counts.items() if count > 0}
+    result = {node: count for node, count in counts.items() if count > 0}
+    for depth in range(log_universe, 0, -1):
+        level_lo = 1 << depth
+        level_hi = 1 << (depth + 1)
+        parents = sorted(
+            {
+                node >> 1
+                for node in result
+                if level_lo <= node < level_hi
+            }
+        )
+        for parent in parents:
+            left = result.get(2 * parent, 0)
+            right = result.get(2 * parent + 1, 0)
+            here = result.get(parent, 0)
+            if left + right + here < threshold:
+                if left:
+                    del result[2 * parent]
+                if right:
+                    del result[2 * parent + 1]
+                if left + right + here > 0:
+                    result[parent] = left + right + here
+    return result
+
+
+__all__ = ["QDigest", "MAX_LOG_UNIVERSE"]

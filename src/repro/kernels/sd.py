@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.aggregates.grouping import annotate_groups
 from repro.aggregates.workload import annotate_workload
 from repro.multipath.fm import (
     DEFAULT_BITS,
@@ -225,15 +226,22 @@ def run_sd_block(
                 estimate=estimate,
                 contributing=int(contributing[column]),
                 contributing_estimate=contributing_estimate,
-                extra=annotate_workload(aggregate, {"latency_epochs": depth}),
+                extra=annotate_groups(
+                    aggregate,
+                    annotate_workload(aggregate, {"latency_epochs": depth}),
+                ),
             )
         else:
             outcome = EpochOutcome(
                 estimate=0.0,
                 contributing=0,
                 contributing_estimate=0.0,
-                extra=annotate_workload(
-                    aggregate, {"latency_epochs": depth}, empty=True
+                extra=annotate_groups(
+                    aggregate,
+                    annotate_workload(
+                        aggregate, {"latency_epochs": depth}, empty=True
+                    ),
+                    empty=True,
                 ),
             )
         results.append((outcome, log))

@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.aggregates.grouping import annotate_groups
 from repro.aggregates.workload import annotate_workload
 from repro.network.links import Channel, TransmissionLog
 from repro.network.placement import BASE_STATION, NodeId
@@ -150,15 +151,22 @@ def run_tag_block(
                 estimate=aggregate.tree_eval(int(acc_partial[base_row, column])),
                 contributing=count,
                 contributing_estimate=float(count),
-                extra=annotate_workload(aggregate, {"latency_epochs": depth}),
+                extra=annotate_groups(
+                    aggregate,
+                    annotate_workload(aggregate, {"latency_epochs": depth}),
+                ),
             )
         else:
             outcome = EpochOutcome(
                 estimate=0.0,
                 contributing=0,
                 contributing_estimate=0.0,
-                extra=annotate_workload(
-                    aggregate, {"latency_epochs": depth}, empty=True
+                extra=annotate_groups(
+                    aggregate,
+                    annotate_workload(
+                        aggregate, {"latency_epochs": depth}, empty=True
+                    ),
+                    empty=True,
                 ),
             )
         results.append((outcome, log))

@@ -37,6 +37,12 @@ from repro._hashing import stream_rng
 from repro.errors import ConfigurationError, TopologyError
 from repro.network.placement import BASE_STATION, NodeId, Point
 
+#: Largest packed topology whose ``connectivity`` may inflate an
+#: ``nx.Graph``. Above this, the dict-of-dicts graph (hundreds of bytes
+#: per edge) would dwarf the CSR columns it shadows, so the property
+#: raises instead of silently exploding memory at the 1M-node tier.
+CONNECTIVITY_NODE_LIMIT = 200_000
+
 
 class _PositionsView(Mapping):
     """Read-only mapping facade over the packed coordinate columns."""
@@ -196,8 +202,25 @@ class PackedRings:
 
     @property
     def connectivity(self):
-        """The adjacency as an ``nx.Graph``, built lazily on first use."""
+        """The adjacency as an ``nx.Graph``, built lazily on first use.
+
+        Refuses to materialize above :data:`CONNECTIVITY_NODE_LIMIT`
+        nodes: the dict-of-dicts graph costs orders of magnitude more RAM
+        than the CSR columns, so inflating it at the million-node tier
+        (churn re-ringing and the TD tree validator are the only callers)
+        would silently undo everything the packed representation saved.
+        """
         if self._graph is None:
+            if len(self.level_of) > CONNECTIVITY_NODE_LIMIT:
+                raise ConfigurationError(
+                    f"refusing to inflate a networkx connectivity graph "
+                    f"for {len(self.level_of)} packed nodes (limit "
+                    f"{CONNECTIVITY_NODE_LIMIT}): the dict-shaped graph "
+                    "would dwarf the packed columns' memory. Packed "
+                    "scenarios at this scale cannot serve churn "
+                    "re-ringing or tree validation; run them without "
+                    "churn, or use the dict tier for smaller deployments"
+                )
             import networkx as nx
 
             graph = nx.Graph()

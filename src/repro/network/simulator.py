@@ -726,6 +726,14 @@ class EpochSimulator:
             truths = aggregate.last_exact_evaluations
             if truths is not None:
                 extra["workload_truths"] = list(truths)
+        if getattr(aggregate, "group_by_spec", None) is not None:
+            # Spatial GROUP BY: exact_answer just grouped the loss-free
+            # readings by region; record the per-group truths beside the
+            # per-group estimates the scheme annotated, so the report layer
+            # can compute per-group RMS. Ungrouped runs never get here.
+            group_truths = aggregate.last_exact_groups
+            if group_truths is not None:
+                extra["group_truths"] = dict(group_truths)
         result = EpochResult(
             epoch=epoch,
             estimate=outcome.estimate,

@@ -41,7 +41,9 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.aggregates.base import Aggregate
 from repro.errors import ConfigurationError
 from repro.network.simulator import ReadingFn
-from repro.registry import AGGREGATES, build_aggregate
+from repro.registry import AGGREGATES, REGIONS, build_aggregate, build_regions
+from repro.spatial.grouped import apply_grouping
+from repro.spatial.regions import parse_region_spec
 
 #: value predicate applied at each sensor.
 Predicate = Callable[[float], bool]
@@ -258,6 +260,23 @@ class FilteredAggregate(Aggregate):
         so the contributing-count piggyback must still travel."""
         return False
 
+    def supports_group_by(self) -> bool:
+        """A WHERE clause composes with GROUP BY whenever the inner
+        aggregate does (the predicate applies per cell)."""
+        return self._inner.supports_group_by()
+
+
+def groupable_aggregates() -> List[str]:
+    """Registered aggregate names that accept a GROUP BY clause."""
+    names = []
+    for name in AGGREGATES.available():
+        try:
+            if build_aggregate(name).supports_group_by():
+                names.append(name)
+        except ConfigurationError:
+            continue
+    return sorted(names)
+
 
 @dataclass(frozen=True)
 class WhereClause:
@@ -293,12 +312,17 @@ class ContinuousQuery:
         where: optional predicate on the (windowed) sensor value.
         window: optional window size (epochs); 1 or None = latest reading.
         window_op: window reduction (MEAN/SUM/MIN/MAX/LAST).
+        group_by: optional region spec (``region[:depth[:budget]]``) — the
+            run answers per region of the named hierarchy at that depth,
+            coarsening to ancestor regions when the optional word budget
+            would be exceeded. Only groupable aggregates accept it.
     """
 
     select: str
     where: Optional[WhereClause] = None
     window: Optional[int] = None
     window_op: str = "MEAN"
+    group_by: Optional[str] = None
 
     def __post_init__(self) -> None:
         head = self.select.split(":", 1)[0]
@@ -307,28 +331,68 @@ class ContinuousQuery:
                 f"unknown aggregate {self.select!r}; "
                 f"choose from {sorted(AGGREGATE_FACTORIES)}"
             )
-        build_aggregate(self.select)  # validate spec arguments eagerly
+        aggregate = build_aggregate(self.select)  # validate spec eagerly
         if self.window is not None and self.window < 1:
             raise ConfigurationError("window must be at least 1 epoch")
         if self.window_op.upper() not in _WINDOW_OPS:
             raise ConfigurationError(
                 f"unknown window op {self.window_op!r}"
             )
+        if self.group_by is not None:
+            if not aggregate.supports_group_by():
+                raise ConfigurationError(
+                    f"clause 'GROUP BY {self.group_by}' is not supported "
+                    f"for SELECT target {self.select!r}; groupable "
+                    f"aggregates: {', '.join(groupable_aggregates())}"
+                )
+            name, _depth, _budget = parse_region_spec(self.group_by)
+            if name not in REGIONS:
+                raise ConfigurationError(
+                    f"unknown region hierarchy {name!r} in clause "
+                    f"'GROUP BY {self.group_by}'; registered hierarchies: "
+                    f"{', '.join(REGIONS.available())}"
+                )
 
-    def build(self, source: ReadingFn) -> Tuple[Aggregate, ReadingFn]:
-        """Compile to (aggregate, readings) for any aggregation scheme."""
+    def build(
+        self, source: ReadingFn, deployment=None
+    ) -> Tuple[Aggregate, ReadingFn]:
+        """Compile to (aggregate, readings) for any aggregation scheme.
+
+        Grouped queries additionally need the ``deployment`` (node
+        positions) to resolve their region hierarchy.
+        """
         readings: ReadingFn = source
         if self.window is not None and self.window > 1:
             readings = WindowedReadings(source, self.window, self.window_op)
         aggregate = build_aggregate(self.select)
         if self.where is not None:
             aggregate = FilteredAggregate(aggregate, self.where.predicate())
+        if self.group_by is not None:
+            if deployment is None:
+                raise ConfigurationError(
+                    f"query {self.render()!r} has a GROUP BY clause but no "
+                    "deployment was supplied; grouped queries need node "
+                    "positions to resolve regions"
+                )
+            hierarchy, depth, budget = build_regions(
+                self.group_by, deployment
+            )
+            aggregate, readings = apply_grouping(
+                aggregate,
+                readings,
+                hierarchy,
+                depth,
+                word_budget=budget,
+                spec=self.group_by,
+            )
         return aggregate, readings
 
     def render(self) -> str:
         parts = [f"SELECT {self.select}"]
         if self.where is not None:
             parts.append(f"WHERE {self.where.render()}")
+        if self.group_by is not None:
+            parts.append(f"GROUP BY {self.group_by}")
         if self.window is not None and self.window > 1:
             parts.append(f"WINDOW {self.window} {self.window_op.upper()}")
         return " ".join(parts)
@@ -372,6 +436,7 @@ def parse_queries(text: str) -> List[ContinuousQuery]:
     while position < len(tokens) and tokens[position].upper() not in (
         "WHERE",
         "WINDOW",
+        "GROUP",
     ):
         target_tokens.append(take())
     selects = [
@@ -385,6 +450,7 @@ def parse_queries(text: str) -> List[ContinuousQuery]:
     where: Optional[WhereClause] = None
     window: Optional[int] = None
     window_op = "MEAN"
+    group_by: Optional[str] = None
     while position < len(tokens):
         keyword = take().upper()
         if keyword == "WHERE":
@@ -410,13 +476,26 @@ def parse_queries(text: str) -> List[ContinuousQuery]:
                 ) from error
             if position < len(tokens) and tokens[position].upper() in _WINDOW_OPS:
                 window_op = take().upper()
+        elif keyword == "GROUP":
+            expect("BY")
+            if position >= len(tokens):
+                raise ConfigurationError(
+                    f"clause 'GROUP BY' in {text!r} is missing its region "
+                    "spec; expected GROUP BY NAME[:DEPTH[:BUDGET]], e.g. "
+                    "'GROUP BY region:2'"
+                )
+            group_by = take().lower()
         else:
             raise ConfigurationError(
                 f"unexpected token {keyword!r} in {text!r}"
             )
     return [
         ContinuousQuery(
-            select=select, where=where, window=window, window_op=window_op
+            select=select,
+            where=where,
+            window=window,
+            window_op=window_op,
+            group_by=group_by,
         )
         for select in selects
     ]

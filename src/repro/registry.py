@@ -22,6 +22,7 @@ churn models    spec-string constructor              none, deaths, blackout,
 summaries       spec-string ``Aggregate`` factory    heavy_hitters, quantiles
 fault plans     spec-string constructor              corrupt, duplicate,
                                                      delay, bscrash, partition
+regions         ``(deployment, depth) -> hierarchy`` region (quadtree), grid
 ==============  ===================================  =======================
 
 Aggregates resolve from *spec strings* too (:func:`build_aggregate`): a
@@ -69,7 +70,11 @@ from repro.aggregates.average import AverageAggregate
 from repro.aggregates.base import Aggregate
 from repro.aggregates.count import CountAggregate
 from repro.aggregates.distinct import DistinctCountAggregate
-from repro.aggregates.frequent import HeavyHittersAggregate, QuantilesAggregate
+from repro.aggregates.frequent import (
+    HeavyHittersAggregate,
+    QuantilesAggregate,
+    QuantilesQDAggregate,
+)
 from repro.aggregates.minmax import MaxAggregate, MinAggregate
 from repro.aggregates.moments import MomentsAggregate
 from repro.aggregates.sample import UniformSampleAggregate
@@ -108,6 +113,12 @@ from repro.network.failures import (
     GlobalLoss,
     NoLoss,
     RegionalLoss,
+)
+from repro.spatial.regions import (
+    RegionHierarchy,
+    grid_hierarchy,
+    parse_region_spec,
+    quadtree_hierarchy,
 )
 
 T = TypeVar("T")
@@ -221,6 +232,9 @@ DATASETS: Registry[Callable[..., object]] = Registry("dataset")
 CHURN_MODELS: Registry[Callable[..., object]] = Registry("churn model")
 SUMMARIES: Registry[Callable[..., Aggregate]] = Registry("summary")
 FAULTS: Registry[Callable[..., FaultPlan]] = Registry("fault injector")
+REGIONS: Registry[Callable[..., RegionHierarchy]] = Registry(
+    "region hierarchy"
+)
 
 
 def register_scheme(name: str, adaptive: bool = False):
@@ -264,6 +278,23 @@ def register_summary(name: str):
         SUMMARIES.register(name, factory)
         AGGREGATES.register(name, factory)
         return factory
+
+    return decorator
+
+
+def register_regions(name: str):
+    """Register a region-hierarchy builder for ``GROUP BY name[:depth]``.
+
+    The builder maps ``(deployment, max_depth)`` to a
+    :class:`~repro.spatial.regions.RegionHierarchy` over that deployment —
+    any object with the ``width``/``height``/``sensor_ids``/``position``
+    surface works, so hierarchies apply to every registered topology
+    (synthetic, labdata, synthetic-scale) unchanged.
+    """
+
+    def decorator(builder: Callable[..., RegionHierarchy]):
+        REGIONS.register(name, builder)
+        return builder
 
     return decorator
 
@@ -344,11 +375,13 @@ def available() -> Dict[str, Tuple[str, ...]]:
     """Every registry's names: the discovery surface of the component system.
 
     >>> sorted(available())
-    ['aggregates', 'churn_models', 'datasets', 'failure_models', 'faults', 'schemes', 'summaries', 'topologies']
+    ['aggregates', 'churn_models', 'datasets', 'failure_models', 'faults', 'regions', 'schemes', 'summaries', 'topologies']
     >>> available()['schemes']
     ('TAG', 'SD', 'TD-Coarse', 'TD')
     >>> available()['summaries']
-    ('heavy_hitters', 'quantiles')
+    ('heavy_hitters', 'quantiles', 'quantiles_qd')
+    >>> available()['regions']
+    ('region', 'grid')
     """
     return {
         "schemes": SCHEMES.available(),
@@ -359,6 +392,7 @@ def available() -> Dict[str, Tuple[str, ...]]:
         "churn_models": CHURN_MODELS.available(),
         "summaries": SUMMARIES.available(),
         "faults": FAULTS.available(),
+        "regions": REGIONS.available(),
     }
 
 
@@ -518,6 +552,33 @@ def build_fault_plan(specs) -> Optional[FaultPlan]:
     return CompositeFaultPlan(tuple(plans))
 
 
+def build_regions(spec: str, deployment):
+    """Construct a region hierarchy from a ``name[:depth[:budget]]`` spec.
+
+    Returns ``(hierarchy, depth, word_budget)`` — everything
+    :func:`repro.spatial.apply_grouping` needs to wrap an aggregate for a
+    GROUP BY run. The optional third token is the multiresolution word
+    budget: a merged grouped message larger than that many words coarsens
+    its deepest cells into ancestors until it fits.
+    """
+    name, depth, budget = parse_region_spec(spec)
+    if name not in REGIONS:
+        raise ConfigurationError(
+            f"unknown region hierarchy {name!r} in GROUP BY spec {spec!r}; "
+            f"registered hierarchies: {', '.join(REGIONS.available())}"
+        )
+    builder = REGIONS.resolve(name)
+    try:
+        hierarchy = builder(deployment, depth)
+    except ConfigurationError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"bad GROUP BY spec {spec!r}: {error}"
+        ) from error
+    return hierarchy, depth, budget
+
+
 # -- built-in schemes ------------------------------------------------------
 # Registration order is the canonical comparison order of every
 # multi-scheme figure: TAG, SD, TD-Coarse, TD.
@@ -612,6 +673,26 @@ def _build_quantiles(
 ) -> QuantilesAggregate:
     """``quantiles:EPS[:PHI]`` — the phi-quantile (median by default)."""
     return QuantilesAggregate(epsilon=float(epsilon), phi=float(phi))
+
+
+@register_summary("quantiles_qd")
+def _build_quantiles_qd(
+    epsilon: str = "0.05", phi: str = "0.5", log_universe: str = "10"
+) -> QuantilesQDAggregate:
+    """``quantiles_qd:EPS[:PHI[:LOG_UNIVERSE]]`` — the phi-quantile via
+    q-digest summaries (Shrivastava et al.), the space-bounded sibling of
+    the GK-backed ``quantiles``."""
+    return QuantilesQDAggregate(
+        epsilon=float(epsilon),
+        phi=float(phi),
+        log_universe=int(log_universe),
+    )
+
+
+# -- built-in region hierarchies (spatial/) ---------------------------------
+
+register_regions("region")(quadtree_hierarchy)
+register_regions("grid")(grid_hierarchy)
 
 
 # -- built-in failure models -----------------------------------------------

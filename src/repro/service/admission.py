@@ -69,12 +69,16 @@ class AdmissionController:
         start_epoch: int = 0,
         probe_nodes: int = 4,
         probe_epochs: int = 3,
+        deployment=None,
     ) -> None:
         if budget_words < 1:
             raise ConfigurationError(
                 "budget_words must be a positive word count"
             )
         self._source = source
+        # Node positions, needed only to probe GROUP BY parts (the grouped
+        # payload is a per-region cube whose size the probe must see).
+        self._deployment = deployment
         self.budget_words = budget_words
         self._start_epoch = start_epoch
         self._probe_nodes = max(1, probe_nodes)
@@ -93,7 +97,9 @@ class AdmissionController:
         part). Probes both encodings — the multi-path synopsis and the
         tree partial — and takes the larger: the scheme may route either.
         """
-        aggregate, readings = query.build(self._source)
+        aggregate, readings = query.build(
+            self._source, deployment=self._deployment
+        )
         worst = 1
         for node in range(1, self._probe_nodes + 1):
             for offset in range(self._probe_epochs):

@@ -102,6 +102,13 @@ class AggregationService:
                 "the aggregation service does not serve churn scenarios "
                 "yet; use repro run-config for churn timelines"
             )
+        if config.group_by is not None:
+            raise ConfigurationError(
+                "the service's scenario config cannot carry 'group_by' "
+                "(the server serves subscriptions, not the config's own "
+                "query); subscribe a 'SELECT ... GROUP BY ...' query "
+                "instead"
+            )
         self._config = config
         self._scenario = build_scenario(config)
         interval = (
@@ -125,11 +132,15 @@ class AggregationService:
         self._block_epochs = block_epochs
         self._checkpoint_dir = checkpoint_dir
         self._pace = pace_seconds
-        self._planner = QueryPlanner(self._scenario.source)
+        deployment = self._scenario.topology.deployment
+        self._planner = QueryPlanner(
+            self._scenario.source, deployment=deployment
+        )
         self._admission = AdmissionController(
             self._scenario.source,
             budget_words=budget_words,
             start_epoch=config.start_epoch,
+            deployment=deployment,
         )
 
         self._lock = threading.RLock()

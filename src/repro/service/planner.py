@@ -101,8 +101,12 @@ class QueryPlanner:
     loop must see one consistent table).
     """
 
-    def __init__(self, source) -> None:
+    def __init__(self, source, deployment=None) -> None:
         self._source = source
+        #: Node positions for grouped (GROUP BY) parts; slots without a
+        #: GROUP BY clause never touch it, so ``None`` stays valid for
+        #: servers built before the spatial layer existed.
+        self._deployment = deployment
         self._slots: Dict[str, Slot] = {}
         #: Times an acquire landed on an already-referenced slot — the
         #: subexpression-sharing win, surfaced on ``GET /stats``.
@@ -190,7 +194,9 @@ class QueryPlanner:
         named, readings = [], []
         for slot in self._slots.values():
             if slot.refs > 0:
-                aggregate, reading_fn = slot.query.build(self._source)
+                aggregate, reading_fn = slot.query.build(
+                    self._source, deployment=self._deployment
+                )
                 named.append((slot.key, aggregate))
                 readings.append(reading_fn)
                 slot.attached = True
@@ -209,7 +215,9 @@ class QueryPlanner:
         for key in list(self._slots):
             slot = self._slots[key]
             if slot.refs > 0 and not slot.attached:
-                aggregate, reading_fn = slot.query.build(self._source)
+                aggregate, reading_fn = slot.query.build(
+                    self._source, deployment=self._deployment
+                )
                 workload.add_slot(key, aggregate)
                 readings.add_component(reading_fn)
                 slot.attached = True

@@ -1,0 +1,42 @@
+"""Spatial GROUP BY: region hierarchies and grouped in-network aggregation.
+
+See :mod:`repro.spatial.regions` for the quadtree/grid region layer and
+:mod:`repro.spatial.grouped` for the partial-cube aggregate that carries
+per-region answers up the TAG/SD/TD paths.
+"""
+
+from repro.spatial.grouped import (
+    GroupedAggregate,
+    GroupedReadings,
+    RegionFilteredAggregate,
+    apply_grouping,
+)
+from repro.spatial.regions import (
+    MAX_REGION_DEPTH,
+    ROOT_REGION,
+    RegionHierarchy,
+    grid_hierarchy,
+    is_region_prefix,
+    parse_region_spec,
+    quadtree_hierarchy,
+    region_ancestor,
+    region_depth,
+    region_parent,
+)
+
+__all__ = [
+    "GroupedAggregate",
+    "GroupedReadings",
+    "RegionFilteredAggregate",
+    "RegionHierarchy",
+    "MAX_REGION_DEPTH",
+    "ROOT_REGION",
+    "apply_grouping",
+    "grid_hierarchy",
+    "is_region_prefix",
+    "parse_region_spec",
+    "quadtree_hierarchy",
+    "region_ancestor",
+    "region_depth",
+    "region_parent",
+]

@@ -1,0 +1,442 @@
+"""Grouped aggregation: per-region partial cubes over any scheme.
+
+A grouped run tags every reading with the node's region path
+(:class:`GroupedReadings`) and replaces the scalar aggregate with a
+:class:`GroupedAggregate` whose partial state is a *cube*: a dict mapping
+region paths to the inner aggregate's partial for that region.  Cubes ride
+the existing TAG tree / SD synopsis / TD mixed paths unchanged — merge and
+fuse operate cell-wise, word billing charges one path word per occupied
+cell plus the inner payload, and evaluation produces both the global
+answer (the scalar every scheme already reports) and a per-group breakdown
+stashed for the schemes' annotate paths.
+
+Multiresolution coarsening (Meliou et al.): when a word budget is set and
+a merged cube would exceed it, the deepest cells fold into their parent —
+the message reports an *ancestor* region instead of its leaves, trading
+resolution for fit.  Coarsening applies only on the (duplicate-sensitive)
+tree side; synopsis cubes stay at leaf resolution so cell-wise fusion
+remains order- and duplicate-insensitive.
+
+This module must not import :mod:`repro.registry` (the registry imports
+the region builders, and the package ``__init__`` imports this file);
+callers resolve the hierarchy through ``registry.build_regions`` and pass
+it in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._hashing import hash_key
+from repro.aggregates.base import Aggregate
+from repro.errors import ConfigurationError
+from repro.spatial.regions import (
+    RegionHierarchy,
+    is_region_prefix,
+    region_depth,
+    region_parent,
+)
+
+#: A tagged reading: (windowed/filtered value, region path of the sensor).
+TaggedReading = Tuple[float, str]
+
+
+class GroupedReadings:
+    """Reading source that tags each value with the node's region path.
+
+    Wraps any reading source (including :class:`WindowedReadings`) and
+    forwards the churn/checkpoint hooks so grouped queries compose with
+    windows, churn and resume unchanged.  The node-to-path mapping is
+    static — regions are a property of placement, not membership.
+    """
+
+    def __init__(
+        self, source, hierarchy: RegionHierarchy, depth: int
+    ) -> None:
+        self._source = source
+        self._hierarchy = hierarchy
+        self._depth = depth
+        self._paths: Dict[int, str] = {}
+
+    def __call__(self, node: int, epoch: int) -> TaggedReading:
+        path = self._paths.get(node)
+        if path is None:
+            path = self._hierarchy.region_of(node, self._depth)
+            self._paths[node] = path
+        return (self._source(node, epoch), path)
+
+    def region_of(self, node: int) -> str:
+        return self._hierarchy.region_of(node, self._depth)
+
+    def on_membership_change(self, update) -> None:
+        hook = getattr(self._source, "on_membership_change", None)
+        if hook is not None:
+            hook(update)
+
+    def checkpoint_state(self):
+        hook = getattr(self._source, "checkpoint_state", None)
+        return hook() if hook is not None else {}
+
+    def restore_state(self, state) -> None:
+        hook = getattr(self._source, "restore_state", None)
+        if hook is not None:
+            hook(state)
+
+
+def _require_neutral(inner: Aggregate, what: str) -> None:
+    try:
+        inner.tree_empty()
+        inner.synopsis_empty()
+    except NotImplementedError:
+        raise ConfigurationError(
+            f"{what} requires an aggregate with neutral elements; "
+            f"{inner.name!r} has none"
+        ) from None
+
+
+class GroupedAggregate(Aggregate):
+    """GROUP BY wrapper: partial cubes keyed by region path.
+
+    Tree partials and synopses are dicts ``{region_path: inner_state}``.
+    Only the groupable built-ins (those whose ``supports_group_by`` is
+    true) may be wrapped — grouping needs cell-wise merge to be exact over
+    a partition of the sensors, which holds for count/sum/avg/min/max and
+    the synopsis-backed distinct but not for e.g. the rank-based summaries.
+    """
+
+    def __init__(
+        self,
+        inner: Aggregate,
+        hierarchy: RegionHierarchy,
+        depth: int,
+        word_budget: Optional[int] = None,
+        spec: Optional[str] = None,
+    ) -> None:
+        if not inner.supports_group_by():
+            supported = getattr(inner, "name", type(inner).__name__)
+            raise ConfigurationError(
+                f"aggregate {supported!r} does not support GROUP BY"
+            )
+        _require_neutral(inner, "GROUP BY")
+        if word_budget is not None and word_budget < 2:
+            raise ConfigurationError(
+                f"GROUP BY word budget {word_budget} too small: a grouped "
+                "message needs at least 2 words (header + one cell)"
+            )
+        self._inner = inner
+        self._hierarchy = hierarchy
+        self._depth = depth
+        self._budget = word_budget
+        #: duck-typed marker: schemes/simulator detect grouped aggregates
+        #: through this attribute (the way workloads use workload_names).
+        self.group_by_spec = spec or f"{hierarchy.name}:{depth}"
+        self.name = f"{inner.name} GROUP BY {self.group_by_spec}"
+        #: per-group evaluations from the most recent tree/synopsis/mixed
+        #: eval, read by the schemes' annotate paths right after eval.
+        self.last_group_evaluations: Optional[Dict[str, float]] = None
+        #: per-group exact answers from the most recent ``exact`` call,
+        #: read by the simulator's truth recording.
+        self.last_exact_groups: Optional[Dict[str, float]] = None
+
+    @property
+    def inner(self) -> Aggregate:
+        return self._inner
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def word_budget(self) -> Optional[int]:
+        return self._budget
+
+    # -- tree ------------------------------------------------------------
+
+    def tree_local(self, node: int, epoch: int, reading: TaggedReading):
+        value, path = reading
+        return {path: self._inner.tree_local(node, epoch, value)}
+
+    def tree_merge(self, a, b):
+        merged = dict(a)
+        for path, cell in b.items():
+            existing = merged.get(path)
+            merged[path] = (
+                cell
+                if existing is None
+                else self._inner.tree_merge(existing, cell)
+            )
+        merged = self._normalize(merged, self._inner.tree_merge)
+        if self._budget is not None:
+            merged = self._coarsen(merged)
+        return merged
+
+    def tree_eval(self, cube) -> float:
+        self.last_group_evaluations = {
+            path: self._inner.tree_eval(cell)
+            for path, cell in sorted(cube.items())
+        }
+        return self._inner.tree_eval(self._flatten(cube, self._inner.tree_merge, self._inner.tree_empty))
+
+    def tree_words(self, cube) -> int:
+        # Combined RLE billing: one header word (cell count + resolution
+        # map) plus, per occupied cell, one path word and the inner payload.
+        return 1 + sum(
+            1 + self._inner.tree_words(cell) for cell in cube.values()
+        )
+
+    # -- multi-path ----------------------------------------------------------
+
+    def synopsis_local(self, node: int, epoch: int, reading: TaggedReading):
+        value, path = reading
+        return {path: self._inner.synopsis_local(node, epoch, value)}
+
+    def synopsis_fuse(self, a, b):
+        # Cell-wise fuse, never coarsened: folding cells would break
+        # order/duplicate-insensitivity, and cells at mixed resolutions
+        # (from converted, coarsened tree partials) simply coexist as
+        # separate groups.
+        fused = dict(a)
+        for path, cell in b.items():
+            existing = fused.get(path)
+            fused[path] = (
+                cell
+                if existing is None
+                else self._inner.synopsis_fuse(existing, cell)
+            )
+        return fused
+
+    def synopsis_eval(self, cube) -> float:
+        self.last_group_evaluations = {
+            path: self._inner.synopsis_eval(cell)
+            for path, cell in sorted(cube.items())
+        }
+        return self._inner.synopsis_eval(
+            self._flatten(cube, self._inner.synopsis_fuse, self._inner.synopsis_empty)
+        )
+
+    def synopsis_words(self, cube) -> int:
+        return 1 + sum(
+            1 + self._inner.synopsis_words(cell) for cell in cube.values()
+        )
+
+    # -- neutral elements ----------------------------------------------------
+
+    def tree_empty(self):
+        return {}
+
+    def synopsis_empty(self):
+        return {}
+
+    # -- conversion --------------------------------------------------------------
+
+    def convert(self, cube, sender: int, epoch: int):
+        # Each cell converts under a path-derived sender so cells from the
+        # same physical sender occupy disjoint key spaces — fusing two
+        # converted cells must union their virtual items, not alias them.
+        return {
+            path: self._inner.convert(
+                cell, hash_key("group-conv", sender, path), epoch
+            )
+            for path, cell in cube.items()
+        }
+
+    # -- mixed evaluation --------------------------------------------------------
+
+    def mixed_eval(self, partials: Sequence, fused) -> float:
+        if fused is None:
+            merged = {}
+            for cube in partials:
+                merged = self.tree_merge(merged, cube)
+            return self.tree_eval(merged)
+        combined = dict(fused)
+        for index, cube in enumerate(partials):
+            combined = self.synopsis_fuse(
+                combined, self.convert(cube, -(index + 1), 0)
+            )
+        return self.synopsis_eval(combined)
+
+    # -- truth ---------------------------------------------------------------------
+
+    def exact(self, readings: Sequence[TaggedReading]) -> float:
+        by_group: Dict[str, List[float]] = {}
+        values: List[float] = []
+        for value, path in readings:
+            values.append(value)
+            by_group.setdefault(path, []).append(value)
+        self.last_exact_groups = {
+            path: self._inner.exact(group)
+            for path, group in sorted(by_group.items())
+        }
+        if not values:
+            return self._inner.tree_eval(self._inner.tree_empty())
+        return self._inner.exact(values)
+
+    # -- capabilities --------------------------------------------------------------
+
+    def synopsis_counts_contributors(self) -> bool:
+        return False
+
+    def supports_group_by(self) -> bool:
+        return False  # no nested GROUP BY
+
+    # -- internals -----------------------------------------------------------------
+
+    def _flatten(self, cube, combine, empty):
+        """Collapse all cells into one global inner state.
+
+        Cells cover disjoint sensor sets (a partition, or a partition of a
+        partition after coarsening), so cell-wise combine composes exactly.
+        """
+        cells = [cube[path] for path in sorted(cube)]
+        if not cells:
+            return empty()
+        total = cells[0]
+        for cell in cells[1:]:
+            total = combine(total, cell)
+        return total
+
+    def _normalize(self, cube, combine):
+        """Fold any cell whose strict ancestor is also present into it.
+
+        Mixed resolutions appear when one branch coarsened and a sibling
+        did not; a well-formed cube never reports a region and one of its
+        sub-regions side by side. Deepest-first order makes the fold
+        deterministic regardless of merge order.
+        """
+        if len(cube) < 2:
+            return cube
+        paths = sorted(cube, key=lambda p: (region_depth(p), p))
+        result: Dict[str, object] = {}
+        for path in paths:  # shallow first: ancestors land before leaves
+            cell = cube[path]
+            target = path
+            for candidate in paths:
+                if candidate == path:
+                    break
+                if candidate in result and is_region_prefix(candidate, path):
+                    target = candidate
+                    break
+            existing = result.get(target)
+            result[target] = (
+                cell if existing is None else combine(existing, cell)
+            )
+        return result
+
+    def _coarsen(self, cube):
+        """Fold deepest cells into their parents until the budget fits."""
+        budget = self._budget
+        assert budget is not None
+        cube = dict(cube)
+        while self.tree_words(cube) > budget and len(cube) >= 1:
+            deepest = max(cube, key=lambda p: (region_depth(p), p))
+            if region_depth(deepest) == 0:
+                break  # already a single root cell: nothing left to fold
+            parent = region_parent(deepest)
+            cell = cube.pop(deepest)
+            existing = cube.get(parent)
+            cube[parent] = (
+                cell
+                if existing is None
+                else self._inner.tree_merge(existing, cell)
+            )
+        return cube
+
+
+class RegionFilteredAggregate(Aggregate):
+    """Standalone single-region run over region-tagged readings.
+
+    The spatial analogue of :class:`~repro.query.FilteredAggregate`: nodes
+    outside the target region contribute the inner neutral element but
+    keep relaying.  Used by the amortization benchmark and the loss-0
+    equivalence tests — one grouped pass must agree with (and cost less
+    than) a set of these.
+    """
+
+    def __init__(self, inner: Aggregate, region: str) -> None:
+        _require_neutral(inner, "region filtering")
+        self._inner = inner
+        self._region = region
+        self.name = f"{inner.name}[region={region}]"
+
+    def _matches(self, path: str) -> bool:
+        return is_region_prefix(self._region, path)
+
+    # -- tree ------------------------------------------------------------
+
+    def tree_local(self, node: int, epoch: int, reading: TaggedReading):
+        value, path = reading
+        if self._matches(path):
+            return self._inner.tree_local(node, epoch, value)
+        return self._inner.tree_empty()
+
+    def tree_merge(self, a, b):
+        return self._inner.tree_merge(a, b)
+
+    def tree_eval(self, partial) -> float:
+        return self._inner.tree_eval(partial)
+
+    def tree_words(self, partial) -> int:
+        return self._inner.tree_words(partial)
+
+    # -- multi-path ----------------------------------------------------------
+
+    def synopsis_local(self, node: int, epoch: int, reading: TaggedReading):
+        value, path = reading
+        if self._matches(path):
+            return self._inner.synopsis_local(node, epoch, value)
+        return self._inner.synopsis_empty()
+
+    def synopsis_fuse(self, a, b):
+        return self._inner.synopsis_fuse(a, b)
+
+    def synopsis_eval(self, synopsis) -> float:
+        return self._inner.synopsis_eval(synopsis)
+
+    def synopsis_words(self, synopsis) -> int:
+        return self._inner.synopsis_words(synopsis)
+
+    # -- neutral elements / conversion ----------------------------------------
+
+    def tree_empty(self):
+        return self._inner.tree_empty()
+
+    def synopsis_empty(self):
+        return self._inner.synopsis_empty()
+
+    def convert(self, partial, sender: int, epoch: int):
+        return self._inner.convert(partial, sender, epoch)
+
+    def mixed_eval(self, partials, fused) -> float:
+        return self._inner.mixed_eval(partials, fused)
+
+    # -- truth ---------------------------------------------------------------------
+
+    def exact(self, readings: Sequence[TaggedReading]) -> float:
+        matching = [v for v, path in readings if self._matches(path)]
+        if not matching:
+            return self._inner.tree_eval(self._inner.tree_empty())
+        return self._inner.exact(matching)
+
+    def synopsis_counts_contributors(self) -> bool:
+        return False
+
+
+def apply_grouping(
+    aggregate: Aggregate,
+    readings,
+    hierarchy: RegionHierarchy,
+    depth: int,
+    word_budget: Optional[int] = None,
+    spec: Optional[str] = None,
+) -> Tuple[GroupedAggregate, GroupedReadings]:
+    """Wrap an (aggregate, readings) pair for a GROUP BY run."""
+    if depth > hierarchy.max_depth:
+        raise ConfigurationError(
+            f"GROUP BY depth {depth} exceeds hierarchy "
+            f"{hierarchy.name!r} max depth {hierarchy.max_depth}"
+        )
+    grouped = GroupedAggregate(
+        aggregate, hierarchy, depth, word_budget=word_budget, spec=spec
+    )
+    tagged = GroupedReadings(readings, hierarchy, depth)
+    return grouped, tagged

@@ -1,0 +1,145 @@
+"""Tests for the q-digest summary (Shrivastava et al., SenSys'04).
+
+Pins the two guarantees the structure is used for — the space bound
+(~3k counted ranges for budget k) and the rank-error bound
+(``epsilon * n``) — plus mergeability, the first-class ``quantiles_qd``
+registry/SELECT surface, and a GK-vs-q-digest sanity comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.frequent import QuantilesAggregate, QuantilesQDAggregate
+from repro.api import RunConfig, Session
+from repro.errors import ConfigurationError
+from repro.frequent.qdigest import QDigest
+from repro.query import parse_query
+from repro.registry import AGGREGATES, SUMMARIES, build_aggregate
+
+
+def true_rank(values, answer) -> int:
+    """How many values are <= the reported answer."""
+    return sum(1 for value in values if value <= answer)
+
+
+class TestQDigestStructure:
+    def test_from_values_counts_everything(self):
+        digest = QDigest.from_values([1, 5, 9, 5], log_universe=4, budget=8)
+        assert digest.n == 4
+
+    def test_space_bound(self):
+        """At most ~3k counted ranges regardless of input size."""
+        budget = 20
+        values = [((i * 7919) % 1000) for i in range(5000)]
+        digest = QDigest.from_values(values, log_universe=10, budget=budget)
+        # The SenSys'04 bound is 3k; the floor(n/k) threshold admits a
+        # small constant slop on non-divisible n.
+        assert digest.size <= 3 * budget + 2
+        assert digest.n == 5000
+
+    def test_rank_error_within_bound(self):
+        epsilon = 0.1
+        log_universe = 10
+        budget = -(-log_universe // epsilon)  # ceil(log_u / eps)
+        values = [((i * 7919) % 1024) for i in range(4000)]
+        digest = QDigest.from_values(
+            values, log_universe=log_universe, budget=int(budget)
+        )
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
+            answer = digest.query_quantile(phi)
+            target = max(1, round(phi * len(values)))
+            assert abs(true_rank(values, answer) - target) <= (
+                epsilon * len(values)
+            )
+
+    def test_merge_is_lossless_on_counts_and_bounded_on_rank(self):
+        epsilon = 0.1
+        parts = [
+            QDigest.from_values(
+                [((i * 31 + j * 977) % 1024) for i in range(500)],
+                log_universe=10,
+                budget=100,
+            )
+            for j in range(8)
+        ]
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.merge(part)
+        assert merged.n == 4000
+        values = [
+            ((i * 31 + j * 977) % 1024)
+            for j in range(8)
+            for i in range(500)
+        ]
+        answer = merged.query_quantile(0.5)
+        assert abs(true_rank(values, answer) - 2000) <= epsilon * 4000
+
+    def test_merge_with_empty_is_identity(self):
+        digest = QDigest.from_values([3, 7], log_universe=4, budget=8)
+        empty = QDigest.empty(log_universe=4, budget=8)
+        assert digest.merge(empty) == digest
+        assert empty.merge(digest) == digest
+
+    def test_words_track_size(self):
+        digest = QDigest.from_values(range(100), log_universe=8, budget=10)
+        assert digest.words() == 3 + 2 * digest.size
+
+
+class TestQuantilesQDAggregate:
+    def test_registered_as_summary_and_aggregate(self):
+        assert "quantiles_qd" in SUMMARIES
+        assert "quantiles_qd" in AGGREGATES
+        aggregate = build_aggregate("quantiles_qd:0.1:0.5")
+        assert isinstance(aggregate, QuantilesQDAggregate)
+        assert parse_query("SELECT quantiles_qd:0.1").select == (
+            "quantiles_qd:0.1"
+        )
+
+    def test_spec_validation(self):
+        for bad in ("quantiles_qd:0", "quantiles_qd:0.1:2",
+                    "quantiles_qd:0.1:0.5:99"):
+            with pytest.raises(ConfigurationError):
+                build_aggregate(bad)
+
+    def test_tree_path_median_within_epsilon(self, small_scenario):
+        epsilon = 0.1
+        aggregate = QuantilesQDAggregate(epsilon=epsilon, phi=0.5)
+        nodes = list(small_scenario.deployment.sensor_ids)
+        readings = {n: float((n * 37) % 500) for n in nodes}
+        partial = aggregate.tree_empty()
+        for node in nodes:
+            partial = aggregate.tree_merge(
+                partial, aggregate.tree_local(node, 0, readings[node])
+            )
+        answer = aggregate.tree_eval(partial)
+        values = sorted(readings.values())
+        target = max(1, round(0.5 * len(values)))
+        assert abs(true_rank(values, answer) - target) <= max(
+            1, epsilon * len(values)
+        )
+
+    def test_exact_matches_gk_exact(self):
+        values = [float((i * 13) % 97) for i in range(200)]
+        gk = QuantilesAggregate(epsilon=0.05, phi=0.5)
+        qd = QuantilesQDAggregate(epsilon=0.05, phi=0.5)
+        assert qd.exact(values) == gk.exact(values)
+
+    @pytest.mark.parametrize("scheme", ["TAG", "SD", "TD"])
+    def test_runs_over_every_scheme(self, scheme):
+        config = RunConfig(
+            scheme=scheme,
+            num_sensors=60,
+            scenario_seed=11,
+            epochs=2,
+            converge_epochs=0,
+            failure="none",
+            reading="uniform:10:100:0",
+            query="SELECT quantiles_qd:0.1",
+        )
+        report = Session().run(config)
+        truth = report.result.epochs[0].true_value
+        estimate = report.result.epochs[0].estimate
+        assert 10 <= estimate <= 100
+        # Under no loss the estimate tracks the true median closely.
+        assert estimate == pytest.approx(truth, rel=0.35)

@@ -205,6 +205,65 @@ class TestParseQuery:
             assert parse_query(f"SELECT {name}").select == name
 
 
+class TestGroupByClause:
+    def test_parse_and_render_roundtrip(self):
+        text = "SELECT avg WHERE value > 20 GROUP BY region:2 WINDOW 5 MEAN"
+        query = parse_query(text)
+        assert query.group_by == "region:2"
+        assert query.render() == text
+
+    def test_bare_group_by(self):
+        query = parse_query("SELECT count GROUP BY grid")
+        assert query.group_by == "grid"
+        assert query.render() == "SELECT count GROUP BY grid"
+
+    def test_non_groupable_aggregate_names_clause_and_supported_set(self):
+        with pytest.raises(ConfigurationError) as err:
+            parse_query("SELECT quantiles:0.05:0.5 GROUP BY region:1")
+        message = str(err.value)
+        assert "GROUP BY region:1" in message
+        assert "quantiles:0.05:0.5" in message
+        # The supported set is spelled out, not just alluded to.
+        for name in ("avg", "count", "distinct", "max", "min", "sum"):
+            assert name in message
+
+    def test_malformed_region_spec_names_clause(self):
+        with pytest.raises(ConfigurationError) as err:
+            parse_query("SELECT avg GROUP BY region:zz")
+        assert "region:zz" in str(err.value)
+        assert "NAME[:DEPTH[:BUDGET]]" in str(err.value)
+
+    def test_unknown_hierarchy_lists_registered(self):
+        with pytest.raises(ConfigurationError) as err:
+            parse_query("SELECT avg GROUP BY voronoi:2")
+        message = str(err.value)
+        assert "voronoi" in message
+        assert "region" in message and "grid" in message
+
+    def test_missing_spec_after_group_by(self):
+        with pytest.raises(ConfigurationError):
+            parse_query("SELECT avg GROUP BY")
+        with pytest.raises(ConfigurationError):
+            parse_query("SELECT avg GROUP region:1")
+
+    def test_build_without_deployment_is_actionable(self):
+        query = parse_query("SELECT avg GROUP BY region:1")
+        with pytest.raises(ConfigurationError) as err:
+            query.build(sawtooth)
+        assert "deployment" in str(err.value)
+
+    def test_grouped_build_over_tag(self, small_scenario, small_tree):
+        aggregate, readings = parse_query(
+            "SELECT count GROUP BY region:1"
+        ).build(sawtooth, deployment=small_scenario.deployment)
+        scheme = TagScheme(small_scenario.deployment, small_tree, aggregate)
+        channel = Channel(small_scenario.deployment, NoLoss(), seed=0)
+        outcome = scheme.run_epoch(0, channel, readings)
+        assert outcome.estimate == small_scenario.deployment.num_sensors
+        groups = aggregate.last_group_evaluations
+        assert sum(groups.values()) == outcome.estimate
+
+
 class TestQueriesOverSchemes:
     def test_filtered_count_over_tag(self, small_scenario, small_tree):
         aggregate, readings = parse_query(

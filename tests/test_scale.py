@@ -266,7 +266,8 @@ def test_scale_fields_version_gate():
         plain.replace(engine=EngineOptions(state="packed")),
     ):
         payload = upgraded.to_jsonable()
-        assert payload["version"] == CONFIG_SCHEMA_VERSION == 6
+        # Scale fields gate at v6; later tiers (GROUP BY) sit above it.
+        assert payload["version"] == 6 <= CONFIG_SCHEMA_VERSION
         rebuilt = RunConfig.from_jsonable(payload)
         assert rebuilt == upgraded
         assert config_digest(rebuilt) == config_digest(upgraded)

@@ -408,9 +408,12 @@ class TestFrequentSummaries:
 
     def test_registry_lists_summaries(self):
         names = available()
-        assert names["summaries"] == ("heavy_hitters", "quantiles")
+        assert names["summaries"] == (
+            "heavy_hitters", "quantiles", "quantiles_qd"
+        )
         assert "heavy_hitters" in names["aggregates"]
         assert "quantiles" in names["aggregates"]
+        assert "quantiles_qd" in names["aggregates"]
 
     def test_spec_strings_resolve(self):
         assert build_aggregate("heavy_hitters:0.2").phi == 0.2
